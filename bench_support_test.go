@@ -1,0 +1,89 @@
+package albatross
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/netsim"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// newBenchEngine drives the raw event loop hard: b.N timer events.
+func newBenchEngine(b *testing.B) *sim.Engine {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkSimMessageThroughput measures wall-clock cost per simulated LAN
+// message (send + deliver events).
+func BenchmarkSimMessageThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	net := netsim.New(e, cluster.Topology{Clusters: 1, NodesPerCluster: 2}, cluster.DASParams())
+	delivered := 0
+	net.SetHandler(1, func(m netsim.Msg) { delivered++ })
+	for i := 0; i < b.N; i++ {
+		net.Send(netsim.Msg{From: 0, To: 1, Kind: netsim.KindData, Size: 64})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkOrcaOrderedBroadcast measures wall-clock cost per totally-ordered
+// broadcast on a 2x8 wide-area platform.
+func BenchmarkOrcaOrderedBroadcast(b *testing.B) {
+	sys := core.NewDAS(2, 8)
+	obj := sys.RTS.NewReplicated("bench", func(cluster.NodeID) any { return new(int) })
+	n := b.N
+	sys.SpawnAt(0, "writer", func(w *core.Worker) {
+		for i := 0; i < n; i++ {
+			w.Invoke(obj, orca.Op{Name: "inc", ArgBytes: 8,
+				Apply: func(s any) any { *(s.(*int))++; return nil }})
+		}
+	})
+	if _, err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if *(obj.Replica(cluster.NodeID(i)).(*int)) != b.N {
+			b.Fatalf("replica %d has %d, want %d", i, *(obj.Replica(cluster.NodeID(i)).(*int)), b.N)
+		}
+	}
+}
+
+// BenchmarkOrcaRPC measures wall-clock cost per simulated remote invocation.
+func BenchmarkOrcaRPC(b *testing.B) {
+	sys := core.NewDAS(1, 2)
+	obj := sys.RTS.NewObject("bench", 0, new(int))
+	n := b.N
+	sys.SpawnAt(1, "caller", func(w *core.Worker) {
+		for i := 0; i < n; i++ {
+			w.Invoke(obj, orca.Op{Name: "inc", ArgBytes: 8,
+				Apply: func(s any) any { *(s.(*int))++; return nil }})
+		}
+	})
+	if _, err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if *(obj.State().(*int)) != b.N {
+		b.Fatal("lost invocations")
+	}
+}

@@ -1,0 +1,138 @@
+// Command dasbench regenerates the paper's tables and figures on the
+// simulated DAS platform.
+//
+// Usage:
+//
+//	dasbench -exp all            # every experiment, paper order
+//	dasbench -exp fig5,fig6      # selected experiments
+//	dasbench -list               # show what is available
+//	dasbench -exp fig1 -plot     # additionally draw ASCII speedup charts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/harness"
+	"albatross/internal/netsim"
+	"albatross/internal/orca"
+	"albatross/internal/plot"
+	"albatross/internal/trace"
+)
+
+func main() {
+	var (
+		expFlag      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		listFlag     = flag.Bool("list", false, "list available experiments")
+		plotFlag     = flag.Bool("plot", true, "render ASCII charts for speedup figures")
+		timelineFlag = flag.String("timeline", "", "show a message-activity timeline for one application on 4x15 instead of running experiments")
+		csvFlag      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *timelineFlag != "" {
+		if err := showTimeline(*timelineFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *expFlag == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := harness.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *plotFlag && rep.Figure != nil {
+			fmt.Print(plot.Render(rep.Figure, 64, 24))
+		}
+		if *csvFlag != "" {
+			path := filepath.Join(*csvFlag, e.ID+".csv")
+			if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(csv written to %s)\n", path)
+		}
+		fmt.Printf("(%s took %.1fs wall clock; all results verified against sequential references)\n\n",
+			e.ID, time.Since(start).Seconds())
+	}
+}
+
+// showTimeline runs one application on the 4x15 platform in both variants,
+// tapping every message into a time-bucketed timeline, and prints the
+// communication shape of the run (bursts, phases, saturation plateaus).
+func showTimeline(appName string) error {
+	app, err := harness.AppByName(appName)
+	if err != nil {
+		return err
+	}
+	for _, optimized := range []bool{false, true} {
+		var seqr orca.Sequencer
+		if app.Sequencer != nil {
+			seqr = app.Sequencer(optimized)
+		}
+		sys := core.NewSystem(core.Config{
+			Topology:  cluster.DAS(4, 15),
+			Params:    cluster.DASParams(),
+			Sequencer: seqr,
+		})
+		tl := trace.New(time.Millisecond)
+		sys.Net.SetTap(func(at time.Duration, m netsim.Msg, inter bool) {
+			scope := "intra"
+			if inter {
+				scope = "inter"
+			}
+			tl.Add(at, scope+"/"+m.Kind.String(), 1)
+		})
+		verify := app.Build(sys, optimized)
+		m, err := sys.Run()
+		if err != nil {
+			return err
+		}
+		if err := verify(); err != nil {
+			return err
+		}
+		variant := "original"
+		if optimized {
+			variant = "optimized"
+		}
+		fmt.Printf("== %s %s on 4x15 (%.3fs virtual) ==\n", appName, variant, m.Seconds())
+		fmt.Print(tl.Render(72))
+		fmt.Println()
+	}
+	return nil
+}

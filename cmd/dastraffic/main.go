@@ -1,0 +1,79 @@
+// Command dastraffic reports the wide-area traffic of any application on
+// any platform shape, generalizing the paper's Tables 4 and 5.
+//
+//	dastraffic                       # all apps, 4x16, original + optimized
+//	dastraffic -app RA -clusters 2 -nodes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"albatross/internal/core"
+	"albatross/internal/harness"
+	"albatross/internal/netsim"
+)
+
+func main() {
+	appFlag := flag.String("app", "all", "application name (Water, TSP, ASP, ATPG, IDA*, RA, ACP, SOR) or 'all'")
+	clustersFlag := flag.Int("clusters", 4, "number of clusters")
+	nodesFlag := flag.Int("nodes", 16, "compute nodes per cluster")
+	linksFlag := flag.Bool("links", false, "also print per-WAN-link load reports")
+	flag.Parse()
+
+	var apps []harness.AppSpec
+	if *appFlag == "all" {
+		apps = harness.Apps
+	} else {
+		a, err := harness.AppByName(*appFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = []harness.AppSpec{a}
+	}
+
+	fmt.Printf("Intercluster traffic on %dx%d (DAS parameters)\n\n", *clustersFlag, *nodesFlag)
+	fmt.Printf("%-8s %-10s %10s %12s %10s %12s %12s %12s\n",
+		"app", "variant", "# p2p", "p2p kbyte", "# bcast", "bcast kbyte", "# control", "time (s)")
+	for _, app := range apps {
+		for _, optimized := range []bool{false, true} {
+			m, err := harness.RunOne(app, *clustersFlag, *nodesFlag, optimized)
+			if err != nil {
+				log.Fatal(err)
+			}
+			variant := "original"
+			if optimized {
+				variant = "optimized"
+			}
+			rpc := m.Net.InterRPC()
+			data := m.Net.InterData()
+			bc := m.Net.InterBcast()
+			ctl := m.Net.Inter[netsim.KindControl]
+			fmt.Printf("%-8s %-10s %10d %12.0f %10d %12.0f %12d %12.3f\n",
+				app.Name, variant,
+				rpc.Msgs+data.Msgs, rpc.KBytes()+data.KBytes(),
+				bc.Msgs, bc.KBytes(), ctl.Msgs, m.Seconds())
+			if *linksFlag {
+				printLinks(app.Name, variant, m)
+			}
+		}
+	}
+}
+
+// printLinks shows the per-directed-WAN-link load of the last run, exposing
+// saturation (utilization near 1) and queueing hot spots.
+func printLinks(app, variant string, m core.Metrics) {
+	reps := m.Links
+	if len(reps) == 0 {
+		fmt.Printf("    (no WAN traffic)\n")
+		return
+	}
+	fmt.Printf("    %-10s %8s %12s %12s %12s\n", "link", "msgs", "kbyte", "utilization", "max queueing")
+	for _, r := range reps {
+		fmt.Printf("    c%d -> c%-2d  %8d %12.0f %11.0f%% %12v\n",
+			r.From, r.To, r.Msgs, float64(r.Bytes)/1024,
+			100*r.Utilization(m.Elapsed), r.MaxQueueing.Round(time.Microsecond))
+	}
+}

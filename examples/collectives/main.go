@@ -1,0 +1,80 @@
+// Collectives: use the cluster-aware collective operations — the paper's
+// wide-area restructurings generalized into a reusable library, the idea
+// that later became MagPIe-style MPI collectives.
+//
+// A toy iterative solver does, per iteration: local work, an AllReduce for
+// the global residual, and a Bcast of control data — the communication
+// skeleton of many SPMD codes. We run it with topology-oblivious and
+// cluster-aware collectives on the simulated 4-cluster DAS.
+//
+//	go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/coll"
+	"albatross/internal/core"
+)
+
+const (
+	iterations = 25
+	clusters   = 4
+	perCluster = 8
+	workPerIt  = 2 * time.Millisecond
+)
+
+func main() {
+	fmt.Println("Iterative SPMD skeleton on a 4-cluster WAN:")
+	fmt.Printf("%d iterations x (%v local work + AllReduce + Bcast)\n\n", iterations, workPerIt)
+	fmt.Printf("%-22s %12s %12s %10s\n", "collectives", "total", "per iter", "WAN msgs")
+
+	var flatTotal time.Duration
+	for _, strat := range []coll.Strategy{coll.Flat, coll.WideArea} {
+		elapsed, wan := run(strat)
+		if strat == coll.Flat {
+			flatTotal = elapsed
+		}
+		fmt.Printf("%-22s %12v %12v %10d\n",
+			strat.String(), elapsed.Round(time.Microsecond),
+			(elapsed / iterations).Round(time.Microsecond), wan)
+	}
+	_ = flatTotal
+
+	fmt.Println()
+	fmt.Println("The cluster-aware collectives cross each wide-area link exactly once")
+	fmt.Println("per operation; the flat binomial tree pays chained WAN latencies.")
+}
+
+func run(strat coll.Strategy) (time.Duration, int64) {
+	sys := core.NewSystem(core.Config{
+		Topology: cluster.DAS(clusters, perCluster),
+		Params:   cluster.DASParams(),
+	})
+	comm := coll.New(sys, "solver", strat)
+	sum := func(acc, v any) any {
+		if acc == nil {
+			return v
+		}
+		return acc.(float64) + v.(float64)
+	}
+	sys.SpawnWorkers("solver", func(w *core.Worker) {
+		residual := 1.0
+		for it := 0; it < iterations; it++ {
+			w.Compute(workPerIt)
+			local := residual / float64(it+1+w.Rank())
+			global := comm.AllReduce(w, 8, local, sum).(float64)
+			// The root distributes the next iteration's control block.
+			ctrl := comm.Bcast(w, 0, 256, global)
+			residual = ctrl.(float64)
+		}
+	})
+	m, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Elapsed, m.Net.TotalInter().Msgs
+}

@@ -1,0 +1,202 @@
+// Loadbalance: compare the paper's three work-distribution schemes on a
+// synthetic bag-of-tasks workload over a wide-area multicluster:
+//
+//   - central queue (TSP original): every fetch may cross the WAN;
+//   - per-cluster static queues (TSP optimized): no WAN fetches, but a
+//     static division that can go out of balance;
+//   - distributed queues with work stealing (IDA*): local queues plus
+//     steals, with the cluster-aware "local first" victim order.
+//
+// The workload is deliberately skewed (task sizes follow a power law) so
+// the static division suffers visible imbalance.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/rng"
+)
+
+const (
+	nTasks   = 600
+	clusters = 4
+	perClust = 4
+)
+
+// taskCost returns a skewed task duration: a few tasks are much larger.
+func taskCost(i int) time.Duration {
+	h := rng.Hash64(uint64(i) + 1000)
+	base := 200 + time.Duration(h%1800) // 0.2-2 ms
+	if h%17 == 0 {
+		base *= 12 // heavy tail
+	}
+	return base * time.Microsecond
+}
+
+func main() {
+	total := time.Duration(0)
+	for i := 0; i < nTasks; i++ {
+		total += taskCost(i)
+	}
+	p := clusters * perClust
+	fmt.Printf("%d skewed tasks, %v total work, %d CPUs on %d clusters (ideal %v)\n\n",
+		nTasks, total.Round(time.Millisecond), p, clusters, (total / time.Duration(p)).Round(time.Microsecond))
+	fmt.Printf("%-28s %12s %12s %10s\n", "scheme", "makespan", "efficiency", "WAN msgs")
+
+	for _, tc := range []struct {
+		name string
+		run  func() (time.Duration, int64)
+	}{
+		{"central queue", runCentral},
+		{"static per-cluster queues", runStatic},
+		{"work stealing (local first)", runStealing},
+	} {
+		elapsed, wan := tc.run()
+		eff := float64(total) / float64(p) / float64(elapsed)
+		fmt.Printf("%-28s %12v %11.0f%% %10d\n", tc.name, elapsed.Round(time.Microsecond), eff*100, wan)
+	}
+
+	fmt.Println()
+	fmt.Println("The central queue pays a WAN round trip per task for remote workers;")
+	fmt.Println("the static division is cheap but strands the heavy tail in one")
+	fmt.Println("cluster; stealing fixes the imbalance with a handful of WAN steals.")
+}
+
+func newSys() *core.System {
+	return core.NewSystem(core.Config{
+		Topology: cluster.DAS(clusters, perClust),
+		Params:   cluster.DASParams(),
+	})
+}
+
+func finish(sys *core.System, done []bool) (time.Duration, int64) {
+	m, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			log.Fatalf("task %d never executed", i)
+		}
+	}
+	return m.Elapsed, m.Net.TotalInter().Msgs
+}
+
+func runCentral() (time.Duration, int64) {
+	sys := newSys()
+	q := core.NewCentralQueue(sys, 0)
+	done := make([]bool, nTasks)
+	sys.SpawnAt(0, "master", func(w *core.Worker) {
+		for i := 0; i < nTasks; i++ {
+			q.Push(w, 32, i)
+		}
+		q.Close(w)
+	})
+	sys.SpawnWorkers("worker", func(w *core.Worker) {
+		for {
+			task, ok, closed := q.Pop(w, 32)
+			if ok {
+				w.Compute(taskCost(task.(int)))
+				done[task.(int)] = true
+				continue
+			}
+			if closed {
+				return
+			}
+			w.P.Sleep(100 * time.Microsecond)
+		}
+	})
+	return finish(sys, done)
+}
+
+func runStatic() (time.Duration, int64) {
+	sys := newSys()
+	q := core.NewClusterQueues(sys)
+	done := make([]bool, nTasks)
+	for c := 0; c < clusters; c++ {
+		c := c
+		sys.SpawnAt(sys.Topo.Node(c, 0), "master", func(w *core.Worker) {
+			for i := c; i < nTasks; i += clusters {
+				q.PushTo(w, c, 32, i)
+			}
+			q.Close(w, c)
+		})
+	}
+	sys.SpawnWorkers("worker", func(w *core.Worker) {
+		for {
+			task, ok, closed := q.Pop(w, 32)
+			if ok {
+				w.Compute(taskCost(task.(int)))
+				done[task.(int)] = true
+				continue
+			}
+			if closed {
+				return
+			}
+			w.P.Sleep(100 * time.Microsecond)
+		}
+	})
+	return finish(sys, done)
+}
+
+func runStealing() (time.Duration, int64) {
+	sys := newSys()
+	p := sys.Topo.Compute()
+	done := make([]bool, nTasks)
+	remaining := nTasks
+
+	type qState struct{ tasks []int }
+	queues := make([]*orca.Object, p)
+	for r := 0; r < p; r++ {
+		st := &qState{}
+		for i := r; i < nTasks; i += p {
+			st.tasks = append(st.tasks, i)
+		}
+		queues[r] = sys.RTS.NewObject(fmt.Sprintf("q%d", r), cluster.NodeID(r), st)
+	}
+	pop := orca.Op{Name: "pop", ArgBytes: 8, ResBytes: 8, Apply: func(s any) any {
+		st := s.(*qState)
+		if len(st.tasks) == 0 {
+			return -1
+		}
+		t := st.tasks[len(st.tasks)-1]
+		st.tasks = st.tasks[:len(st.tasks)-1]
+		return t
+	}}
+
+	sys.SpawnWorkers("worker", func(w *core.Worker) {
+		order := core.StealOrderLocalFirst(sys.Topo, w.Node)
+		for remaining > 0 {
+			if t := w.Invoke(queues[w.Rank()], pop).(int); t >= 0 {
+				w.Compute(taskCost(t))
+				done[t] = true
+				remaining--
+				continue
+			}
+			stole := false
+			for _, v := range order {
+				if remaining == 0 {
+					break
+				}
+				if t := w.Invoke(queues[int(v)], pop).(int); t >= 0 {
+					w.Compute(taskCost(t))
+					done[t] = true
+					remaining--
+					stole = true
+					break
+				}
+			}
+			if !stole && remaining > 0 {
+				w.P.Sleep(200 * time.Microsecond)
+			}
+		}
+	})
+	return finish(sys, done)
+}

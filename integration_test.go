@@ -1,0 +1,171 @@
+package albatross
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/apps/acp"
+	"albatross/internal/apps/asp"
+	"albatross/internal/apps/atpg"
+	"albatross/internal/apps/ida"
+	"albatross/internal/apps/ra"
+	"albatross/internal/apps/sor"
+	"albatross/internal/apps/tsp"
+	"albatross/internal/apps/water"
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/harness"
+	"albatross/internal/orca"
+)
+
+// smallBuilder wires an application with a deliberately small problem so
+// the whole-suite integration matrix stays fast.
+type smallBuilder struct {
+	name string
+	seq  func(optimized bool) orca.Sequencer
+	mk   func(sys *core.System, optimized bool) func() error
+}
+
+func smallApps() []smallBuilder {
+	return []smallBuilder{
+		{name: "water", mk: func(sys *core.System, opt bool) func() error {
+			return water.Build(sys, water.Config{N: 48, Iters: 2, Seed: 3, PairCost: 2 * time.Microsecond, DT: 1e-4}, opt)
+		}},
+		{name: "tsp", mk: func(sys *core.System, opt bool) func() error {
+			return tsp.Build(sys, tsp.Config{NCities: 10, Seed: 5, JobDepth: 2, NodeCost: 2 * time.Microsecond}, opt)
+		}},
+		{name: "asp",
+			seq: func(opt bool) orca.Sequencer { return asp.Sequencer(opt) },
+			mk: func(sys *core.System, opt bool) func() error {
+				return asp.Build(sys, asp.Config{N: 40, Seed: 7, OpCost: time.Microsecond})
+			}},
+		{name: "atpg", mk: func(sys *core.System, opt bool) func() error {
+			return atpg.Build(sys, atpg.Config{Inputs: 12, Gates: 60, Tries: 8, Seed: 7, GateCost: 200 * time.Nanosecond}, opt)
+		}},
+		{name: "ida", mk: func(sys *core.System, opt bool) func() error {
+			return ida.Build(sys, ida.Config{Walk: 16, Seed: 4, Jobs: 32, ExpandCost: time.Microsecond}, opt)
+		}},
+		{name: "ra", mk: func(sys *core.System, opt bool) func() error {
+			return ra.Build(sys, ra.Config{N: 2500, Succ: 3, Span: 150, TermPct: 6, Seed: 21,
+				ApplyCost: time.Microsecond, SendCost: 10 * time.Microsecond,
+				NodeBatch: 8, FlushEach: 300 * time.Microsecond}, opt)
+		}},
+		{name: "acp", mk: func(sys *core.System, opt bool) func() error {
+			return acp.Build(sys, acp.Config{Vars: 50, Domain: 12, Degree: 6, Tightness: 65, Seed: 13,
+				CheckCost: 500 * time.Nanosecond}, opt)
+		}},
+		{name: "sor", mk: func(sys *core.System, opt bool) func() error {
+			return sor.Build(sys, sor.Config{NX: 24, NY: 16, Omega: 1.7, Eps: 1e-4, MaxIters: 3000,
+				CellCost: time.Microsecond, SkipMod: 3}, opt)
+		}},
+	}
+}
+
+// TestEveryAppEveryShapeEveryVariant is the full integration matrix: all
+// eight applications, original and optimized, across platform shapes, each
+// verified against its sequential reference.
+func TestEveryAppEveryShapeEveryVariant(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {1, 6}, {2, 3}, {3, 2}, {4, 2}}
+	for _, app := range smallApps() {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			for _, sh := range shapes {
+				for _, opt := range []bool{false, true} {
+					var seqr orca.Sequencer
+					if app.seq != nil {
+						seqr = app.seq(opt)
+					}
+					sys := core.NewSystem(core.Config{
+						Topology:  cluster.DAS(sh[0], sh[1]),
+						Params:    cluster.DASParams(),
+						Sequencer: seqr,
+					})
+					verify := app.mk(sys, opt)
+					if _, err := sys.Run(); err != nil {
+						t.Fatalf("%dx%d opt=%v: %v", sh[0], sh[1], opt, err)
+					}
+					if err := verify(); err != nil {
+						t.Fatalf("%dx%d opt=%v: %v", sh[0], sh[1], opt, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicReplayAcrossApps: identical configuration must give the
+// identical virtual time and traffic, whatever the application.
+func TestDeterministicReplayAcrossApps(t *testing.T) {
+	for _, app := range smallApps() {
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			run := func() core.Metrics {
+				sys := core.NewSystem(core.Config{
+					Topology: cluster.DAS(2, 3),
+					Params:   cluster.DASParams(),
+				})
+				verify := app.mk(sys, true)
+				m, err := sys.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := verify(); err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			a, b := run(), run()
+			if a.Elapsed != b.Elapsed {
+				t.Fatalf("elapsed differs across replays: %v vs %v", a.Elapsed, b.Elapsed)
+			}
+			if a.Net != b.Net {
+				t.Fatalf("traffic differs across replays:\n%v\n%v", a.Net.String(), b.Net.String())
+			}
+		})
+	}
+}
+
+// TestSlowerNetworksNeverHelp: for every original program, degrading the
+// WAN must not make the 4-cluster run faster (a basic monotonicity sanity
+// check of the whole stack).
+func TestSlowerNetworksNeverHelp(t *testing.T) {
+	for _, app := range smallApps() {
+		if app.name == "acp" || app.name == "sor" {
+			// Convergence-path algorithms may legitimately take a different
+			// number of iterations under different timing; skip the strict
+			// monotonicity check for them.
+			continue
+		}
+		app := app
+		t.Run(app.name, func(t *testing.T) {
+			run := func(par cluster.Params) time.Duration {
+				var seqr orca.Sequencer
+				if app.seq != nil {
+					seqr = app.seq(false)
+				}
+				sys := core.NewSystem(core.Config{Topology: cluster.DAS(4, 2), Params: par, Sequencer: seqr})
+				verify := app.mk(sys, false)
+				if _, err := sys.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if err := verify(); err != nil {
+					t.Fatal(err)
+				}
+				return sys.Engine.Now()
+			}
+			das := run(cluster.DASParams())
+			slow := run(cluster.SlowWANParams())
+			if slow < das {
+				t.Fatalf("slower WAN finished faster: %v vs %v", slow, das)
+			}
+		})
+	}
+}
+
+// TestHarnessExperimentsRegistered ensures the CLI surface exposes the full
+// reproduction (details are tested inside internal/harness).
+func TestHarnessExperimentsRegistered(t *testing.T) {
+	if n := len(harness.Experiments()); n < 30 {
+		t.Fatalf("only %d experiments registered", n)
+	}
+}

@@ -1,0 +1,293 @@
+// Package acp implements the Arc Consistency Problem application of the
+// paper (Section 4.7): the first step of constraint solving — repeatedly
+// removing values from variable domains that no value of a constraining
+// neighbour supports, until a fixpoint. Variables are statically partitioned
+// over the processors; domains live in a replicated object so reads are
+// local, and every domain pruning is broadcast to all processors.
+//
+// Original program: prunings are totally-ordered broadcasts; the writer
+// blocks until its own delivery, and on a wide-area system the many small
+// broadcasts hammer the sequencer and the gateways.
+//
+// Optimized program (proposed but not implemented in the paper; we implement
+// it): asynchronous broadcasts. Domain pruning is a commutative, idempotent
+// bitmask AND, so no total order is needed; senders continue immediately and
+// the same fixpoint is reached.
+package acp
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/rng"
+	"albatross/internal/sim"
+)
+
+// Config describes one binary CSP instance.
+type Config struct {
+	Vars      int // number of variables
+	Domain    int // values per domain (max 32)
+	Degree    int // average constraints per variable
+	Tightness int // percent of value pairs disallowed by a constraint
+	Seed      uint64
+	CheckCost time.Duration // virtual CPU time per support check
+}
+
+// Default returns the scaled-down stand-in for the paper's 1500-variable
+// input.
+func Default() Config {
+	return Config{Vars: 320, Domain: 16, Degree: 6, Tightness: 75, Seed: 13,
+		CheckCost: 2 * time.Microsecond}
+}
+
+// Problem is one generated CSP.
+type Problem struct {
+	cfg       Config
+	neighbors [][]int32 // adjacency lists (symmetric)
+}
+
+// allowed reports whether (a from D(i), b from D(j)) satisfies the
+// constraint between i and j. It is symmetric by canonicalization.
+func (pr *Problem) allowed(i, j int, a, b int) bool {
+	if i > j {
+		i, j, a, b = j, i, b, a
+	}
+	h := rng.Hash64(pr.cfg.Seed ^ rng.Hash64(uint64(i)<<40|uint64(j)<<20|uint64(a)<<8|uint64(b)))
+	return int(h%100) >= pr.cfg.Tightness
+}
+
+// NewProblem generates the deterministic constraint graph for cfg.
+func NewProblem(cfg Config) *Problem {
+	if cfg.Domain > 32 {
+		panic("acp: domain must fit a 32-bit mask")
+	}
+	r := rng.New(cfg.Seed)
+	pr := &Problem{cfg: cfg, neighbors: make([][]int32, cfg.Vars)}
+	edges := cfg.Vars * cfg.Degree / 2
+	seen := make(map[[2]int32]bool)
+	for e := 0; e < edges; e++ {
+		i := int32(r.Intn(cfg.Vars))
+		j := int32(r.Intn(cfg.Vars))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if seen[[2]int32{i, j}] {
+			continue
+		}
+		seen[[2]int32{i, j}] = true
+		pr.neighbors[i] = append(pr.neighbors[i], j)
+		pr.neighbors[j] = append(pr.neighbors[j], i)
+	}
+	return pr
+}
+
+func fullMask(d int) uint32 {
+	if d == 32 {
+		return ^uint32(0)
+	}
+	return (1 << d) - 1
+}
+
+// revise recomputes D(v) against one neighbour u: values of v without any
+// support in D(u) are removed. It returns the new mask and the number of
+// support checks performed.
+func (pr *Problem) revise(v, u int, dv, du uint32) (uint32, int) {
+	checks := 0
+	out := dv
+	for a := 0; a < pr.cfg.Domain; a++ {
+		if dv&(1<<a) == 0 {
+			continue
+		}
+		supported := false
+		for b := 0; b < pr.cfg.Domain; b++ {
+			if du&(1<<b) == 0 {
+				continue
+			}
+			checks++
+			if pr.allowed(v, u, a, b) {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			out &^= 1 << a
+		}
+	}
+	return out, checks
+}
+
+// Sequential computes the AC fixpoint with an AC-3 style worklist. The
+// fixpoint is unique, so it verifies any execution order.
+func Sequential(cfg Config) []uint32 {
+	pr := NewProblem(cfg)
+	dom := make([]uint32, cfg.Vars)
+	for i := range dom {
+		dom[i] = fullMask(cfg.Domain)
+	}
+	work := make([]int32, 0, cfg.Vars)
+	inWork := make([]bool, cfg.Vars)
+	for i := 0; i < cfg.Vars; i++ {
+		work = append(work, int32(i))
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		v := int(work[0])
+		work = work[1:]
+		inWork[v] = false
+		nv := dom[v]
+		for _, u := range pr.neighbors[v] {
+			nv2, _ := pr.revise(v, int(u), nv, dom[u])
+			nv = nv2
+		}
+		if nv != dom[v] {
+			dom[v] = nv
+			for _, u := range pr.neighbors[v] {
+				if !inWork[u] {
+					inWork[u] = true
+					work = append(work, u)
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// domState is each node's replica of the domains object.
+type domState struct {
+	node cluster.NodeID
+	dom  []uint32
+}
+
+// Build sets up the parallel ACP run; optimized selects asynchronous
+// broadcast. The verifier compares every replica against the sequential
+// fixpoint.
+func Build(sys *core.System, cfg Config, optimized bool) func() error {
+	pr := NewProblem(cfg)
+	p := sys.Topo.Compute()
+	topo := sys.Topo
+
+	domains := sys.RTS.NewReplicated("domains", func(node cluster.NodeID) any {
+		dom := make([]uint32, cfg.Vars)
+		for i := range dom {
+			dom[i] = fullMask(cfg.Domain)
+		}
+		return &domState{node: node, dom: dom}
+	})
+
+	// dirty[r] is worker r's local worklist; inflight counts update
+	// applications not yet performed anywhere in the system.
+	dirty := make([]map[int]bool, p)
+	for r := range dirty {
+		dirty[r] = map[int]bool{}
+		for v := r; v < cfg.Vars; v += p {
+			dirty[r][v] = true
+		}
+	}
+	inflight := 0
+	changedFlag := false
+
+	// markDirty: when a pruning of v lands on a node, the variables
+	// constrained by v that live on that node become dirty.
+	markDirty := func(at cluster.NodeID, v int) {
+		for _, u := range pr.neighbors[v] {
+			if int(u)%p == int(at) {
+				dirty[at][int(u)] = true
+			}
+		}
+	}
+
+	// pruneOp ANDs the new mask into every replica's domain of v.
+	pruneOp := func(v int, mask uint32) orca.Op {
+		return orca.Op{Name: "Prune", ArgBytes: 8, ResBytes: 4,
+			Apply: func(s any) any {
+				st := s.(*domState)
+				old := st.dom[v]
+				st.dom[v] &= mask
+				inflight--
+				if st.dom[v] != old {
+					changedFlag = true
+					markDirty(st.node, v)
+				}
+				return nil
+			}}
+	}
+
+	done := false
+	bar := sim.NewBarrier(sys.Engine, "acp", p)
+	_ = topo
+
+	sys.SpawnWorkers("acp", func(w *core.Worker) {
+		r := w.Rank()
+		st := domains.Replica(w.Node).(*domState)
+		for {
+			work := make([]int, 0, len(dirty[r]))
+			for v := range dirty[r] {
+				work = append(work, v)
+			}
+			// Deterministic order.
+			sortInts(work)
+			dirty[r] = map[int]bool{}
+			if len(work) == 0 {
+				w.P.Sleep(100 * time.Microsecond)
+			}
+			for _, v := range work {
+				nv := st.dom[v]
+				checks := 0
+				for _, u := range pr.neighbors[v] {
+					nv2, c := pr.revise(v, int(u), nv, st.dom[int(u)])
+					nv = nv2
+					checks += c
+				}
+				w.Compute(time.Duration(checks) * cfg.CheckCost)
+				if nv != st.dom[v] {
+					inflight += p
+					op := pruneOp(v, nv)
+					if optimized {
+						domains.AsyncUpdate(w.Node, op)
+					} else {
+						w.Invoke(domains, op)
+					}
+				}
+			}
+			bar.Arrive(w.P)
+			if r == 0 {
+				if !changedFlag && inflight == 0 {
+					done = true
+				}
+				changedFlag = false
+			}
+			bar.Arrive(w.P)
+			if done {
+				return
+			}
+		}
+	})
+
+	return func() error {
+		want := Sequential(cfg)
+		for n := 0; n < p; n++ {
+			st := domains.Replica(cluster.NodeID(n)).(*domState)
+			for v := range want {
+				if st.dom[v] != want[v] {
+					return fmt.Errorf("acp: node %d domain[%d] = %x, want %x", n, v, st.dom[v], want[v])
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// sortInts sorts a small int slice (insertion sort; worklists are short).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package acp
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+)
+
+func testCfg() Config {
+	return Config{Vars: 60, Domain: 12, Degree: 6, Tightness: 65, Seed: 13,
+		CheckCost: 50 * time.Nanosecond}
+}
+
+func run(t *testing.T, clusters, npc int, optimized bool, cfg Config) core.Metrics {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Topology: cluster.DAS(clusters, npc),
+		Params:   cluster.DASParams(),
+	})
+	verify := Build(sys, cfg, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("verify %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	return m
+}
+
+func TestSequentialIsFixpoint(t *testing.T) {
+	cfg := testCfg()
+	pr := NewProblem(cfg)
+	dom := Sequential(cfg)
+	pruned := 0
+	for v := 0; v < cfg.Vars; v++ {
+		if dom[v] != fullMask(cfg.Domain) {
+			pruned++
+		}
+		for _, u := range pr.neighbors[v] {
+			nv, _ := pr.revise(v, int(u), dom[v], dom[u])
+			if nv != dom[v] {
+				t.Fatalf("not a fixpoint: revise(%d,%d) still prunes", v, u)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("no domain pruned at all; instance trivial, tighten the constraints")
+	}
+}
+
+func TestAllowedSymmetric(t *testing.T) {
+	pr := NewProblem(testCfg())
+	for i := 0; i < 10; i++ {
+		for j := 11; j < 20; j++ {
+			for a := 0; a < 4; a++ {
+				for b := 0; b < 4; b++ {
+					if pr.allowed(i, j, a, b) != pr.allowed(j, i, b, a) {
+						t.Fatalf("asymmetric constraint (%d,%d,%d,%d)", i, j, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectAcrossShapes(t *testing.T) {
+	cfg := testCfg()
+	for _, sh := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {2, 3}, {4, 2}} {
+		for _, opt := range []bool{false, true} {
+			run(t, sh[0], sh[1], opt, cfg)
+		}
+	}
+}
+
+func TestAsyncDoesNotBlockSenders(t *testing.T) {
+	cfg := testCfg()
+	orig := run(t, 4, 3, false, cfg)
+	opt := run(t, 4, 3, true, cfg)
+	if opt.Elapsed >= orig.Elapsed {
+		t.Fatalf("async broadcasts (%v) not faster than ordered (%v)", opt.Elapsed, orig.Elapsed)
+	}
+}
+
+func TestBroadcastHeavy(t *testing.T) {
+	cfg := testCfg()
+	m := run(t, 2, 2, false, cfg)
+	if m.Ops.Bcasts == 0 {
+		t.Fatal("no broadcasts; ACP should be broadcast-dominated")
+	}
+	if m.Ops.RPCs > m.Ops.Bcasts {
+		t.Fatalf("RPC-dominated (%d RPCs vs %d bcasts)", m.Ops.RPCs, m.Ops.Bcasts)
+	}
+}

@@ -1,0 +1,206 @@
+// Package asp implements the All-pairs Shortest Paths application of the
+// paper (Section 4.3): a parallel Floyd-Warshall with the distance matrix
+// divided row-wise over the processors. At iteration k the owner of row k
+// broadcasts it (a replicated-object write); all processors then relax their
+// own rows against it.
+//
+// The original program runs on the system's default sequencer (the
+// distributed rotating sequencer on a wide-area system), where every
+// broadcast waits for the ordering token to come around over the WAN. The
+// optimized program uses the migrating sequencer, which follows the
+// broadcasting cluster and lets consecutive row broadcasts pipeline.
+package asp
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/rng"
+	"albatross/internal/sim"
+)
+
+// Inf is the "no edge" distance. It is large enough that Inf+weight never
+// overflows int32.
+const Inf int32 = 1 << 28
+
+// Config describes one ASP problem instance.
+type Config struct {
+	N      int           // number of graph nodes
+	Seed   uint64        // workload seed
+	OpCost time.Duration // virtual CPU time per inner-loop relaxation
+}
+
+// Default returns the scaled-down stand-in for the paper's 3000-node input:
+// the per-relaxation cost is raised so the compute-to-row-size ratio (the
+// communication grain) matches the original problem on a 200 MHz CPU.
+func Default() Config {
+	return Config{N: 256, Seed: 42, OpCost: 2 * time.Microsecond}
+}
+
+// Generate builds the dense distance matrix of a pseudo-random directed
+// graph: ~25% of the edges are present with weights 1..100.
+func Generate(cfg Config) [][]int32 {
+	r := rng.New(cfg.Seed)
+	d := make([][]int32, cfg.N)
+	for i := range d {
+		d[i] = make([]int32, cfg.N)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case r.Intn(4) == 0:
+				d[i][j] = int32(1 + r.Intn(100))
+			default:
+				d[i][j] = Inf
+			}
+		}
+	}
+	return d
+}
+
+// Sequential computes all-pairs shortest paths with Floyd-Warshall.
+func Sequential(cfg Config) [][]int32 {
+	d := Generate(cfg)
+	n := cfg.N
+	for k := 0; k < n; k++ {
+		rk := d[k]
+		for i := 0; i < n; i++ {
+			ri := d[i]
+			dik := ri[k]
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := dik + rk[j]; v < ri[j] {
+					ri[j] = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+// pivotState is each node's replica of the pivot-row object: the rows
+// received so far plus futures for processes waiting on a row.
+type pivotState struct {
+	node cluster.NodeID
+	rows map[int][]int32
+	wait map[int]*sim.Future
+}
+
+// rowRange returns the row block [lo, hi) owned by rank r of p.
+func rowRange(n, p, r int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = r*base + min(r, rem)
+	hi = lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Build sets up the parallel ASP run on the system and returns a verifier
+// that compares the parallel result against the sequential reference.
+// The original and optimized programs differ only in the system's sequencer
+// (see Sequencer); the application code is identical.
+func Build(sys *core.System, cfg Config) func() error {
+	n := cfg.N
+	p := sys.Topo.Compute()
+	d := Generate(cfg)
+	e := sys.Engine
+
+	pivot := sys.RTS.NewReplicated("pivot-rows", func(node cluster.NodeID) any {
+		return &pivotState{node: node, rows: make(map[int][]int32), wait: make(map[int]*sim.Future)}
+	})
+
+	setRow := func(k int, row []int32) orca.Op {
+		return orca.Op{
+			Name: "SetRow", ArgBytes: 4 * len(row), ResBytes: 4,
+			Apply: func(s any) any {
+				st := s.(*pivotState)
+				st.rows[k] = row
+				if f, ok := st.wait[k]; ok {
+					delete(st.wait, k)
+					f.Set(row)
+				}
+				return nil
+			},
+		}
+	}
+
+	waitRow := func(w *core.Worker, k int) []int32 {
+		st := pivot.Replica(w.Node).(*pivotState)
+		if row, ok := st.rows[k]; ok {
+			return row
+		}
+		f, ok := st.wait[k]
+		if !ok {
+			f = sim.NewFuture(e, fmt.Sprintf("asp-row-%d@%d", k, w.Node))
+			st.wait[k] = f
+		}
+		return f.Await(w.P).([]int32)
+	}
+
+	owner := func(k int) int {
+		base, rem := n/p, n%p
+		if k < (base+1)*rem {
+			return k / (base + 1)
+		}
+		return rem + (k-(base+1)*rem)/base
+	}
+
+	sys.SpawnWorkers("asp", func(w *core.Worker) {
+		lo, hi := rowRange(n, p, w.Rank())
+		own := hi - lo
+		for k := 0; k < n; k++ {
+			var rk []int32
+			if owner(k) == w.Rank() {
+				// Snapshot the row: it already reflects iterations < k.
+				row := make([]int32, n)
+				copy(row, d[k])
+				w.Invoke(pivot, setRow(k, row))
+				rk = row
+			} else {
+				rk = waitRow(w, k)
+			}
+			for i := lo; i < hi; i++ {
+				ri := d[i]
+				dik := ri[k]
+				if dik >= Inf {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if v := dik + rk[j]; v < ri[j] {
+						ri[j] = v
+					}
+				}
+			}
+			w.Compute(time.Duration(own*n) * cfg.OpCost)
+		}
+	})
+
+	return func() error {
+		want := Sequential(cfg)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][j] != want[i][j] {
+					return fmt.Errorf("asp: d[%d][%d] = %d, want %d", i, j, d[i][j], want[i][j])
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Sequencer returns the broadcast sequencer the variant runs on: the system
+// default for the original program, the migrating sequencer for the
+// optimized one (the paper's ASP optimization is entirely in the runtime).
+func Sequencer(optimized bool) orca.Sequencer {
+	if optimized {
+		return orca.NewMigratingSequencer()
+	}
+	return nil
+}

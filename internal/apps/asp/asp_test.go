@@ -1,0 +1,109 @@
+package asp
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+)
+
+func testCfg() Config {
+	return Config{N: 48, Seed: 7, OpCost: 500 * time.Nanosecond}
+}
+
+func run(t *testing.T, clusters, npc int, optimized bool, cfg Config) core.Metrics {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, npc),
+		Params:    cluster.DASParams(),
+		Sequencer: Sequencer(optimized),
+	})
+	verify := Build(sys, cfg)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("verify %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	return m
+}
+
+func TestCorrectAcrossShapes(t *testing.T) {
+	cfg := testCfg()
+	for _, sh := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {2, 3}, {4, 2}} {
+		for _, opt := range []bool{false, true} {
+			run(t, sh[0], sh[1], opt, cfg)
+		}
+	}
+}
+
+func TestRaggedRowDistribution(t *testing.T) {
+	// N=50 over 6 procs exercises uneven blocks.
+	cfg := Config{N: 50, Seed: 3, OpCost: 200 * time.Nanosecond}
+	run(t, 2, 3, false, cfg)
+}
+
+func TestRowRangeCoversAllRows(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 256} {
+		for _, p := range []int{1, 3, 8, 60} {
+			covered := 0
+			prevHi := 0
+			for r := 0; r < p; r++ {
+				lo, hi := rowRange(n, p, r)
+				if lo != prevHi {
+					t.Fatalf("gap at rank %d (n=%d p=%d)", r, n, p)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("covered %d of %d rows (p=%d)", covered, n, p)
+			}
+		}
+	}
+}
+
+func TestSpeedupSingleCluster(t *testing.T) {
+	cfg := Config{N: 64, Seed: 7, OpCost: 2 * time.Microsecond}
+	t1 := run(t, 1, 1, false, cfg).Elapsed
+	t8 := run(t, 1, 8, false, cfg).Elapsed
+	sp := float64(t1) / float64(t8)
+	if sp < 4 {
+		t.Fatalf("8-proc speedup %.2f too low", sp)
+	}
+}
+
+func TestOptimizedBeatsOriginalOnFourClusters(t *testing.T) {
+	cfg := testCfg()
+	orig := run(t, 4, 4, false, cfg).Elapsed
+	opt := run(t, 4, 4, true, cfg).Elapsed
+	if float64(opt)*1.5 > float64(orig) {
+		t.Fatalf("optimized (%v) not clearly faster than original (%v)", opt, orig)
+	}
+}
+
+func TestBroadcastCountIsN(t *testing.T) {
+	cfg := testCfg()
+	m := run(t, 2, 2, false, cfg)
+	if m.Ops.Bcasts != int64(cfg.N) {
+		t.Fatalf("bcasts %d, want %d", m.Ops.Bcasts, cfg.N)
+	}
+}
+
+func TestSequentialSelfConsistent(t *testing.T) {
+	cfg := testCfg()
+	d := Sequential(cfg)
+	n := cfg.N
+	// Triangle inequality must hold at the fixpoint.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k += 7 {
+				if d[i][k] < Inf && d[k][j] < Inf && d[i][j] > d[i][k]+d[k][j] {
+					t.Fatalf("triangle violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}

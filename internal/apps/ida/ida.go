@@ -1,0 +1,343 @@
+package ida
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// Config describes one IDA* run.
+type Config struct {
+	Walk       int           // scramble walk length (bounds the optimal depth)
+	Seed       uint64        // instance seed
+	Jobs       int           // size of the fixed initial job frontier
+	ExpandCost time.Duration // virtual CPU time per node expansion
+}
+
+// Default returns the scaled-down stand-in for the paper's random
+// 15-puzzle instances.
+func Default() Config {
+	return Config{Walk: 60, Seed: 4, Jobs: 2048, ExpandCost: time.Microsecond}
+}
+
+// job is one frontier node searched as a unit.
+type job struct {
+	b  Board
+	g  int
+	h  int
+	lm int8
+}
+
+const jobBytes = 24
+
+// frontier expands the instance root breadth-first (without undoing the
+// previous move, no duplicate detection — plain IDA* semantics) until at
+// least cfg.Jobs nodes exist. The expansion is deterministic and
+// independent of the processor count, so job sets are identical across all
+// configurations. It also returns the number of expansions spent.
+func frontier(cfg Config) ([]job, int64) {
+	root := Scramble(cfg.Walk, cfg.Seed)
+	cur := []job{{b: root, g: 0, h: manhattan(&root), lm: -1}}
+	var exp int64
+	for len(cur) < cfg.Jobs {
+		var next []job
+		for _, j := range cur {
+			if j.h == 0 && j.b.IsGoal() {
+				// Trivial instance: keep the goal node as a job; the
+				// searches will find the solution immediately.
+				next = append(next, j)
+				continue
+			}
+			for d := int8(0); d < 4; d++ {
+				if j.lm >= 0 && d == reverse[j.lm] {
+					continue
+				}
+				if !canMove(j.b.blank, d) {
+					continue
+				}
+				nb := j.b
+				dh := nb.apply(d)
+				exp++
+				next = append(next, job{b: nb, g: j.g + 1, h: j.h + dh, lm: d})
+			}
+		}
+		if len(next) == len(cur) {
+			break // cannot grow further (degenerate)
+		}
+		cur = next
+	}
+	return cur, exp
+}
+
+// Result summarizes one run.
+type Result struct {
+	Optimal    int   // solution length found
+	Solutions  int64 // number of solutions at that threshold
+	Expansions int64 // total bounded-DFS expansions over all iterations
+}
+
+// Sequential runs the reference computation: the same frontier and the same
+// per-job bounded searches, iterating thresholds, on one processor.
+func Sequential(cfg Config) Result {
+	jobs, _ := frontier(cfg)
+	root := Scramble(cfg.Walk, cfg.Seed)
+	threshold := manhattan(&root)
+	var total int64
+	for {
+		var sols int64
+		next := infThreshold
+		for _, j := range jobs {
+			res := searchResult{next: infThreshold}
+			if f := j.g + j.h; f > threshold {
+				if f < next {
+					next = f
+				}
+				continue
+			}
+			b := j.b
+			boundedDFS(&b, j.g, j.h, j.lm, threshold, &res)
+			total += res.expansions
+			sols += res.solutions
+			if res.next < next {
+				next = res.next
+			}
+		}
+		if sols > 0 {
+			return Result{Optimal: threshold, Solutions: sols, Expansions: total}
+		}
+		if next >= infThreshold {
+			return Result{Optimal: -1, Expansions: total}
+		}
+		threshold = next
+	}
+}
+
+// queueState is one worker's local job queue (a shared object owned by that
+// worker's node, so remote steals are RPCs and local pops are free).
+type queueState struct{ jobs []job }
+
+func popLocalOp() orca.Op {
+	return orca.Op{Name: "PopLocal", ArgBytes: 4, ResBytes: jobBytes,
+		Apply: func(s any) any {
+			q := s.(*queueState)
+			if len(q.jobs) == 0 {
+				return nil
+			}
+			j := q.jobs[len(q.jobs)-1]
+			q.jobs = q.jobs[:len(q.jobs)-1]
+			return j
+		}}
+}
+
+func stealOp() orca.Op {
+	return orca.Op{Name: "Steal", ArgBytes: 8, ResBytes: jobBytes,
+		Apply: func(s any) any {
+			q := s.(*queueState)
+			if len(q.jobs) == 0 {
+				return nil
+			}
+			j := q.jobs[0]
+			q.jobs = q.jobs[1:]
+			return j
+		}}
+}
+
+func pushOp(j job) orca.Op {
+	return orca.Op{Name: "Push", ArgBytes: jobBytes, ResBytes: 4,
+		Apply: func(s any) any {
+			q := s.(*queueState)
+			q.jobs = append(q.jobs, j)
+			return nil
+		}}
+}
+
+// idleState is each node's replica of the idle map (fed by the termination
+// detection broadcasts the paper describes).
+type idleState struct{ m *core.IdleMap }
+
+func setIdleOp(rank int, idle bool) orca.Op {
+	return orca.Op{Name: "SetIdle", ArgBytes: 8, ResBytes: 4,
+		Apply: func(s any) any {
+			s.(*idleState).m.Set(rank, idle)
+			return nil
+		}}
+}
+
+// Policy selects the work-stealing refinements independently, for the
+// ablation study; the paper's optimized program enables both.
+type Policy struct {
+	LocalFirst   bool // steal inside the own cluster first
+	RememberIdle bool // skip victims the idle map marks empty
+}
+
+// Build sets up the parallel IDA* run; optimized selects the local-first
+// steal order and the "remember empty" heuristic. The verifier checks the
+// solution length, solution count and the exact expansion-count invariant.
+func Build(sys *core.System, cfg Config, optimized bool) func() error {
+	if optimized {
+		return BuildPolicy(sys, cfg, Policy{LocalFirst: true, RememberIdle: true})
+	}
+	return BuildPolicy(sys, cfg, Policy{})
+}
+
+// BuildPolicy sets up the run with an explicit stealing policy.
+func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
+	p := sys.Topo.Compute()
+	topo := sys.Topo
+	e := sys.Engine
+
+	jobs, _ := frontier(cfg)
+	root := Scramble(cfg.Walk, cfg.Seed)
+
+	queues := make([]*orca.Object, p)
+	for r := 0; r < p; r++ {
+		queues[r] = sys.RTS.NewObject(fmt.Sprintf("ida-queue-%d", r), cluster.NodeID(r), &queueState{})
+	}
+	idleObj := sys.RTS.NewReplicated("ida-idle", func(cluster.NodeID) any {
+		return &idleState{m: core.NewIdleMap(p)}
+	})
+
+	stealOrder := make([][]cluster.NodeID, p)
+	for r := 0; r < p; r++ {
+		if pol.LocalFirst {
+			stealOrder[r] = core.StealOrderLocalFirst(topo, cluster.NodeID(r))
+		} else {
+			stealOrder[r] = core.StealOrderOriginal(topo, cluster.NodeID(r))
+		}
+	}
+
+	// Shared iteration bookkeeping (plain memory; the real program's
+	// termination detection piggybacks on the idle broadcasts, which we
+	// send for traffic fidelity but do not trust for the decision).
+	remaining := 0
+	threshold := manhattan(&root)
+	var totalExp, totalSols int64
+	nextThreshold := infThreshold
+	finished := false
+	foundOptimal := -1
+	bar := sim.NewBarrier(e, "ida", p)
+
+	perWorkerNext := make([]int, p)
+
+	sys.SpawnWorkers("ida", func(w *core.Worker) {
+		r := w.Rank()
+		myIdle := false
+		for iteration := 0; ; iteration++ {
+			if r == 0 {
+				remaining = len(jobs)
+				nextThreshold = infThreshold
+			}
+			bar.Arrive(w.P)
+			perWorkerNext[r] = infThreshold
+			if myIdle {
+				// Termination-detection broadcast: active again (the paper's
+				// workers announce both transitions).
+				myIdle = false
+				w.Invoke(idleObj, setIdleOp(r, false))
+			}
+			// Refill the own queue with the static share of the frontier
+			// (deterministic, generated locally — no distribution traffic).
+			for i := r; i < len(jobs); i += p {
+				w.Invoke(queues[r], pushOp(jobs[i]))
+			}
+			bar.Arrive(w.P)
+
+			runJob := func(j job) {
+				res := searchResult{next: infThreshold}
+				if f := j.g + j.h; f > threshold {
+					res.next = f
+				} else {
+					b := j.b
+					boundedDFS(&b, j.g, j.h, j.lm, threshold, &res)
+				}
+				w.Compute(time.Duration(res.expansions) * cfg.ExpandCost)
+				totalExp += res.expansions
+				totalSols += res.solutions
+				if res.next < perWorkerNext[r] {
+					perWorkerNext[r] = res.next
+				}
+				remaining--
+			}
+
+			for remaining > 0 {
+				if v := w.Invoke(queues[r], popLocalOp()); v != nil {
+					if myIdle {
+						myIdle = false
+						w.Invoke(idleObj, setIdleOp(r, false))
+					}
+					runJob(v.(job))
+					continue
+				}
+				// Own queue empty: one sweep over the victims.
+				stole := false
+				for _, victim := range stealOrder[r] {
+					if remaining == 0 {
+						break
+					}
+					if pol.RememberIdle && idleObj.Replica(w.Node).(*idleState).m.Idle(int(victim)) {
+						continue // "remember empty": skip known-idle victims
+					}
+					if v := w.Invoke(queues[int(victim)], stealOp()); v != nil {
+						if myIdle {
+							myIdle = false
+							w.Invoke(idleObj, setIdleOp(r, false))
+						}
+						runJob(v.(job))
+						stole = true
+						break
+					}
+				}
+				if stole {
+					continue
+				}
+				if !myIdle {
+					// Termination-detection broadcast: we are out of work.
+					myIdle = true
+					w.Invoke(idleObj, setIdleOp(r, true))
+				}
+				if remaining > 0 {
+					w.P.Sleep(300 * time.Microsecond)
+				}
+			}
+
+			bar.Arrive(w.P)
+			if r == 0 {
+				for _, n := range perWorkerNext {
+					if n < nextThreshold {
+						nextThreshold = n
+					}
+				}
+				if totalSols > 0 {
+					finished = true
+					foundOptimal = threshold
+				} else if nextThreshold >= infThreshold {
+					finished = true
+				} else {
+					threshold = nextThreshold
+				}
+			}
+			bar.Arrive(w.P)
+			if finished {
+				return
+			}
+		}
+	})
+
+	return func() error {
+		want := Sequential(cfg)
+		if foundOptimal != want.Optimal {
+			return fmt.Errorf("ida: optimal %d, want %d", foundOptimal, want.Optimal)
+		}
+		if totalSols != want.Solutions {
+			return fmt.Errorf("ida: %d solutions, want %d", totalSols, want.Solutions)
+		}
+		if totalExp != want.Expansions {
+			return fmt.Errorf("ida: %d expansions, want %d", totalExp, want.Expansions)
+		}
+		return nil
+	}
+}

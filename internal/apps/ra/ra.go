@@ -1,0 +1,282 @@
+// Package ra implements the Retrograde Analysis application of the paper
+// (Section 4.5): bottom-up enumeration of a game database. Starting from
+// terminal positions with known game-theoretic values, values propagate
+// backwards to predecessors; the resulting communication is an enormous
+// number of tiny, highly irregular, asynchronous messages — the hardest
+// pattern in the paper's suite (the original program's four-cluster speedup
+// is below one).
+//
+// The paper computes a 12-stone Awari end-game database. We substitute a
+// synthetic deterministic game DAG (hash-generated forward edges, terminal
+// positions of known value) — the communication pattern, which is what the
+// experiment studies, is identical: every determined position sends one
+// small update per predecessor to the predecessor's owner, in an
+// unpredictable order. See DESIGN.md for the substitution argument.
+//
+// Original program: sender-side per-destination message combining (the
+// paper's base program already has this node-level combining [Bal&Allis
+// '95]). Optimized program: message combining at the *cluster* level
+// (core.Combiner) — all traffic for a remote cluster leaves through one
+// designated machine in large combined messages.
+package ra
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/rng"
+)
+
+// Value is a game-theoretic position value for the player to move.
+type Value uint8
+
+const (
+	Undetermined Value = iota
+	Win
+	Loss
+)
+
+// Config describes one synthetic end-game database.
+type Config struct {
+	N         int           // positions
+	Succ      int           // successors per non-terminal position
+	Span      int           // successors lie within (v, v+Span]
+	TermPct   int           // percent of positions that are terminal (plus the tail)
+	Seed      uint64        //
+	ApplyCost time.Duration // virtual CPU time per update processed
+	SendCost  time.Duration // virtual CPU time per message sent (protocol overhead)
+	NodeBatch int           // sender-side per-destination combining factor
+	FlushEach time.Duration // combiner/batch straggler flush interval
+}
+
+// Default returns the scaled-down stand-in for the paper's 12-stone Awari
+// database.
+func Default() Config {
+	return Config{N: 150_000, Succ: 3, Span: 20_000, TermPct: 5, Seed: 21,
+		ApplyCost: 2 * time.Microsecond, SendCost: 25 * time.Microsecond,
+		NodeBatch: 16, FlushEach: 500 * time.Microsecond}
+}
+
+// Game is the generated DAG, defined implicitly by hashing.
+type Game struct{ cfg Config }
+
+// NewGame builds the deterministic game for cfg.
+func NewGame(cfg Config) *Game { return &Game{cfg: cfg} }
+
+// Terminal reports whether v is a terminal (immediately lost) position.
+func (g *Game) Terminal(v int) bool {
+	if v >= g.cfg.N-g.cfg.Span/2-1 {
+		return true // the tail is terminal so successors always exist
+	}
+	return rng.Hash64(g.cfg.Seed^uint64(v)*0x9e37)%100 < uint64(g.cfg.TermPct)
+}
+
+// Successors returns v's successor positions (deduplicated, ascending ids).
+func (g *Game) Successors(v int) []int32 {
+	if g.Terminal(v) {
+		return nil
+	}
+	span := g.cfg.Span
+	if v+span >= g.cfg.N {
+		span = g.cfg.N - 1 - v
+	}
+	out := make([]int32, 0, g.cfg.Succ)
+	h := g.cfg.Seed ^ uint64(v)*0x517c_c1b7_2722_0a95
+	for k := 0; k < g.cfg.Succ; k++ {
+		s := int32(v + 1 + int(rng.SplitMix64(&h)%uint64(span)))
+		dup := false
+		for _, o := range out {
+			if o == s {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Sequential computes every position's value by memoized backward induction.
+func Sequential(cfg Config) []Value {
+	g := NewGame(cfg)
+	vals := make([]Value, cfg.N)
+	// Positions only point forward, so a reverse sweep is a topological
+	// order.
+	for v := cfg.N - 1; v >= 0; v-- {
+		succ := g.Successors(v)
+		if len(succ) == 0 {
+			vals[v] = Loss
+			continue
+		}
+		val := Loss // if all successors are wins for the opponent
+		for _, s := range succ {
+			if vals[s] == Loss {
+				val = Win
+				break
+			}
+		}
+		vals[v] = val
+	}
+	return vals
+}
+
+// update is one retrograde notification: position target has a successor
+// whose value is val.
+type update struct {
+	target int32
+	val    Value
+}
+
+const updateBytes = 6
+
+// Build sets up the parallel RA run; optimized selects cluster-level message
+// combining on top of the sender-side batching both variants use.
+func Build(sys *core.System, cfg Config, optimized bool) func() error {
+	g := NewGame(cfg)
+	p := sys.Topo.Compute()
+	topo := sys.Topo
+	owner := func(v int32) int { return int(v) % p }
+
+	vals := make([]Value, cfg.N)
+	undet := make([]int32, cfg.N) // undetermined-successor counts
+	preds := make([][]int32, cfg.N)
+	// Setup (the paper measures the core algorithm, excluding startup):
+	// reverse edges for positions we own; initial counters.
+	for v := 0; v < cfg.N; v++ {
+		succ := g.Successors(v)
+		undet[v] = int32(len(succ))
+		for _, s := range succ {
+			preds[s] = append(preds[s], int32(v))
+		}
+	}
+
+	var combiner *core.Combiner
+	if optimized {
+		combiner = core.NewCombiner(sys, "ra", 8192, cfg.FlushEach)
+	}
+
+	determined := 0
+	done := func() bool { return determined == cfg.N }
+
+	sys.SpawnWorkers("ra", func(w *core.Worker) {
+		r := w.Rank()
+		tag := orca.Tag{Op: "ra", A: r}
+
+		// Sender-side per-destination batches (node-level combining).
+		batches := make([][]update, p)
+		flush := func(dst int) {
+			if len(batches[dst]) == 0 {
+				return
+			}
+			items := batches[dst]
+			batches[dst] = nil
+			w.Compute(cfg.SendCost)
+			size := updateBytes * len(items)
+			to := cluster.NodeID(dst)
+			dtag := orca.Tag{Op: "ra", A: dst}
+			if optimized && !topo.SameCluster(w.Node, to) {
+				combiner.Send(w, to, dtag, size, items)
+				return
+			}
+			w.Send(to, dtag, size, items)
+		}
+		flushAll := func() {
+			for d := 0; d < p; d++ {
+				flush(d)
+			}
+		}
+
+		// Newly determined own positions whose predecessors still need to
+		// be notified (explicit stack: propagation chains can be long).
+		type detTask struct {
+			v   int32
+			val Value
+		}
+		var stack []detTask
+
+		setValue := func(v int32, val Value) {
+			vals[v] = val
+			determined++
+			stack = append(stack, detTask{v, val})
+		}
+		// process handles one notification "u has a successor of value
+		// sval" for a position we own.
+		process := func(u int32, sval Value) {
+			if vals[u] != Undetermined {
+				return
+			}
+			if sval == Loss {
+				setValue(u, Win) // we can move to a lost-for-them position
+				return
+			}
+			undet[u]--
+			if undet[u] == 0 {
+				setValue(u, Loss) // every move leads to a winning opponent
+			}
+		}
+		// drain empties the propagation stack, notifying predecessors:
+		// local ones are processed immediately, remote ones are batched.
+		drain := func() {
+			for len(stack) > 0 {
+				t := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range preds[t.v] {
+					d := owner(u)
+					if d == r {
+						w.Compute(cfg.ApplyCost)
+						process(u, t.val)
+						continue
+					}
+					batches[d] = append(batches[d], update{target: u, val: t.val})
+					if len(batches[d]) >= cfg.NodeBatch {
+						flush(d)
+					}
+				}
+			}
+		}
+
+		// Seed the computation with our own terminal positions.
+		for v := r; v < cfg.N; v += p {
+			if g.Terminal(v) {
+				w.Compute(cfg.ApplyCost)
+				setValue(int32(v), Loss)
+			}
+		}
+		drain()
+		flushAll()
+
+		for !done() {
+			got, ok := w.TryRecv(tag)
+			if !ok {
+				flushAll()
+				w.P.Sleep(200 * time.Microsecond)
+				continue
+			}
+			for _, up := range got.([]update) {
+				w.Compute(cfg.ApplyCost)
+				process(up.target, up.val)
+			}
+			drain()
+			// Partial batches are flushed only when we run out of input
+			// (the idle branch above), so batches fill to NodeBatch during
+			// busy periods — the point of the node-level combining.
+		}
+	})
+
+	return func() error {
+		want := Sequential(cfg)
+		if determined != cfg.N {
+			return fmt.Errorf("ra: only %d of %d positions determined", determined, cfg.N)
+		}
+		for v := range want {
+			if vals[v] != want[v] {
+				return fmt.Errorf("ra: position %d = %v, want %v", v, vals[v], want[v])
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,165 @@
+package sor
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+)
+
+func testCfg() Config {
+	return Config{NX: 32, NY: 24, Omega: 1.8, Eps: 1e-4, MaxIters: 2000,
+		CellCost: 500 * time.Nanosecond, SkipMod: 3}
+}
+
+func run(t *testing.T, clusters, npc int, optimized bool, cfg Config) (core.Metrics, int) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Topology: cluster.DAS(clusters, npc),
+		Params:   cluster.DASParams(),
+	})
+	verify, iters := BuildWithStats(sys, cfg, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("verify %dx%d opt=%v: %v", clusters, npc, optimized, err)
+	}
+	return m, *iters
+}
+
+func TestSequentialConverges(t *testing.T) {
+	cfg := testCfg()
+	g, iters := Sequential(cfg)
+	if iters >= cfg.MaxIters {
+		t.Fatalf("no convergence in %d iterations", iters)
+	}
+	if res := Residual(cfg, g); res > cfg.Eps {
+		t.Fatalf("converged residual %g > eps", res)
+	}
+	// Maximum principle: interior values between the boundary extremes.
+	for i := 1; i <= cfg.NX; i++ {
+		for j := 1; j <= cfg.NY; j++ {
+			if g[i][j] < 0 || g[i][j] > 1 {
+				t.Fatalf("g[%d][%d]=%g violates maximum principle", i, j, g[i][j])
+			}
+		}
+	}
+}
+
+func TestOriginalBitwiseAcrossShapes(t *testing.T) {
+	cfg := testCfg()
+	for _, sh := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {2, 4}, {4, 2}} {
+		run(t, sh[0], sh[1], false, cfg) // verifier enforces bitwise equality
+	}
+}
+
+func TestOptimizedConvergesAcrossShapes(t *testing.T) {
+	cfg := testCfg()
+	for _, sh := range [][2]int{{1, 4}, {2, 2}, {2, 4}, {4, 2}} {
+		run(t, sh[0], sh[1], true, cfg)
+	}
+}
+
+func TestChaoticUsesSlightlyMoreIterations(t *testing.T) {
+	cfg := Config{NX: 64, NY: 48, Omega: 1.8, Eps: 1e-4, MaxIters: 5000,
+		CellCost: 500 * time.Nanosecond, SkipMod: 3}
+	_, origIters := run(t, 4, 4, false, cfg)
+	_, chaoIters := run(t, 4, 4, true, cfg)
+	if chaoIters < origIters {
+		t.Fatalf("chaotic used fewer iterations (%d) than lock-step (%d)", chaoIters, origIters)
+	}
+	// The paper reports a 5-10% increase on its 3500-row grid; this test
+	// grid is 55x smaller, so cluster boundaries cut much deeper — accept
+	// anything short of a convergence collapse.
+	if float64(chaoIters) > 3.0*float64(origIters) {
+		t.Fatalf("chaotic used %d iterations vs %d: convergence destroyed", chaoIters, origIters)
+	}
+}
+
+func TestOptimizedReducesInterclusterTraffic(t *testing.T) {
+	cfg := testCfg()
+	orig, origIters := run(t, 2, 4, false, cfg)
+	opt, optIters := run(t, 2, 4, true, cfg)
+	// Two of three intercluster exchanges are skipped, so the invariant is
+	// per-iteration: the chaotic run may need more iterations overall.
+	perOrig := float64(orig.Net.TotalInter().Msgs) / float64(origIters)
+	perOpt := float64(opt.Net.TotalInter().Msgs) / float64(optIters)
+	if perOpt > 0.5*perOrig {
+		t.Fatalf("intercluster msgs/iter: opt %.2f vs orig %.2f", perOpt, perOrig)
+	}
+}
+
+func TestOptimizedFasterOnMultipleClusters(t *testing.T) {
+	cfg := Config{NX: 64, NY: 48, Omega: 1.8, Eps: 1e-4, MaxIters: 5000,
+		CellCost: 2 * time.Microsecond, SkipMod: 3}
+	orig, _ := run(t, 4, 4, false, cfg)
+	opt, _ := run(t, 4, 4, true, cfg)
+	if opt.Elapsed >= orig.Elapsed {
+		t.Fatalf("optimized (%v) not faster than original (%v)", opt.Elapsed, orig.Elapsed)
+	}
+}
+
+func TestRowRangePartition(t *testing.T) {
+	for _, n := range []int{8, 31, 192} {
+		for _, p := range []int{1, 3, 8} {
+			prev := 0
+			for r := 0; r < p; r++ {
+				lo, hi := rowRange(n, p, r)
+				if lo != prev+1 {
+					t.Fatalf("rank %d lo=%d, want %d (n=%d p=%d)", r, lo, prev+1, n, p)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("partition covers %d of %d rows (p=%d)", prev, n, p)
+			}
+		}
+	}
+}
+
+func TestTooManyProcsPanics(t *testing.T) {
+	sys := core.NewDAS(1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p > NX")
+		}
+	}()
+	Build(sys, Config{NX: 4, NY: 4, Omega: 1.5, Eps: 1e-3, MaxIters: 10, CellCost: time.Microsecond, SkipMod: 3}, false)
+}
+
+func TestSkipModSweepConverges(t *testing.T) {
+	for _, skipMod := range []int{1, 2, 4, 8} {
+		cfg := testCfg()
+		cfg.SkipMod = skipMod
+		cfg.MaxIters = 20000
+		sys := core.NewSystem(core.Config{
+			Topology: cluster.DAS(2, 4),
+			Params:   cluster.DASParams(),
+		})
+		verify, _ := BuildWithStats(sys, cfg, true)
+		if _, err := sys.Run(); err != nil {
+			t.Fatalf("skipMod=%d: %v", skipMod, err)
+		}
+		if err := verify(); err != nil {
+			t.Fatalf("skipMod=%d: %v", skipMod, err)
+		}
+	}
+}
+
+func TestIrregularClusters(t *testing.T) {
+	cfg := testCfg()
+	sys := core.NewSystem(core.Config{
+		Topology: cluster.Irregular(3, 2, 3),
+		Params:   cluster.DASParams(),
+	})
+	verify := Build(sys, cfg, true)
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package tsp implements the Traveling Salesman application of the paper
+// (Section 4.2): branch-and-bound search with master/worker parallelism and
+// a dynamic load-balancing scheme built on a job queue in a shared object.
+//
+// As in the paper's experiments, the global pruning bound is fixed in
+// advance (to the optimal tour length) to keep the search deterministic:
+// the amount of work is then independent of execution order, which makes
+// "total nodes expanded" an exact cross-variant invariant.
+//
+// Original program: one central FIFO job queue on the master's machine, so
+// with four clusters about 75% of the job fetches cross the WAN. Optimized
+// program: one queue per cluster with the jobs divided statically — each
+// cluster's queue owner generates its own share locally, so almost no
+// intercluster traffic remains.
+package tsp
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/rng"
+
+	"albatross/internal/cluster"
+)
+
+// Config describes one TSP instance.
+type Config struct {
+	NCities  int           // cities; city 0 is the fixed start
+	Seed     uint64        // workload seed
+	JobDepth int           // master generates jobs of this prefix length
+	NodeCost time.Duration // virtual CPU time per search-tree node expansion
+}
+
+// Default returns the scaled-down stand-in for the paper's 17-city run.
+func Default() Config {
+	return Config{NCities: 14, Seed: 17, JobDepth: 5, NodeCost: time.Microsecond}
+}
+
+// Generate builds a symmetric random distance matrix with weights 1..100.
+func Generate(cfg Config) [][]int32 {
+	r := rng.New(cfg.Seed)
+	n := cfg.NCities
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := int32(1 + r.Intn(100))
+			d[i][j], d[j][i] = w, w
+		}
+	}
+	return d
+}
+
+// Result summarizes one search.
+type Result struct {
+	Best       int32 // shortest complete tour length found
+	Expansions int64 // search-tree nodes generated under the fixed bound
+}
+
+// dfs explores all completions of the partial path whose last city is last,
+// with used the bitmask of visited cities and plen the partial length.
+// Nodes with plen exceeding bound are pruned. It returns the number of
+// nodes generated and the best complete-tour length found (or Inf).
+func dfs(d [][]int32, n int, last int, used uint32, plen int32, depth int, bound int32) (int64, int32) {
+	if depth == n {
+		total := plen + d[last][0]
+		if total <= bound {
+			return 0, total
+		}
+		return 0, inf
+	}
+	var exp int64
+	best := inf
+	for next := 1; next < n; next++ {
+		if used&(1<<next) != 0 {
+			continue
+		}
+		exp++
+		nl := plen + d[last][next]
+		if nl > bound {
+			continue
+		}
+		e, b := dfs(d, n, next, used|1<<next, nl, depth+1, bound)
+		exp += e
+		if b < best {
+			best = b
+		}
+	}
+	return exp, best
+}
+
+const inf int32 = 1 << 30
+
+// Optimal computes the optimal tour length by unbounded branch-and-bound.
+func Optimal(cfg Config) int32 {
+	d := Generate(cfg)
+	best := inf
+	var solve func(last int, used uint32, plen int32, depth int)
+	solve = func(last int, used uint32, plen int32, depth int) {
+		if plen >= best {
+			return
+		}
+		if depth == cfg.NCities {
+			if t := plen + d[last][0]; t < best {
+				best = t
+			}
+			return
+		}
+		for next := 1; next < cfg.NCities; next++ {
+			if used&(1<<next) == 0 {
+				solve(next, used|1<<next, plen+d[last][next], depth+1)
+			}
+		}
+	}
+	solve(0, 1, 0, 1)
+	return best
+}
+
+// Sequential runs the fixed-bound search on one processor and returns the
+// reference result.
+func Sequential(cfg Config) Result {
+	d := Generate(cfg)
+	bound := Optimal(cfg)
+	exp, best := dfs(d, cfg.NCities, 0, 1, 0, 1, bound)
+	return Result{Best: best, Expansions: exp}
+}
+
+// job is one unit of work: a path prefix.
+type job struct {
+	path []int8
+	used uint32
+	plen int32
+}
+
+func jobBytes(cfg Config) int { return cfg.JobDepth + 12 }
+
+// genJobs enumerates the depth-JobDepth prefixes under the fixed bound,
+// counting the master's own expansions. visit is called for each job in a
+// deterministic order with its sequence number.
+func genJobs(d [][]int32, cfg Config, bound int32, visit func(i int, j job)) int64 {
+	var exp int64
+	i := 0
+	var gen func(path []int8, used uint32, plen int32)
+	gen = func(path []int8, used uint32, plen int32) {
+		if len(path) == cfg.JobDepth {
+			visit(i, job{path: append([]int8(nil), path...), used: used, plen: plen})
+			i++
+			return
+		}
+		last := int(path[len(path)-1])
+		for next := 1; next < cfg.NCities; next++ {
+			if used&(1<<next) != 0 {
+				continue
+			}
+			exp++
+			nl := plen + d[last][int(next)]
+			if nl > bound {
+				continue
+			}
+			gen(append(path, int8(next)), used|1<<next, nl)
+		}
+	}
+	gen([]int8{0}, 1, 0)
+	return exp
+}
+
+// CountJobs reports how many jobs the masters generate at cfg.JobDepth
+// under the fixed bound.
+func CountJobs(cfg Config) int {
+	d := Generate(cfg)
+	bound := Optimal(cfg)
+	n := 0
+	genJobs(d, cfg, bound, func(i int, j job) { n++ })
+	return n
+}
+
+// minState is each node's replica of the "current best tour" object.
+type minState struct{ best int32 }
+
+// Build sets up the parallel TSP run. optimized selects the per-cluster
+// static queues instead of the central queue. The returned verifier checks
+// the tour length and the exact expansion-count invariant.
+func Build(sys *core.System, cfg Config, optimized bool) func() error {
+	d := Generate(cfg)
+	bound := Optimal(cfg)
+	topo := sys.Topo
+
+	minObj := sys.RTS.NewReplicated("global-min", func(cluster.NodeID) any {
+		return &minState{best: inf}
+	})
+	updateMin := func(v int32) orca.Op {
+		return orca.Op{Name: "UpdateMin", ArgBytes: 8, ResBytes: 4,
+			Apply: func(s any) any {
+				st := s.(*minState)
+				if v < st.best {
+					st.best = v
+				}
+				return nil
+			}}
+	}
+
+	workerExp := make([]int64, topo.Compute())
+	workerBest := make([]int32, topo.Compute())
+	var masterExp int64
+
+	// runJob executes one job on worker w, charging its search time.
+	runJob := func(w *core.Worker, j job) {
+		exp, best := dfs(d, cfg.NCities, int(j.path[len(j.path)-1]), j.used, j.plen, len(j.path), bound)
+		workerExp[w.Rank()] += exp
+		w.Compute(time.Duration(exp) * cfg.NodeCost)
+		if best < workerBest[w.Rank()] {
+			workerBest[w.Rank()] = best
+		}
+		// Publish strictly better tours to the replicated minimum, like
+		// the paper's program (reads of the minimum are local and free).
+		if cur := minObj.Replica(w.Node).(*minState).best; best < cur {
+			w.Invoke(minObj, updateMin(best))
+		}
+	}
+
+	workerLoop := func(w *core.Worker, pop func() (any, bool, bool)) {
+		workerBest[w.Rank()] = inf
+		for {
+			jv, ok, closed := pop()
+			if ok {
+				runJob(w, jv.(job))
+				continue
+			}
+			if closed {
+				return
+			}
+			w.P.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	if !optimized {
+		q := core.NewCentralQueue(sys, 0)
+		sys.SpawnAt(0, "tsp-master", func(w *core.Worker) {
+			masterExp = genJobs(d, cfg, bound, func(i int, j job) {
+				q.Push(w, jobBytes(cfg), j)
+			})
+			w.Compute(time.Duration(masterExp) * cfg.NodeCost)
+			q.Close(w)
+		})
+		sys.SpawnWorkers("tsp", func(w *core.Worker) {
+			workerLoop(w, func() (any, bool, bool) { return q.Pop(w, jobBytes(cfg)) })
+		})
+	} else {
+		q := core.NewClusterQueues(sys)
+		// Static division: each cluster's queue owner enumerates the same
+		// deterministic job list and keeps every C'th job, so no job ever
+		// crosses the WAN during distribution.
+		for c := 0; c < topo.Clusters; c++ {
+			c := c
+			sys.SpawnAt(topo.Node(c, 0), fmt.Sprintf("tsp-master-%d", c), func(w *core.Worker) {
+				exp := genJobs(d, cfg, bound, func(i int, j job) {
+					if i%topo.Clusters == c {
+						q.PushTo(w, c, jobBytes(cfg), j)
+					}
+				})
+				w.Compute(time.Duration(exp) * cfg.NodeCost)
+				if c == 0 {
+					masterExp = exp
+				}
+				q.Close(w, c) // each master closes only its own queue
+			})
+		}
+		sys.SpawnWorkers("tsp", func(w *core.Worker) {
+			workerLoop(w, func() (any, bool, bool) { return q.Pop(w, jobBytes(cfg)) })
+		})
+	}
+
+	return func() error {
+		want := Sequential(cfg)
+		var exp int64
+		best := inf
+		for r := range workerExp {
+			exp += workerExp[r]
+			if workerBest[r] < best {
+				best = workerBest[r]
+			}
+		}
+		exp += masterExp
+		if best != want.Best {
+			return fmt.Errorf("tsp: best %d, want %d", best, want.Best)
+		}
+		if exp != want.Expansions {
+			return fmt.Errorf("tsp: expansions %d, want %d", exp, want.Expansions)
+		}
+		for i := 0; i < topo.Compute(); i++ {
+			if got := minObj.Replica(cluster.NodeID(i)).(*minState).best; got != want.Best {
+				return fmt.Errorf("tsp: replica %d min %d, want %d", i, got, want.Best)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,247 @@
+package water
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// buildOriginal is the unmodified program: every processor pushes its
+// positions to, and its force contributions across, the raw network — on a
+// multicluster, the same block crosses the same WAN link once per consumer.
+func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]int, blockLen func(int) int) {
+	p := sys.Topo.Compute()
+	e := sys.Engine
+	states := make([]*procState, p)
+	objs := make([]*orca.Object, p)
+	for r := 0; r < p; r++ {
+		states[r] = &procState{rank: r, iters: make(map[int]*iterState)}
+		objs[r] = sys.RTS.NewObject(fmt.Sprintf("water-mbox-%d", r), cluster.NodeID(r), states[r])
+	}
+	stateAt := func(ps *procState, t int) *iterState {
+		return ps.at(t, len(tgt[ps.rank]), len(snd[ps.rank]), blockLen(ps.rank))
+	}
+
+	putPos := func(t, from int, data []Vec) orca.Op {
+		return orca.Op{Name: "PutPos", ArgBytes: molBytes * len(data), ResBytes: 4,
+			Apply: func(s any) any {
+				ps := s.(*procState)
+				st := stateAt(ps, t)
+				st.pos[from] = data
+				if st.posFut != nil && len(st.pos) == st.posNeed {
+					st.posFut.Set(nil)
+				}
+				return nil
+			}}
+	}
+	putFrc := func(t int, data []Vec) orca.Op {
+		return orca.Op{Name: "PutFrc", ArgBytes: molBytes * len(data), ResBytes: 4,
+			Apply: func(s any) any {
+				ps := s.(*procState)
+				st := stateAt(ps, t)
+				addInto(st.frcAgg, data)
+				st.frcGot++
+				if st.frcFut != nil && st.frcGot == st.frcNeed {
+					st.frcFut.Set(nil)
+				}
+				return nil
+			}}
+	}
+
+	sys.SpawnWorkers("water", func(w *core.Worker) {
+		i := w.Rank()
+		ps := states[i]
+		lo, hi := blockRange(cfg.N, p, i)
+		for t := 0; t < cfg.Iters; t++ {
+			// Push our positions to everyone that interacts with our block.
+			mine := snapshotBlock(pos, lo, hi)
+			for _, j := range snd[i] {
+				w.Invoke(objs[j], putPos(t, i, mine))
+			}
+			// Wait for the positions of the blocks we interact with.
+			st := stateAt(ps, t)
+			if len(st.pos) < st.posNeed {
+				st.posFut = sim.NewFuture(e, fmt.Sprintf("water-pos-%d@%d", t, i))
+				st.posFut.Await(w.P)
+			}
+			// Compute: internal pairs plus the half-shell cross blocks.
+			fOwn := make([]Vec, hi-lo)
+			pairs := internalStep(pos, lo, hi, fOwn)
+			fRemote := make(map[int][]Vec, len(tgt[i]))
+			for _, q := range tgt[i] {
+				fq := make([]Vec, len(st.pos[q]))
+				pairs += pairStepBlocks(pos[lo:hi], st.pos[q], fOwn, fq)
+				fRemote[q] = fq
+			}
+			w.Compute(time.Duration(pairs) * cfg.PairCost)
+			// Send the computed forces back to their owners to be summed.
+			for _, q := range tgt[i] {
+				w.Invoke(objs[q], putFrc(t, fRemote[q]))
+			}
+			// Wait for contributions to our own block.
+			if st.frcGot < st.frcNeed {
+				st.frcFut = sim.NewFuture(e, fmt.Sprintf("water-frc-%d@%d", t, i))
+				st.frcFut.Await(w.P)
+			}
+			addInto(fOwn, st.frcAgg)
+			integrate(cfg, pos, vel, lo, hi, fOwn)
+			delete(ps.iters, t)
+		}
+	})
+}
+
+// pairStepBlocks computes interactions between an owned block (backed by
+// the live position array) and a received remote snapshot.
+func pairStepBlocks(own []Vec, remote []Vec, fOwn, fRemote []Vec) int {
+	pairs := 0
+	for i := range own {
+		for j := range remote {
+			f := force(own[i], remote[j])
+			for k := 0; k < 3; k++ {
+				fOwn[i][k] += f[k]
+				fRemote[j][k] -= f[k]
+			}
+			pairs++
+		}
+	}
+	return pairs
+}
+
+// posStore is the per-processor published-positions service used by the
+// optimized program: requests for an iteration not yet published wait until
+// the owner publishes it.
+type posStore struct {
+	published map[int][]Vec
+	waiting   map[int][]*orca.Request
+	bytes     int
+}
+
+func (s *posStore) publish(t int, data []Vec) {
+	s.published[t] = data
+	for _, req := range s.waiting[t] {
+		req.Reply(s.bytes, data)
+	}
+	delete(s.waiting, t)
+}
+
+// buildOptimized applies the paper's Water optimizations per opts: position
+// reads go through a per-cluster coordinator cache (Cache), and force
+// write-backs are reduced inside each cluster before one aggregate crosses
+// the WAN (Reduce). A disabled option falls back to the direct pull/push
+// path, so the ablation isolates each technique's contribution.
+func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]int, blockLen func(int) int, opts Options) {
+	p := sys.Topo.Compute()
+	topo := sys.Topo
+	rts := sys.RTS
+
+	stores := make([]*posStore, p)
+	for r := 0; r < p; r++ {
+		st := &posStore{
+			published: make(map[int][]Vec),
+			waiting:   make(map[int][]*orca.Request),
+			bytes:     molBytes * blockLen(r),
+		}
+		stores[r] = st
+		rts.HandleService(cluster.NodeID(r), "water-pos", func(req *orca.Request) {
+			t := req.Payload.(int)
+			if data, ok := st.published[t]; ok {
+				req.Reply(st.bytes, data)
+				return
+			}
+			st.waiting[t] = append(st.waiting[t], req)
+		})
+	}
+
+	var cache *core.ClusterCache
+	if opts.Cache {
+		cache = core.NewClusterCache(sys, "water", func(pp *sim.Proc, at, source cluster.NodeID, key any) (any, int) {
+			v := rts.Call(pp, at, source, "water-pos", 8, key)
+			return v, stores[int(source)].bytes
+		})
+	}
+	var reducer *core.ClusterReducer
+	if opts.Reduce {
+		reducer = core.NewClusterReducer(sys, "water", func(acc, v any) any {
+			contrib := v.([]Vec)
+			if acc == nil {
+				return append([]Vec(nil), contrib...)
+			}
+			a := acc.([]Vec)
+			addInto(a, contrib)
+			return a
+		})
+	}
+
+	// expectLocal[q][c] = number of contributors to block q in cluster c.
+	expectLocal := make([][]int, p)
+	for q := 0; q < p; q++ {
+		expectLocal[q] = make([]int, topo.Clusters)
+		for _, j := range snd[q] {
+			expectLocal[q][topo.ClusterOf(cluster.NodeID(j))]++
+		}
+	}
+	// nAggs[q] = messages block q's owner receives per iteration: one per
+	// contributor when forces go direct, pre-reduced per cluster otherwise.
+	nAggs := make([]int, p)
+	for q := 0; q < p; q++ {
+		if reducer == nil {
+			nAggs[q] = len(snd[q])
+			continue
+		}
+		contributors := make([]cluster.NodeID, len(snd[q]))
+		for k, j := range snd[q] {
+			contributors[k] = cluster.NodeID(j)
+		}
+		nAggs[q] = reducer.ExpectedMessages(cluster.NodeID(q), contributors)
+	}
+
+	sys.SpawnWorkers("water", func(w *core.Worker) {
+		i := w.Rank()
+		lo, hi := blockRange(cfg.N, p, i)
+		for t := 0; t < cfg.Iters; t++ {
+			stores[i].publish(t, snapshotBlock(pos, lo, hi))
+			// Pull the blocks we interact with. With the cluster cache we
+			// first warm it for every remote block (the coordinators know
+			// the access pattern in advance), so by the time the blocking
+			// reads arrive the WAN fetches are underway or done. Without
+			// it every processor pulls across the WAN itself.
+			if cache != nil {
+				for _, q := range tgt[i] {
+					cache.Prefetch(w, cluster.NodeID(q), t)
+				}
+			}
+			got := make(map[int][]Vec, len(tgt[i]))
+			for _, q := range tgt[i] {
+				if cache != nil {
+					got[q] = cache.Get(w, cluster.NodeID(q), t).([]Vec)
+				} else {
+					got[q] = rts.Call(w.P, w.Node, cluster.NodeID(q), "water-pos", 8, t).([]Vec)
+				}
+			}
+			fOwn := make([]Vec, hi-lo)
+			pairs := internalStep(pos, lo, hi, fOwn)
+			for _, q := range tgt[i] {
+				fq := make([]Vec, len(got[q]))
+				pairs += pairStepBlocks(pos[lo:hi], got[q], fOwn, fq)
+				tag := orca.Tag{Op: "water-frc", A: t, B: q}
+				if reducer != nil {
+					reducer.Put(w, cluster.NodeID(q), tag, molBytes*len(fq), fq, expectLocal[q][w.Cluster()])
+				} else {
+					w.Send(cluster.NodeID(q), tag, molBytes*len(fq), fq)
+				}
+			}
+			w.Compute(time.Duration(pairs) * cfg.PairCost)
+			// Collect the (partially pre-reduced) contributions to our block.
+			myTag := orca.Tag{Op: "water-frc", A: t, B: i}
+			for k := 0; k < nAggs[i]; k++ {
+				addInto(fOwn, w.Recv(myTag).([]Vec))
+			}
+			integrate(cfg, pos, vel, lo, hi, fOwn)
+			delete(stores[i].published, t)
+		}
+	})
+}

@@ -1,0 +1,520 @@
+// Package coll provides collective communication operations (broadcast,
+// reduce, allreduce, barrier, gather, allgather) over a simulated
+// multilevel cluster, in two strategies:
+//
+//   - Flat: classic binomial trees over the global rank space, oblivious to
+//     the cluster structure — edges cross the WAN haphazardly, so a single
+//     collective pays many wide-area latencies;
+//   - WideArea: the paper's cluster-aware restructuring generalized (the
+//     direct ancestor of the MagPIe-style collectives that later entered
+//     MPI libraries): each cluster has a local root; wide-area links carry
+//     exactly one message per remote cluster per operation, and everything
+//     else moves at LAN speed.
+//
+// Every operation is collective: all workers of the system must call it,
+// in the same order. Each worker keeps its own call counter, so matching
+// needs no central coordination.
+package coll
+
+import (
+	"fmt"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// Strategy selects the communication structure of the collectives.
+type Strategy int
+
+const (
+	// Flat uses rank-space binomial trees, ignoring cluster boundaries.
+	Flat Strategy = iota
+	// WideArea uses cluster-local trees plus one WAN message per cluster.
+	WideArea
+)
+
+func (s Strategy) String() string {
+	if s == WideArea {
+		return "wide-area"
+	}
+	return "flat"
+}
+
+// Comm is a communicator spanning all compute nodes of a system.
+type Comm struct {
+	sys      *core.System
+	strategy Strategy
+	name     string
+	seq      []int                  // per-rank collective-call counter
+	stash    map[[3]int]map[int]any // cluster roots' own AllToAll parts
+}
+
+// New creates a communicator. name must be unique per system.
+func New(sys *core.System, name string, strategy Strategy) *Comm {
+	return &Comm{
+		sys:      sys,
+		strategy: strategy,
+		name:     name,
+		seq:      make([]int, sys.Topo.Compute()),
+	}
+}
+
+// Strategy returns the communicator's strategy.
+func (c *Comm) Strategy() Strategy { return c.strategy }
+
+// next returns this worker's collective-call sequence number.
+func (c *Comm) next(w *core.Worker) int {
+	s := c.seq[w.Rank()]
+	c.seq[w.Rank()]++
+	return s
+}
+
+func (c *Comm) tag(op string, seq, aux int) orca.Tag {
+	return orca.Tag{Op: c.name + "/" + op + "/" + itoa(seq), A: aux}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// CombineFunc folds two values (used by Reduce/AllReduce); it must be
+// associative. acc is nil for the first value.
+type CombineFunc = core.CombineFunc
+
+// Bcast distributes data of the given size from root to every worker. It
+// returns the received value (root returns its own data).
+func (c *Comm) Bcast(w *core.Worker, root int, size int, data any) any {
+	seq := c.next(w)
+	if c.strategy == Flat {
+		return c.bcastTree(w, seq, root, size, data, c.allRanks(), "b")
+	}
+	topo := c.sys.Topo
+	rootCluster := topo.ClusterOf(cluster.NodeID(root))
+	myCluster := w.Cluster()
+	local := c.clusterRanks(myCluster)
+	clusterRoot := local[0]
+	var v any
+	switch {
+	case w.Rank() == root:
+		// Send once to each remote cluster's local root.
+		for cl := 0; cl < topo.Clusters; cl++ {
+			if cl == rootCluster {
+				continue
+			}
+			w.Send(cluster.NodeID(c.clusterRanks(cl)[0]), c.tag("b", seq, cl), size, data)
+		}
+		v = data
+	case w.Rank() == clusterRoot && myCluster != rootCluster:
+		v = w.Recv(c.tag("b", seq, myCluster))
+	}
+	// Distribute within the cluster, rooted at the cluster root (or the
+	// global root for its own cluster).
+	lr := clusterRoot
+	if myCluster == rootCluster {
+		lr = root
+	}
+	if w.Rank() == lr {
+		if v == nil {
+			v = data
+		}
+		return c.bcastTree(w, seq, lr, size, v, local, "bl")
+	}
+	return c.bcastTree(w, seq, lr, size, nil, local, "bl")
+}
+
+// bcastTree runs the standard binomial broadcast over the given rank group:
+// relative to the root, a node receives at its lowest set bit and forwards
+// to every position below that bit.
+func (c *Comm) bcastTree(w *core.Worker, seq, root, size int, data any, group []int, phase string) any {
+	n := len(group)
+	me := indexOf(group, w.Rank())
+	if me < 0 {
+		panic(fmt.Sprintf("coll: rank %d not in group", w.Rank()))
+	}
+	r := indexOf(group, root)
+	if r < 0 {
+		panic(fmt.Sprintf("coll: root %d not in group", root))
+	}
+	rel := (me - r + n) % n
+	v := data
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := group[(rel-mask+r)%n]
+			v = w.Recv(c.tag(phase, seq, parent))
+			break
+		}
+		mask <<= 1
+	}
+	for cm := mask >> 1; cm > 0; cm >>= 1 {
+		if rel+cm < n {
+			child := group[(rel+cm+r)%n]
+			w.Send(cluster.NodeID(child), c.tag(phase, seq, w.Rank()), size, v)
+		}
+	}
+	return v
+}
+
+// Reduce folds every worker's value with combine; the result arrives at
+// root (others return nil).
+func (c *Comm) Reduce(w *core.Worker, root int, size int, value any, combine CombineFunc) any {
+	seq := c.next(w)
+	if c.strategy == Flat {
+		return c.reduceTree(w, seq, root, size, value, combine, c.allRanks(), "r")
+	}
+	topo := c.sys.Topo
+	rootCluster := topo.ClusterOf(cluster.NodeID(root))
+	myCluster := w.Cluster()
+	local := c.clusterRanks(myCluster)
+	lr := local[0]
+	if myCluster == rootCluster {
+		lr = root
+	}
+	partial := c.reduceTree(w, seq, lr, size, value, combine, local, "rl")
+	if w.Rank() != lr {
+		return nil
+	}
+	if myCluster != rootCluster {
+		// Ship the cluster's partial to the global root: one WAN message.
+		w.Send(cluster.NodeID(root), c.tag("r", seq, myCluster), size, partial)
+		return nil
+	}
+	// Global root: fold in one partial per remote cluster.
+	acc := partial
+	for cl := 0; cl < topo.Clusters; cl++ {
+		if cl == rootCluster {
+			continue
+		}
+		acc = combine(acc, w.Recv(c.tag("r", seq, cl)))
+	}
+	return acc
+}
+
+// reduceTree runs the mirror-image binomial reduction over the group: a
+// node folds in one child per zero bit below its lowest set bit, then sends
+// the partial to its parent; the root folds everything.
+func (c *Comm) reduceTree(w *core.Worker, seq, root, size int, value any, combine CombineFunc, group []int, phase string) any {
+	n := len(group)
+	me := indexOf(group, w.Rank())
+	r := indexOf(group, root)
+	rel := (me - r + n) % n
+	acc := combine(nil, value)
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := group[(rel-mask+r)%n]
+			w.Send(cluster.NodeID(parent), c.tag(phase, seq, w.Rank()), size, acc)
+			return nil
+		}
+		if rel+mask < n {
+			child := group[(rel+mask+r)%n]
+			acc = combine(acc, w.Recv(c.tag(phase, seq, child)))
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// AllReduce folds every worker's value and returns the result everywhere.
+func (c *Comm) AllReduce(w *core.Worker, size int, value any, combine CombineFunc) any {
+	v := c.Reduce(w, 0, size, value, combine)
+	return c.Bcast(w, 0, size, v)
+}
+
+// Barrier blocks until every worker has arrived (an empty allreduce).
+func (c *Comm) Barrier(w *core.Worker) {
+	c.AllReduce(w, 4, 0, func(acc, v any) any { return 0 })
+}
+
+// Gather collects every worker's value at root, indexed by rank; others
+// return nil. size is the per-contribution wire size.
+func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
+	seq := c.next(w)
+	p := c.sys.Topo.Compute()
+	if c.strategy == Flat {
+		if w.Rank() != root {
+			w.Send(cluster.NodeID(root), c.tag("g", seq, w.Rank()), size, value)
+			return nil
+		}
+		out := make([]any, p)
+		out[root] = value
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			out[r] = w.Recv(c.tag("g", seq, r))
+		}
+		return out
+	}
+	topo := c.sys.Topo
+	rootCluster := topo.ClusterOf(cluster.NodeID(root))
+	myCluster := w.Cluster()
+	local := c.clusterRanks(myCluster)
+	lr := local[0]
+	if myCluster == rootCluster {
+		lr = root
+	}
+	if w.Rank() != lr {
+		w.Send(cluster.NodeID(lr), c.tag("gl", seq, w.Rank()), size, value)
+		return nil
+	}
+	// Cluster root gathers its cluster...
+	part := make(map[int]any, len(local))
+	part[w.Rank()] = value
+	for _, r := range local {
+		if r == w.Rank() {
+			continue
+		}
+		part[r] = w.Recv(c.tag("gl", seq, r))
+	}
+	if myCluster != rootCluster {
+		// ... and ships one combined message across the WAN.
+		w.Send(cluster.NodeID(root), c.tag("g", seq, myCluster), size*len(local), part)
+		return nil
+	}
+	out := make([]any, p)
+	for r, v := range part {
+		out[r] = v
+	}
+	for cl := 0; cl < topo.Clusters; cl++ {
+		if cl == rootCluster {
+			continue
+		}
+		for r, v := range w.Recv(c.tag("g", seq, cl)).(map[int]any) {
+			out[r] = v
+		}
+	}
+	return out
+}
+
+// AllGather collects every worker's value everywhere.
+func (c *Comm) AllGather(w *core.Worker, size int, value any) []any {
+	all := c.Gather(w, 0, size, value)
+	p := c.sys.Topo.Compute()
+	v := c.Bcast(w, 0, size*p, all)
+	return v.([]any)
+}
+
+// allRanks returns 0..p-1.
+func (c *Comm) allRanks() []int {
+	out := make([]int, c.sys.Topo.Compute())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// clusterRanks returns the ranks of cluster cl in order.
+func (c *Comm) clusterRanks(cl int) []int {
+	nodes := c.sys.Topo.Nodes(cl)
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = int(n)
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scatter distributes per-rank values from root: worker r receives
+// values[r] (indexed by global rank; only root's values matter). size is
+// the per-element wire size.
+func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
+	seq := c.next(w)
+	p := c.sys.Topo.Compute()
+	if c.strategy == Flat {
+		if w.Rank() == root {
+			for r := 0; r < p; r++ {
+				if r == root {
+					continue
+				}
+				w.Send(cluster.NodeID(r), c.tag("s", seq, r), size, values[r])
+			}
+			return values[root]
+		}
+		return w.Recv(c.tag("s", seq, w.Rank()))
+	}
+	topo := c.sys.Topo
+	rootCluster := topo.ClusterOf(cluster.NodeID(root))
+	myCluster := w.Cluster()
+	local := c.clusterRanks(myCluster)
+	lr := local[0]
+	if myCluster == rootCluster {
+		lr = root
+	}
+	switch {
+	case w.Rank() == root:
+		// One combined message per remote cluster, to its local root.
+		for cl := 0; cl < topo.Clusters; cl++ {
+			if cl == rootCluster {
+				continue
+			}
+			ranks := c.clusterRanks(cl)
+			part := make(map[int]any, len(ranks))
+			for _, r := range ranks {
+				part[r] = values[r]
+			}
+			w.Send(cluster.NodeID(ranks[0]), c.tag("s", seq, cl), size*len(ranks), part)
+		}
+		// Own cluster directly.
+		for _, r := range local {
+			if r == root {
+				continue
+			}
+			w.Send(cluster.NodeID(r), c.tag("sl", seq, r), size, values[r])
+		}
+		return values[root]
+	case w.Rank() == lr && myCluster != rootCluster:
+		part := w.Recv(c.tag("s", seq, myCluster)).(map[int]any)
+		for _, r := range local {
+			if r == lr {
+				continue
+			}
+			w.Send(cluster.NodeID(r), c.tag("sl", seq, r), size, part[r])
+		}
+		return part[lr]
+	default:
+		return w.Recv(c.tag("sl", seq, w.Rank()))
+	}
+}
+
+// AllToAll performs a personalized exchange: worker r sends values[q] to
+// every worker q and receives a slice indexed by sender rank. The wide-area
+// strategy routes all intercluster traffic through the cluster roots, which
+// exchange one combined message per cluster pair (the paper's cluster-level
+// message combining applied to a collective).
+func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
+	seq := c.next(w)
+	topo := c.sys.Topo
+	p := topo.Compute()
+	out := make([]any, p)
+	out[w.Rank()] = values[w.Rank()]
+	if c.strategy == Flat {
+		for q := 0; q < p; q++ {
+			if q == w.Rank() {
+				continue
+			}
+			w.Send(cluster.NodeID(q), c.tag("a", seq, w.Rank()), size, values[q])
+		}
+		for q := 0; q < p; q++ {
+			if q == w.Rank() {
+				continue
+			}
+			out[q] = w.Recv(c.tag("a", seq, q))
+		}
+		return out
+	}
+	myCluster := w.Cluster()
+	local := c.clusterRanks(myCluster)
+	lr := local[0]
+	// Intra-cluster legs go direct; intercluster legs go through the
+	// cluster roots as combined bundles.
+	type bundle map[int]map[int]any // dest rank -> sender rank -> value
+	for q := 0; q < p; q++ {
+		if q == w.Rank() {
+			continue
+		}
+		if topo.SameCluster(w.Node, cluster.NodeID(q)) {
+			w.Send(cluster.NodeID(q), c.tag("a", seq, w.Rank()), size, values[q])
+		}
+	}
+	// Hand our remote-bound values to the cluster root, per remote cluster.
+	for cl := 0; cl < topo.Clusters; cl++ {
+		if cl == myCluster {
+			continue
+		}
+		ranks := c.clusterRanks(cl)
+		part := make(map[int]any, len(ranks))
+		for _, q := range ranks {
+			part[q] = values[q]
+		}
+		if w.Rank() == lr {
+			// Root keeps its own contribution for the bundle below.
+			c.rootStash(seq, cl, w.Rank(), part)
+			continue
+		}
+		w.Send(cluster.NodeID(lr), c.tag("ar", seq, cl*1000+w.Rank()), size*len(ranks), part)
+	}
+	if w.Rank() == lr {
+		// Collect every member's per-cluster parts, bundle, exchange with
+		// the other cluster roots, and scatter what comes back.
+		for cl := 0; cl < topo.Clusters; cl++ {
+			if cl == myCluster {
+				continue
+			}
+			b := bundle{}
+			addPart := func(sender int, part map[int]any) {
+				for dest, v := range part {
+					if b[dest] == nil {
+						b[dest] = map[int]any{}
+					}
+					b[dest][sender] = v
+				}
+			}
+			addPart(lr, c.rootUnstash(seq, cl, lr))
+			for _, r := range local {
+				if r == lr {
+					continue
+				}
+				addPart(r, w.Recv(c.tag("ar", seq, cl*1000+r)).(map[int]any))
+			}
+			ranks := c.clusterRanks(cl)
+			w.Send(cluster.NodeID(ranks[0]), c.tag("ab", seq, myCluster),
+				size*len(local)*len(ranks), b)
+		}
+		// Receive the bundles from the other cluster roots and scatter.
+		for cl := 0; cl < topo.Clusters; cl++ {
+			if cl == myCluster {
+				continue
+			}
+			b := w.Recv(c.tag("ab", seq, cl)).(bundle)
+			for dest, senders := range b {
+				if dest == lr {
+					for s, v := range senders {
+						out[s] = v
+					}
+					continue
+				}
+				w.Send(cluster.NodeID(dest), c.tag("as", seq, cl*1000+dest), size*len(senders), senders)
+			}
+		}
+	} else {
+		for cl := 0; cl < topo.Clusters; cl++ {
+			if cl == myCluster {
+				continue
+			}
+			for s, v := range w.Recv(c.tag("as", seq, cl*1000+w.Rank())).(map[int]any) {
+				out[s] = v
+			}
+		}
+	}
+	// Finally the intra-cluster receives.
+	for _, q := range local {
+		if q == w.Rank() {
+			continue
+		}
+		out[q] = w.Recv(c.tag("a", seq, q))
+	}
+	return out
+}
+
+// rootStash/rootUnstash pass the cluster root's own per-cluster parts from
+// the member phase to the bundling phase without a self-message.
+func (c *Comm) rootStash(seq, cl, rank int, part map[int]any) {
+	if c.stash == nil {
+		c.stash = map[[3]int]map[int]any{}
+	}
+	c.stash[[3]int{seq, cl, rank}] = part
+}
+
+func (c *Comm) rootUnstash(seq, cl, rank int) map[int]any {
+	p := c.stash[[3]int{seq, cl, rank}]
+	delete(c.stash, [3]int{seq, cl, rank})
+	return p
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/orca"
+)
+
+// Combiner implements the paper's RA optimization (Section 4.5): message
+// combining at the cluster level. Small asynchronous intercluster messages
+// are first sent to a designated machine in the sender's own cluster, which
+// accumulates them and occasionally ships all messages with the same
+// destination cluster as one large intercluster message; the receiving
+// cluster's designated machine then scatters them locally.
+//
+// A buffer is flushed when it reaches FlushBytes or when FlushAfter elapses
+// since its first pending message, whichever comes first.
+type Combiner struct {
+	sys        *System
+	name       string
+	FlushBytes int
+	FlushAfter time.Duration
+
+	// per (source cluster, destination cluster) buffers, at the source's
+	// designated combiner node
+	bufs [][]combineBuf
+}
+
+// combineItem is one application message riding inside a combined message.
+type combineItem struct {
+	to      cluster.NodeID
+	tag     orca.Tag
+	size    int
+	payload any
+}
+
+type combineBuf struct {
+	items []*combineItem
+	bytes int
+	timer bool   // a flush timer is pending for the current generation
+	gen   uint64 // bumped at every flush, so stale timers are ignored
+}
+
+// itemHeaderBytes is the per-item framing overhead inside a combined message.
+const itemHeaderBytes = 8
+
+// NewCombiner installs the per-cluster combining agents. Call before Run.
+func NewCombiner(sys *System, name string, flushBytes int, flushAfter time.Duration) *Combiner {
+	cb := &Combiner{
+		sys: sys, name: name,
+		FlushBytes: flushBytes, FlushAfter: flushAfter,
+	}
+	topo := sys.Topo
+	cb.bufs = make([][]combineBuf, topo.Clusters)
+	for c := 0; c < topo.Clusters; c++ {
+		cb.bufs[c] = make([]combineBuf, topo.Clusters)
+		cb.install(c)
+	}
+	return cb
+}
+
+// agent returns the designated combining machine of cluster c: its last
+// compute node (keeping it off the sequencer node).
+func (cb *Combiner) agent(c int) cluster.NodeID {
+	topo := cb.sys.Topo
+	return topo.Node(c, topo.Size(c)-1)
+}
+
+func (cb *Combiner) install(c int) {
+	rts := cb.sys.RTS
+	agent := cb.agent(c)
+	// Outgoing side: accumulate and flush.
+	rts.HandleService(agent, "comb:"+cb.name, func(req *orca.Request) {
+		it := req.Payload.(*combineItem)
+		dc := cb.sys.Topo.ClusterOf(it.to)
+		buf := &cb.bufs[c][dc]
+		buf.items = append(buf.items, it)
+		buf.bytes += it.size + itemHeaderBytes
+		if buf.bytes >= cb.FlushBytes {
+			cb.flush(c, dc)
+			return
+		}
+		if !buf.timer {
+			buf.timer = true
+			gen := buf.gen
+			cb.sys.Engine.After(cb.FlushAfter, func() {
+				if cb.bufs[c][dc].gen == gen { // not already flushed by size
+					cb.flush(c, dc)
+				}
+			})
+		}
+	})
+	// Incoming side: scatter a combined message locally.
+	rts.HandleService(agent, "scat:"+cb.name, func(req *orca.Request) {
+		for _, it := range req.Payload.([]*combineItem) {
+			rts.SendData(agent, it.to, it.tag, it.size, it.payload)
+		}
+	})
+}
+
+// flush ships cluster c's pending items for destination cluster dc as one
+// combined intercluster message.
+func (cb *Combiner) flush(c, dc int) {
+	buf := &cb.bufs[c][dc]
+	items := buf.items
+	bytes := buf.bytes
+	*buf = combineBuf{gen: buf.gen + 1}
+	if len(items) == 0 {
+		return
+	}
+	cb.sys.RTS.Cast(cb.agent(c), cb.agent(dc), "scat:"+cb.name, bytes, items)
+}
+
+// Send transmits an asynchronous tagged message, combining it with other
+// intercluster traffic when the destination is in a remote cluster.
+// Same-cluster messages bypass the combiner.
+func (cb *Combiner) Send(w *Worker, to cluster.NodeID, tag orca.Tag, size int, payload any) {
+	topo := cb.sys.Topo
+	if topo.SameCluster(w.Node, to) {
+		w.Send(to, tag, size, payload)
+		return
+	}
+	cb.sys.RTS.Cast(w.Node, cb.agent(topo.ClusterOf(w.Node)), "comb:"+cb.name, size,
+		&combineItem{to: to, tag: tag, size: size, payload: payload})
+}
+
+// FlushAll forces out every pending buffer (used at phase boundaries so no
+// message is stranded behind a long timer).
+func (cb *Combiner) FlushAll() {
+	for c := range cb.bufs {
+		for dc := range cb.bufs[c] {
+			cb.flush(c, dc)
+		}
+	}
+}

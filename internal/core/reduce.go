@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"albatross/internal/cluster"
+	"albatross/internal/orca"
+)
+
+// CombineFunc folds a contribution into an accumulator; acc is nil for the
+// first contribution of a round.
+type CombineFunc func(acc, value any) any
+
+// ClusterReducer implements the paper's cluster-level reduction used by
+// Water's write-back phase and by ATPG's statistics (Sections 4.1, 4.4,
+// Table 3 "cluster-level reduction"): updates destined for a processor in a
+// remote cluster are first sent to a local coordinator, which reduces them
+// (e.g. adds force contributions) and transfers only the single combined
+// result over the WAN.
+//
+// A round is identified by an orca.Tag. Contributors in the same cluster as
+// the target bypass the reducer and send directly; contributors in a remote
+// cluster Cast to their local coordinator together with the expected number
+// of local contributors for that round, and the coordinator forwards one
+// aggregate to the target when all have arrived. The target therefore
+// receives one tagged message per remote cluster plus one per local
+// contributor.
+type ClusterReducer struct {
+	sys     *System
+	name    string
+	combine CombineFunc
+}
+
+// reduceContribution travels from a contributor to its local coordinator.
+type reduceContribution struct {
+	target cluster.NodeID
+	tag    orca.Tag
+	value  any
+	expect int // local contributors for this (target, tag) round
+	size   int // aggregate wire size when forwarded
+}
+
+// NewClusterReducer installs one event-context coordinator per (cluster,
+// remote target) pair. Call before System.Run.
+func NewClusterReducer(sys *System, name string, combine CombineFunc) *ClusterReducer {
+	cr := &ClusterReducer{sys: sys, name: name, combine: combine}
+	topo := sys.Topo
+	for c := 0; c < topo.Clusters; c++ {
+		for t := 0; t < topo.Compute(); t++ {
+			target := cluster.NodeID(t)
+			if topo.ClusterOf(target) == c {
+				continue
+			}
+			coord := cr.coordinator(c, target)
+			cr.install(coord, cr.service(target))
+		}
+	}
+	return cr
+}
+
+func (cr *ClusterReducer) coordinator(c int, target cluster.NodeID) cluster.NodeID {
+	topo := cr.sys.Topo
+	return topo.Node(c, int(target)%topo.Size(c))
+}
+
+func (cr *ClusterReducer) service(target cluster.NodeID) string {
+	return fmt.Sprintf("reduce:%s:%d", cr.name, target)
+}
+
+// install registers the accumulate-and-forward handler at the coordinator.
+func (cr *ClusterReducer) install(coord cluster.NodeID, svc string) {
+	type roundState struct {
+		acc  any
+		seen int
+	}
+	rounds := make(map[orca.Tag]*roundState)
+	rts := cr.sys.RTS
+	rts.HandleService(coord, svc, func(req *orca.Request) {
+		con := req.Payload.(*reduceContribution)
+		st, ok := rounds[con.tag]
+		if !ok {
+			st = &roundState{}
+			rounds[con.tag] = st
+		}
+		st.acc = cr.combine(st.acc, con.value)
+		st.seen++
+		if st.seen < con.expect {
+			return
+		}
+		delete(rounds, con.tag)
+		rts.SendData(coord, con.target, con.tag, con.size, st.acc)
+	})
+}
+
+// Put contributes value to the (target, tag) round. size is the wire size
+// of one contribution (and of the forwarded aggregate). expectLocal is the
+// number of contributors in the caller's cluster for this round — known in
+// advance, as the paper notes. Same-cluster targets are sent directly.
+func (cr *ClusterReducer) Put(w *Worker, target cluster.NodeID, tag orca.Tag, size int, value any, expectLocal int) {
+	topo := cr.sys.Topo
+	if topo.SameCluster(w.Node, target) {
+		w.Send(target, tag, size, value)
+		return
+	}
+	coord := cr.coordinator(topo.ClusterOf(w.Node), target)
+	cr.sys.RTS.Cast(w.Node, coord, cr.service(target), size,
+		&reduceContribution{target: target, tag: tag, value: value, expect: expectLocal, size: size})
+}
+
+// ExpectedMessages reports how many tagged messages the target will receive
+// for one round, given the set of contributing ranks (excluding the target
+// itself): direct messages from its own cluster plus one aggregate per
+// remote cluster with at least one contributor.
+func (cr *ClusterReducer) ExpectedMessages(target cluster.NodeID, contributors []cluster.NodeID) int {
+	topo := cr.sys.Topo
+	n := 0
+	remote := make(map[int]bool)
+	for _, c := range contributors {
+		if c == target {
+			continue
+		}
+		if topo.SameCluster(c, target) {
+			n++
+		} else {
+			remote[topo.ClusterOf(c)] = true
+		}
+	}
+	return n + len(remote)
+}

@@ -1,0 +1,145 @@
+// Package core is the paper's primary contribution turned into a library:
+// a facade that assembles a simulated wide-area multilevel cluster (engine +
+// two-level network + Orca-style runtime), plus reusable implementations of
+// every wide-area optimization technique of the paper's Table 3 —
+// cluster-level caching, cluster-level reduction, message combining,
+// distributed job queues, and cluster-aware work-stealing policies.
+//
+// Applications build a System, spawn one Worker per compute node, and
+// communicate through shared objects or messages; the harness then reads the
+// run's Metrics (virtual elapsed time, logical operation counts, and
+// intracluster/intercluster traffic).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// Config describes one simulated platform.
+type Config struct {
+	Topology  cluster.Topology
+	Params    cluster.Params
+	Sequencer orca.Sequencer // nil selects the paper's default for the shape
+}
+
+// System is one assembled simulated platform.
+type System struct {
+	Engine *sim.Engine
+	Net    *netsim.Network
+	RTS    *orca.RTS
+	Topo   cluster.Topology
+}
+
+// NewSystem assembles a platform from the configuration.
+func NewSystem(cfg Config) *System {
+	if err := cfg.Topology.Validate(); err != nil {
+		panic(err)
+	}
+	e := sim.NewEngine()
+	net := netsim.New(e, cfg.Topology, cfg.Params)
+	rts := orca.New(net, cfg.Sequencer)
+	return &System{Engine: e, Net: net, RTS: rts, Topo: cfg.Topology}
+}
+
+// NewDAS assembles a DAS-like platform with the paper's Table-1 parameters
+// and the default sequencer for the shape.
+func NewDAS(clusters, nodesPerCluster int) *System {
+	return NewSystem(Config{
+		Topology: cluster.DAS(clusters, nodesPerCluster),
+		Params:   cluster.DASParams(),
+	})
+}
+
+// Worker is one application process, bound to a compute node.
+type Worker struct {
+	Sys  *System
+	P    *sim.Proc
+	Node cluster.NodeID
+}
+
+// Rank is the worker's global rank (equal to its node number).
+func (w *Worker) Rank() int { return int(w.Node) }
+
+// NProcs is the total number of workers in the system.
+func (w *Worker) NProcs() int { return w.Sys.Topo.Compute() }
+
+// Cluster is the index of the worker's cluster.
+func (w *Worker) Cluster() int { return w.Sys.Topo.ClusterOf(w.Node) }
+
+// Compute charges d of CPU work to the worker.
+func (w *Worker) Compute(d time.Duration) { w.P.Compute(d) }
+
+// Invoke executes a shared-object operation on behalf of this worker.
+func (w *Worker) Invoke(o *orca.Object, op orca.Op) any { return o.Invoke(w.P, w.Node, op) }
+
+// Call performs a blocking request to a service at another node.
+func (w *Worker) Call(to cluster.NodeID, service string, argBytes int, payload any) any {
+	return w.Sys.RTS.Call(w.P, w.Node, to, service, argBytes, payload)
+}
+
+// Send transmits an asynchronous tagged message to another node.
+func (w *Worker) Send(to cluster.NodeID, tag orca.Tag, size int, payload any) {
+	w.Sys.RTS.SendData(w.Node, to, tag, size, payload)
+}
+
+// Recv blocks until a tagged message addressed to this worker arrives.
+func (w *Worker) Recv(tag orca.Tag) any { return w.Sys.RTS.RecvData(w.P, w.Node, tag) }
+
+// TryRecv returns a queued tagged message without blocking.
+func (w *Worker) TryRecv(tag orca.Tag) (any, bool) { return w.Sys.RTS.TryRecvData(w.Node, tag) }
+
+// SpawnWorkers starts one worker process per compute node running body.
+func (s *System) SpawnWorkers(name string, body func(w *Worker)) {
+	for i := 0; i < s.Topo.Compute(); i++ {
+		w := &Worker{Sys: s, P: nil, Node: cluster.NodeID(i)}
+		p := s.Engine.Go(fmt.Sprintf("%s-%d", name, i), func(p *sim.Proc) {
+			w.P = p
+			body(w)
+		})
+		_ = p
+	}
+}
+
+// SpawnAt starts a single process bound to the given compute node (for
+// masters, coordinators and other per-node servers).
+func (s *System) SpawnAt(node cluster.NodeID, name string, body func(w *Worker)) {
+	w := &Worker{Sys: s, Node: node}
+	s.Engine.Go(name, func(p *sim.Proc) {
+		w.P = p
+		body(w)
+	})
+}
+
+// Run executes the simulation to completion and returns the run's metrics.
+// A deadlock (processes blocked forever) is returned as an error.
+func (s *System) Run() (Metrics, error) {
+	err := s.Engine.Run()
+	return s.Metrics(), err
+}
+
+// Metrics snapshots the run's measurements so far.
+func (s *System) Metrics() Metrics {
+	return Metrics{
+		Elapsed: s.Engine.Now(),
+		Net:     s.Net.Stats().Clone(),
+		Ops:     s.RTS.Ops(),
+		Links:   s.Net.PipeReports(),
+	}
+}
+
+// Metrics aggregates one run's outcome.
+type Metrics struct {
+	Elapsed time.Duration
+	Net     netsim.Stats
+	Ops     orca.OpStats
+	Links   []netsim.PipeReport // per-directed-WAN-link load
+}
+
+// Seconds reports the elapsed virtual time in seconds.
+func (m Metrics) Seconds() float64 { return m.Elapsed.Seconds() }

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/apps/ida"
+	"albatross/internal/apps/ra"
+	"albatross/internal/apps/sor"
+	"albatross/internal/apps/tsp"
+	"albatross/internal/apps/water"
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// The ablation experiments decompose each composite optimization into its
+// parts, quantifying what each individual technique of the paper's Table 3
+// contributes. They run on the 4x15 platform of Figure 15.
+
+const ablClusters, ablPerCluster = 4, 15
+
+func ablSystem(seqr orca.Sequencer) *core.System {
+	return core.NewSystem(core.Config{
+		Topology:  cluster.DAS(ablClusters, ablPerCluster),
+		Params:    cluster.DASParams(),
+		Sequencer: seqr,
+	})
+}
+
+// AblationWater separates cluster caching (reads) from cluster reduction
+// (write-backs) in the Water optimization.
+func AblationWater() (*Report, error) {
+	cfg := water.Default()
+	t := &Table{
+		ID:      "abl-water",
+		Title:   "Water on 4x15: contribution of each optimization",
+		Headers: []string{"variant", "time (s)", "inter msgs", "inter kbyte"},
+	}
+	for _, v := range []struct {
+		name string
+		opts water.Options
+	}{
+		{"original (direct push)", water.Options{}},
+		{"cache only", water.Options{Cache: true}},
+		{"reduce only", water.Options{Reduce: true}},
+		{"cache + reduce (paper)", water.Options{Cache: true, Reduce: true}},
+	} {
+		sys := ablSystem(nil)
+		verify := water.BuildVariant(sys, cfg, v.opts)
+		m, err := sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("abl-water %s: %w", v.name, err)
+		}
+		if err := verify(); err != nil {
+			return nil, fmt.Errorf("abl-water %s: %w", v.name, err)
+		}
+		inter := m.Net.TotalInter()
+		t.Rows = append(t.Rows, []string{v.name,
+			fmt.Sprintf("%.3f", m.Seconds()),
+			fmt.Sprintf("%d", inter.Msgs),
+			fmt.Sprintf("%.0f", inter.KBytes())})
+	}
+	return &Report{ID: "abl-water", Title: t.Title, Tables: []*Table{t}}, nil
+}
+
+// AblationSOR sweeps the chaotic-relaxation skip factor: the tradeoff
+// between intercluster communication and convergence speed (Section 4.8).
+func AblationSOR() (*Report, error) {
+	cfg := sor.Default()
+	t := &Table{
+		ID:      "abl-sor",
+		Title:   "SOR on 4x15: exchange skipping vs convergence",
+		Headers: []string{"variant", "iterations", "time (s)", "inter msgs"},
+	}
+	run := func(name string, optimized bool, skipMod int) error {
+		c := cfg
+		c.SkipMod = skipMod
+		sys := ablSystem(nil)
+		verify, iters := sor.BuildWithStats(sys, c, optimized)
+		m, err := sys.Run()
+		if err != nil {
+			return err
+		}
+		if err := verify(); err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprintf("%d", *iters),
+			fmt.Sprintf("%.3f", m.Seconds()),
+			fmt.Sprintf("%d", m.Net.TotalInter().Msgs)})
+		return nil
+	}
+	if err := run("lock-step (original)", false, 3); err != nil {
+		return nil, err
+	}
+	for _, sm := range []int{1, 2, 3, 6} {
+		if err := run(fmt.Sprintf("chaotic, exchange every %d", sm), true, sm); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{ID: "abl-sor", Title: t.Title, Tables: []*Table{t},
+		Notes: []string{"skipping more exchanges cuts WAN traffic but costs iterations; the paper picked 2 of 3 skipped"}}, nil
+}
+
+// AblationRA sweeps the two combining levels of RA: the sender-side batch
+// factor and cluster-level combining.
+func AblationRA() (*Report, error) {
+	t := &Table{
+		ID:      "abl-ra",
+		Title:   "RA on 4x15: node-level batching x cluster-level combining",
+		Headers: []string{"node batch", "cluster combining", "time (s)", "inter msgs", "inter kbyte"},
+	}
+	for _, batch := range []int{1, 4, 16, 64} {
+		for _, comb := range []bool{false, true} {
+			cfg := ra.Default()
+			cfg.NodeBatch = batch
+			sys := ablSystem(nil)
+			verify := ra.Build(sys, cfg, comb)
+			m, err := sys.Run()
+			if err != nil {
+				return nil, fmt.Errorf("abl-ra batch=%d comb=%v: %w", batch, comb, err)
+			}
+			if err := verify(); err != nil {
+				return nil, fmt.Errorf("abl-ra batch=%d comb=%v: %w", batch, comb, err)
+			}
+			inter := m.Net.TotalInter()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", batch),
+				onOff(comb),
+				fmt.Sprintf("%.3f", m.Seconds()),
+				fmt.Sprintf("%d", inter.Msgs),
+				fmt.Sprintf("%.0f", inter.KBytes())})
+		}
+	}
+	return &Report{ID: "abl-ra", Title: t.Title, Tables: []*Table{t}}, nil
+}
+
+// AblationIDA separates the two stealing refinements.
+func AblationIDA() (*Report, error) {
+	cfg := ida.Default()
+	t := &Table{
+		ID:      "abl-ida",
+		Title:   "IDA* on 4x15: stealing policy refinements",
+		Headers: []string{"policy", "time (s)", "inter RPCs"},
+	}
+	for _, v := range []struct {
+		name string
+		pol  ida.Policy
+	}{
+		{"original (power-of-two order)", ida.Policy{}},
+		{"local cluster first", ida.Policy{LocalFirst: true}},
+		{"remember empty", ida.Policy{RememberIdle: true}},
+		{"both (paper)", ida.Policy{LocalFirst: true, RememberIdle: true}},
+	} {
+		sys := ablSystem(nil)
+		verify := ida.BuildPolicy(sys, cfg, v.pol)
+		m, err := sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("abl-ida %s: %w", v.name, err)
+		}
+		if err := verify(); err != nil {
+			return nil, fmt.Errorf("abl-ida %s: %w", v.name, err)
+		}
+		t.Rows = append(t.Rows, []string{v.name,
+			fmt.Sprintf("%.3f", m.Seconds()),
+			fmt.Sprintf("%d", m.Net.InterRPC().Msgs)})
+	}
+	return &Report{ID: "abl-ida", Title: t.Title, Tables: []*Table{t},
+		Notes: []string{"paper: intercluster steal requests roughly halve while speedup hardly changes"}}, nil
+}
+
+// AblationSequencer compares the three ordering protocols on an ASP-like
+// broadcast-burst workload (one sender at a time, bursts of row updates).
+func AblationSequencer() (*Report, error) {
+	t := &Table{
+		ID:      "abl-seq",
+		Title:   "Sequencer protocols on 4x15, ASP-like broadcast bursts",
+		Headers: []string{"sequencer", "time (s)", "per bcast", "inter msgs"},
+	}
+	const bursts, burstLen, rowBytes = 8, 40, 1024
+	for _, v := range []struct {
+		name string
+		mk   func() orca.Sequencer
+	}{
+		{"central", func() orca.Sequencer { return orca.NewCentralSequencer(0) }},
+		{"rotating (paper default)", func() orca.Sequencer { return orca.NewRotatingSequencer() }},
+		{"migrating (ASP opt)", func() orca.Sequencer { return orca.NewMigratingSequencer() }},
+	} {
+		sys := ablSystem(v.mk())
+		obj := sys.RTS.NewReplicated("rows", func(cluster.NodeID) any { return new(int) })
+		sys.SpawnWorkers("sender", func(w *core.Worker) {
+			for burst := 0; burst < bursts; burst++ {
+				// Spread the senders over the whole machine (and thus over
+				// all clusters), like ASP's row ownership.
+				if burst*w.NProcs()/bursts != w.Rank() {
+					continue
+				}
+				for *(obj.Replica(w.Node).(*int)) < burst*burstLen {
+					w.P.Sleep(100 * time.Microsecond)
+				}
+				for i := 0; i < burstLen; i++ {
+					w.Invoke(obj, orca.Op{Name: "row", ArgBytes: rowBytes,
+						Apply: func(s any) any { *(s.(*int))++; return nil }})
+				}
+			}
+		})
+		m, err := sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("abl-seq %s: %w", v.name, err)
+		}
+		for i := 0; i < sys.Topo.Compute(); i++ {
+			if got := *(obj.Replica(cluster.NodeID(i)).(*int)); got != bursts*burstLen {
+				return nil, fmt.Errorf("abl-seq %s: replica %d saw %d updates", v.name, i, got)
+			}
+		}
+		per := m.Elapsed / (bursts * burstLen)
+		t.Rows = append(t.Rows, []string{v.name,
+			fmt.Sprintf("%.3f", m.Seconds()),
+			per.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", m.Net.TotalInter().Msgs)})
+	}
+	return &Report{ID: "abl-seq", Title: t.Title, Tables: []*Table{t}}, nil
+}
+
+// AblationTSP sweeps the job-generation depth: the grain-size tradeoff the
+// paper discusses ("Too coarse a grain causes load imbalance"; too fine a
+// grain raises queue traffic).
+func AblationTSP() (*Report, error) {
+	t := &Table{
+		ID:      "abl-tsp",
+		Title:   "TSP on 4x15: job grain (generation depth) x queue scheme",
+		Headers: []string{"depth", "jobs", "central time (s)", "static time (s)"},
+	}
+	for _, depth := range []int{3, 4, 5} {
+		cfg := tsp.Default()
+		cfg.JobDepth = depth
+		times := make([]float64, 2)
+		var jobs int
+		for vi, optimized := range []bool{false, true} {
+			sys := ablSystem(nil)
+			verify := tsp.Build(sys, cfg, optimized)
+			m, err := sys.Run()
+			if err != nil {
+				return nil, fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
+			}
+			if err := verify(); err != nil {
+				return nil, fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
+			}
+			times[vi] = m.Seconds()
+			jobs = tsp.CountJobs(cfg)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", depth),
+			fmt.Sprintf("%d", jobs),
+			fmt.Sprintf("%.3f", times[0]),
+			fmt.Sprintf("%.3f", times[1])})
+	}
+	return &Report{ID: "abl-tsp", Title: t.Title, Tables: []*Table{t}}, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

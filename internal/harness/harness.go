@@ -1,0 +1,168 @@
+// Package harness runs the paper's experiments: speedup curves for every
+// application in original and optimized form (Figures 1-14), the summary
+// bar charts (Figures 15-16), the microbenchmarks (Table 1), the
+// application characteristics (Table 2) and the intercluster traffic tables
+// (Tables 4-5).
+package harness
+
+import (
+	"fmt"
+
+	"albatross/internal/apps/acp"
+	"albatross/internal/apps/asp"
+	"albatross/internal/apps/atpg"
+	"albatross/internal/apps/ida"
+	"albatross/internal/apps/ra"
+	"albatross/internal/apps/sor"
+	"albatross/internal/apps/tsp"
+	"albatross/internal/apps/water"
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// AppSpec describes one benchmark application to the harness.
+type AppSpec struct {
+	Name string
+	// HasOptimized reports whether a distinct optimized program exists
+	// (ACP's proposed optimization is implemented here, so all do).
+	HasOptimized bool
+	// Sequencer selects the broadcast protocol for a variant; nil means
+	// the platform default (central on one cluster, rotating on more).
+	Sequencer func(optimized bool) orca.Sequencer
+	// Build wires the application into a fresh system and returns its
+	// result verifier.
+	Build func(sys *core.System, optimized bool) func() error
+}
+
+// Apps lists the paper's eight applications in its Table 2/3 order.
+var Apps = []AppSpec{
+	{
+		Name: "Water", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return water.Build(sys, water.Default(), opt)
+		},
+	},
+	{
+		Name: "TSP", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return tsp.Build(sys, tsp.Default(), opt)
+		},
+	},
+	{
+		Name: "ASP", HasOptimized: true,
+		Sequencer: func(opt bool) orca.Sequencer { return asp.Sequencer(opt) },
+		Build: func(sys *core.System, opt bool) func() error {
+			return asp.Build(sys, asp.Default())
+		},
+	},
+	{
+		Name: "ATPG", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return atpg.Build(sys, atpg.Default(), opt)
+		},
+	},
+	{
+		Name: "IDA*", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return ida.Build(sys, ida.Default(), opt)
+		},
+	},
+	{
+		Name: "RA", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return ra.Build(sys, ra.Default(), opt)
+		},
+	},
+	{
+		Name: "ACP", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return acp.Build(sys, acp.Default(), opt)
+		},
+	},
+	{
+		Name: "SOR", HasOptimized: true,
+		Build: func(sys *core.System, opt bool) func() error {
+			return sor.Build(sys, sor.Default(), opt)
+		},
+	},
+}
+
+// AppByName returns the spec with the given name.
+func AppByName(name string) (AppSpec, error) {
+	for _, a := range Apps {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return AppSpec{}, fmt.Errorf("harness: unknown application %q", name)
+}
+
+// Params is the network parameter set used by all experiments.
+var Params = cluster.DASParams()
+
+// RunOne executes one application run on a clusters x perCluster platform
+// and returns its metrics. The parallel result is verified against the
+// application's sequential reference; a verification failure is an error.
+func RunOne(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(optimized)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, perCluster),
+		Params:    Params,
+		Sequencer: seqr,
+	})
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		return m, fmt.Errorf("%s %dx%d opt=%v: %w", app.Name, clusters, perCluster, optimized, err)
+	}
+	if err := verify(); err != nil {
+		return m, fmt.Errorf("%s %dx%d opt=%v: %w", app.Name, clusters, perCluster, optimized, err)
+	}
+	return m, nil
+}
+
+// runCache memoizes runs within one harness session: the summary figures
+// and tables reuse many of the same configurations.
+type runKey struct {
+	app        string
+	clusters   int
+	perCluster int
+	optimized  bool
+}
+
+var runCache = map[runKey]core.Metrics{}
+
+// Run is RunOne with memoization.
+func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
+	k := runKey{app.Name, clusters, perCluster, optimized}
+	if m, ok := runCache[k]; ok {
+		return m, nil
+	}
+	m, err := RunOne(app, clusters, perCluster, optimized)
+	if err != nil {
+		return m, err
+	}
+	runCache[k] = m
+	return m, nil
+}
+
+// ResetCache clears the memoized runs (tests use it for isolation).
+func ResetCache() { runCache = map[runKey]core.Metrics{} }
+
+// Speedup returns T(1 CPU)/T(clusters x perCluster) for the variant; the
+// paper computes each variant's speedup relative to its own 1-CPU run.
+func Speedup(app AppSpec, clusters, perCluster int, optimized bool) (float64, error) {
+	t1, err := Run(app, 1, 1, optimized)
+	if err != nil {
+		return 0, err
+	}
+	tp, err := Run(app, clusters, perCluster, optimized)
+	if err != nil {
+		return 0, err
+	}
+	return t1.Elapsed.Seconds() / tp.Elapsed.Seconds(), nil
+}

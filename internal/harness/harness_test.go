@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	paper := []string{
+		"table1", "table2",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16",
+		"table4", "table5",
+	}
+	extended := []string{
+		"abl-water", "abl-sor", "abl-ra", "abl-ida", "abl-seq", "abl-tsp",
+		"sens-atpg", "sens-clusters", "sens-Water", "sens-SOR", "sens-RA",
+		"real-das", "coll", "sens-size", "sens-congestion",
+	}
+	got := Experiments()
+	if len(got) != len(paper)+len(extended) {
+		t.Fatalf("%d experiments registered, want %d", len(got), len(paper)+len(extended))
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		if seen[e.ID] {
+			t.Fatalf("experiment %s registered twice", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range append(paper, extended...) {
+		if !seen[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	for _, name := range []string{"Water", "TSP", "ASP", "ATPG", "IDA*", "RA", "ACP", "SOR"} {
+		if _, err := AppByName(name); err != nil {
+			t.Fatalf("missing app %s: %v", name, err)
+		}
+	}
+	if _, err := AppByName("Quake"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	if _, err := ExperimentByID("fig15"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExperimentByID("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"RPC (non-replicated)", "Broadcast (replicated)", "Mbit/s", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderAligns(t *testing.T) {
+	tb := &Table{
+		ID: "t", Title: "demo",
+		Headers: []string{"a", "bbbb"},
+		Rows:    [][]string{{"xxxxxx", "y"}, {"z", "wwww"}},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header and separator misaligned:\n%s", out)
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	ResetCache()
+	app, err := AppByName("ACP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Run(app, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(app, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Elapsed != m2.Elapsed {
+		t.Fatal("memoized run differs")
+	}
+	ResetCache()
+}
+
+func TestSpeedupSanity(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	app, err := AppByName("ASP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Speedup(app, 1, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 || sp > 4 {
+		t.Fatalf("4-CPU speedup %.2f outside (1, 4]", sp)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{
+		ID: "figX", Title: "demo",
+		Figure: &Figure{Series: []Series{{Label: "1 Cluster", Points: []Point{{CPUs: 8, Speedup: 6.5}}}}},
+		Notes:  []string{"hello"},
+	}
+	out := rep.Render()
+	for _, want := range []string{"figX", "1 Cluster", "8 cpus: 6.5", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1,5", `say "hi"`}, {"2", "3"}},
+	}
+	got := tb.CSV()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n2,3\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{Series: []Series{{Label: "1 Cluster", Points: []Point{{CPUs: 8, Speedup: 6.5}}}}}
+	got := f.CSV()
+	if !strings.Contains(got, "series,cpus,speedup") || !strings.Contains(got, "1 Cluster,8,6.5000") {
+		t.Fatalf("figure csv:\n%s", got)
+	}
+}

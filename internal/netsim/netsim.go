@@ -1,0 +1,369 @@
+// Package netsim emulates the paper's two-level communication substrate on
+// top of the sim engine: a fast local-area network inside each cluster
+// (Myrinet in the paper) and slow wide-area links between cluster gateways
+// (ATM PVCs in the paper).
+//
+// A message between nodes of one cluster pays sender-NIC serialization plus
+// LAN latency. A message between clusters travels: node → local gateway over
+// Fast Ethernet, gateway → gateway over a per-directed-cluster-pair WAN pipe
+// (a FIFO resource, so concurrent traffic queues and the link can saturate,
+// like the paper's 6 Mbit/s PVCs), then gateway → node over Fast Ethernet.
+//
+// All traffic is metered by a Stats collector, split intracluster vs
+// intercluster and by message kind — the raw material for the paper's
+// Tables 2, 4 and 5.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/sim"
+)
+
+// Kind classifies a message for accounting and dispatch.
+type Kind uint8
+
+const (
+	// KindRPCReq is a remote-invocation request.
+	KindRPCReq Kind = iota
+	// KindRPCRep is a remote-invocation reply.
+	KindRPCRep
+	// KindBcast is broadcast data (a replicated-object update).
+	KindBcast
+	// KindData is bulk application data sent point-to-point.
+	KindData
+	// KindControl is protocol-internal control traffic (sequencer tokens,
+	// migration requests, acknowledgements).
+	KindControl
+	numKinds
+)
+
+// NumKinds is the number of distinct message kinds.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRPCReq:
+		return "rpc-req"
+	case KindRPCRep:
+		return "rpc-rep"
+	case KindBcast:
+		return "bcast"
+	case KindData:
+		return "data"
+	case KindControl:
+		return "control"
+	}
+	return "invalid"
+}
+
+// Msg is a simulated network message. Size is the application-level payload
+// size in bytes; Payload carries the simulated content by reference.
+type Msg struct {
+	From, To cluster.NodeID
+	Kind     Kind
+	Size     int
+	Payload  any
+}
+
+// Handler consumes a delivered message. Handlers run in event context: they
+// must not block, but they may wake processes and send further messages.
+type Handler func(Msg)
+
+// node is the per-machine network endpoint state.
+type node struct {
+	id      cluster.NodeID
+	nicFree time.Duration // sender-side serialization horizon
+	gwFree  time.Duration // gateway forwarding horizon (gateways only)
+	handler Handler
+	inbox   *sim.Mailbox // default delivery target when no handler is set
+}
+
+// pipe is a directed WAN link between two cluster gateways.
+type pipe struct {
+	free time.Duration // transmission horizon (FIFO resource)
+
+	busy    time.Duration // cumulative transmission time
+	bytes   int64
+	msgs    int64
+	maxWait time.Duration // worst queueing delay behind earlier traffic
+}
+
+// Network is the two-level network for one simulated system.
+type Network struct {
+	e     *sim.Engine
+	topo  cluster.Topology
+	par   cluster.Params
+	nodes []*node
+	pipes map[[2]int]*pipe
+	stats Stats
+	tap   Tap
+
+	// wanProfile, if set, scales WAN latency and bandwidth over virtual
+	// time (e.g. to model congestion waves). It must be a pure function of
+	// its argument so runs stay deterministic.
+	wanProfile WANProfile
+}
+
+// WANProfile maps a virtual instant to multiplicative (latency, bandwidth)
+// scales for the wide-area links. Both scales must be positive.
+type WANProfile func(at time.Duration) (latScale, bwScale float64)
+
+// SetWANProfile installs a time-varying WAN quality model (nil removes it).
+func (n *Network) SetWANProfile(p WANProfile) { n.wanProfile = p }
+
+// Tap observes every message at send time (for tracing/timelines). It runs
+// synchronously on the send path and must be cheap.
+type Tap func(at time.Duration, m Msg, intercluster bool)
+
+// SetTap installs the message observer (nil removes it).
+func (n *Network) SetTap(tap Tap) { n.tap = tap }
+
+// New creates a network for the given topology and parameters.
+func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		e:     e,
+		topo:  topo,
+		par:   par,
+		nodes: make([]*node, topo.Total()),
+		pipes: make(map[[2]int]*pipe),
+	}
+	n.stats.init()
+	for i := range n.nodes {
+		id := cluster.NodeID(i)
+		n.nodes[i] = &node{
+			id:    id,
+			inbox: sim.NewMailbox(e, fmt.Sprintf("inbox-%d", i)),
+		}
+	}
+	return n
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.e }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() cluster.Topology { return n.topo }
+
+// Params returns the network's performance parameters.
+func (n *Network) Params() cluster.Params { return n.par }
+
+// Stats returns the traffic statistics collected so far.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// SetHandler installs the delivery callback for a node, replacing inbox
+// delivery. Pass nil to restore inbox delivery.
+func (n *Network) SetHandler(id cluster.NodeID, h Handler) {
+	n.nodes[id].handler = h
+}
+
+// Inbox returns the default delivery mailbox of a node (used when no
+// handler is installed).
+func (n *Network) Inbox(id cluster.NodeID) *sim.Mailbox { return n.nodes[id].inbox }
+
+// deliver hands msg to its destination at the current virtual time.
+func (n *Network) deliver(m Msg) {
+	dst := n.nodes[m.To]
+	if dst.handler != nil {
+		dst.handler(m)
+		return
+	}
+	dst.inbox.Put(m)
+}
+
+// xmit reserves the sender-side NIC for size bytes at rate bw starting no
+// earlier than now, returning the serialization finish time.
+func serialize(free *time.Duration, now time.Duration, size int, bw float64) time.Duration {
+	start := now
+	if *free > start {
+		start = *free
+	}
+	end := start + bwTime(size, bw)
+	*free = end
+	return end
+}
+
+// bwTime converts a byte count and a bytes/second rate to a duration.
+func bwTime(size int, bw float64) time.Duration {
+	return time.Duration(float64(size) / bw * float64(time.Second))
+}
+
+// Send transmits m asynchronously; delivery happens at the simulated arrival
+// time. It never blocks and is callable from process or event context.
+func (n *Network) Send(m Msg) {
+	if n.tap != nil {
+		n.tap(n.e.Now(), m, m.From != m.To && !n.topo.SameCluster(m.From, m.To))
+	}
+	if m.From == m.To {
+		// Loopback: modelled as pure software overhead.
+		n.stats.count(false, m.Kind, m.Size)
+		n.e.After(n.par.SoftwareOverhead, func() { n.deliver(m) })
+		return
+	}
+	if n.topo.SameCluster(m.From, m.To) {
+		n.sendLAN(m)
+		return
+	}
+	n.sendWAN(m)
+}
+
+// sendLAN delivers an intracluster message over the fast local network.
+func (n *Network) sendLAN(m Msg) {
+	n.stats.count(false, m.Kind, m.Size)
+	now := n.e.Now()
+	src := n.nodes[m.From]
+	end := serialize(&src.nicFree, now, m.Size, n.par.LANBandwidth)
+	arrive := end + n.par.LANLatency + 2*n.par.SoftwareOverhead
+	n.e.At(arrive, func() { n.deliver(m) })
+}
+
+// sendWAN routes an intercluster message through both gateways and the WAN
+// pipe for the directed cluster pair.
+func (n *Network) sendWAN(m Msg) {
+	n.stats.count(true, m.Kind, m.Size)
+	now := n.e.Now()
+	cs, cd := n.topo.ClusterOf(m.From), n.topo.ClusterOf(m.To)
+	gwLocal := n.nodes[n.topo.Gateway(cs)]
+	gwRemote := n.nodes[n.topo.Gateway(cd)]
+
+	// Leg 1: node → local gateway over Fast Ethernet (skipped when the
+	// sender is the gateway itself, e.g. forwarded protocol traffic).
+	var atLocalGW time.Duration
+	if n.topo.IsGateway(m.From) {
+		atLocalGW = now
+	} else {
+		src := n.nodes[m.From]
+		end := serialize(&src.nicFree, now, m.Size, n.par.FEBandwidth)
+		atLocalGW = end + n.par.FELatency + n.par.SoftwareOverhead
+	}
+
+	// Leg 2: the local gateway's forwarding stage, then the WAN pipe (a
+	// FIFO resource per directed cluster pair).
+	n.e.At(atLocalGW, func() {
+		now := n.e.Now()
+		if n.par.GatewayCost > 0 {
+			// The gateway's protocol stack forwards one message at a time.
+			if gwLocal.gwFree < now {
+				gwLocal.gwFree = now
+			}
+			gwLocal.gwFree += n.par.GatewayCost
+			now = gwLocal.gwFree
+		}
+		p := n.pipe(cs, cd)
+		if wait := p.free - now; wait > p.maxWait {
+			p.maxWait = wait
+		}
+		lat, bw := n.wanQuality(now)
+		start := now
+		if p.free > start {
+			start = p.free
+		}
+		xmit := bwTime(m.Size, bw)
+		depart := start + xmit
+		p.free = depart
+		p.busy += xmit
+		p.bytes += int64(m.Size)
+		p.msgs++
+		atRemoteGW := depart + lat + n.par.SoftwareOverhead
+
+		// Leg 3: remote gateway forwarding, then Fast Ethernet to the
+		// destination node (skipped when the destination is the gateway).
+		n.e.At(atRemoteGW, func() {
+			if n.topo.IsGateway(m.To) {
+				n.deliver(m)
+				return
+			}
+			t := n.e.Now()
+			if n.par.GatewayCost > 0 {
+				if gwRemote.gwFree < t {
+					gwRemote.gwFree = t
+				}
+				gwRemote.gwFree += n.par.GatewayCost
+				t = gwRemote.gwFree
+			}
+			end := serialize(&gwRemote.nicFree, t, m.Size, n.par.FEBandwidth)
+			n.e.At(end+n.par.FELatency+n.par.SoftwareOverhead, func() { n.deliver(m) })
+		})
+	})
+}
+
+// wanQuality evaluates the WAN latency and bandwidth in effect at time at.
+func (n *Network) wanQuality(at time.Duration) (time.Duration, float64) {
+	if n.wanProfile == nil {
+		return n.par.WANLatency, n.par.WANBandwidth
+	}
+	ls, bs := n.wanProfile(at)
+	return time.Duration(float64(n.par.WANLatency) * ls), n.par.WANBandwidth * bs
+}
+
+func (n *Network) pipe(cs, cd int) *pipe {
+	key := [2]int{cs, cd}
+	p, ok := n.pipes[key]
+	if !ok {
+		p = &pipe{}
+		n.pipes[key] = p
+	}
+	return p
+}
+
+// PipeReport describes the load on one directed WAN link over a run.
+type PipeReport struct {
+	From, To    int           // cluster indices
+	Msgs        int64         // messages transmitted
+	Bytes       int64         // payload bytes transmitted
+	Busy        time.Duration // cumulative transmission time
+	MaxQueueing time.Duration // worst delay a message spent queued behind others
+}
+
+// Utilization reports the link's duty cycle over the elapsed virtual time.
+func (r PipeReport) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(elapsed)
+}
+
+// PipeReports returns per-directed-WAN-link load reports, ordered by
+// (from, to). Links that carried no traffic are omitted.
+func (n *Network) PipeReports() []PipeReport {
+	var out []PipeReport
+	for cs := 0; cs < n.topo.Clusters; cs++ {
+		for cd := 0; cd < n.topo.Clusters; cd++ {
+			p, ok := n.pipes[[2]int{cs, cd}]
+			if !ok || p.msgs == 0 {
+				continue
+			}
+			out = append(out, PipeReport{
+				From: cs, To: cd,
+				Msgs: p.msgs, Bytes: p.bytes,
+				Busy: p.busy, MaxQueueing: p.maxWait,
+			})
+		}
+	}
+	return out
+}
+
+// BcastLocal physically broadcasts m.Payload to every compute node of the
+// sender's cluster (including the sender) using the LAN's hardware multicast:
+// the sender serializes once, all members receive after the broadcast
+// latency. Gateways do not receive local broadcasts.
+func (n *Network) BcastLocal(from cluster.NodeID, kind Kind, size int, payload any) {
+	if n.tap != nil {
+		n.tap(n.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
+	}
+	n.stats.count(false, kind, size)
+	now := n.e.Now()
+	src := n.nodes[from]
+	end := serialize(&src.nicFree, now, size, n.par.LANBandwidth)
+	arrive := end + n.par.LANBcastLatency + 2*n.par.SoftwareOverhead
+	c := n.topo.ClusterOf(from)
+	for _, id := range n.topo.Nodes(c) {
+		m := Msg{From: from, To: id, Kind: kind, Size: size, Payload: payload}
+		n.e.At(arrive, func() { n.deliver(m) })
+	}
+}

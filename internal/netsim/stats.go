@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter accumulates message count and byte volume.
+type Counter struct {
+	Msgs  int64
+	Bytes int64
+}
+
+func (c *Counter) add(size int) {
+	c.Msgs++
+	c.Bytes += int64(size)
+}
+
+// Add merges another counter into c.
+func (c *Counter) Add(o Counter) {
+	c.Msgs += o.Msgs
+	c.Bytes += o.Bytes
+}
+
+// KBytes reports the byte volume in kilobytes (paper units: 1 kB = 1024 B).
+func (c Counter) KBytes() float64 { return float64(c.Bytes) / 1024 }
+
+// Stats meters all traffic of a Network, split by locality and kind.
+// It is the data source for the paper's traffic tables.
+type Stats struct {
+	Intra [NumKinds]Counter // traffic that stayed inside a cluster
+	Inter [NumKinds]Counter // traffic that crossed a WAN link
+}
+
+func (s *Stats) init() {}
+
+func (s *Stats) count(inter bool, k Kind, size int) {
+	if inter {
+		s.Inter[k].add(size)
+	} else {
+		s.Intra[k].add(size)
+	}
+}
+
+// Reset zeroes all counters (used to exclude warm-up or setup traffic).
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Clone returns a copy of the current counters.
+func (s *Stats) Clone() Stats { return *s }
+
+// Diff returns the traffic accumulated since the earlier snapshot.
+func (s *Stats) Diff(earlier Stats) Stats {
+	var d Stats
+	for k := 0; k < NumKinds; k++ {
+		d.Intra[k] = Counter{s.Intra[k].Msgs - earlier.Intra[k].Msgs, s.Intra[k].Bytes - earlier.Intra[k].Bytes}
+		d.Inter[k] = Counter{s.Inter[k].Msgs - earlier.Inter[k].Msgs, s.Inter[k].Bytes - earlier.Inter[k].Bytes}
+	}
+	return d
+}
+
+// TotalIntra sums all intracluster traffic.
+func (s *Stats) TotalIntra() Counter {
+	var t Counter
+	for k := 0; k < NumKinds; k++ {
+		t.Add(s.Intra[k])
+	}
+	return t
+}
+
+// TotalInter sums all intercluster traffic.
+func (s *Stats) TotalInter() Counter {
+	var t Counter
+	for k := 0; k < NumKinds; k++ {
+		t.Add(s.Inter[k])
+	}
+	return t
+}
+
+// InterRPC reports intercluster RPC traffic (requests + replies), in the
+// paper's Table 4/5 convention: the count is the number of requests that
+// crossed a WAN link and the volume includes both directions.
+func (s *Stats) InterRPC() Counter {
+	return Counter{
+		Msgs:  s.Inter[KindRPCReq].Msgs,
+		Bytes: s.Inter[KindRPCReq].Bytes + s.Inter[KindRPCRep].Bytes,
+	}
+}
+
+// InterBcast reports intercluster broadcast traffic.
+func (s *Stats) InterBcast() Counter { return s.Inter[KindBcast] }
+
+// InterData reports intercluster bulk-data traffic.
+func (s *Stats) InterData() Counter { return s.Inter[KindData] }
+
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intra: ")
+	for k := 0; k < NumKinds; k++ {
+		if s.Intra[k].Msgs > 0 {
+			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), s.Intra[k].Msgs, s.Intra[k].KBytes())
+		}
+	}
+	fmt.Fprintf(&b, "| inter: ")
+	for k := 0; k < NumKinds; k++ {
+		if s.Inter[k].Msgs > 0 {
+			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), s.Inter[k].Msgs, s.Inter[k].KBytes())
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

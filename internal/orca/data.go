@@ -1,0 +1,58 @@
+package orca
+
+import (
+	"fmt"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+// Tag names a point-to-point message stream between application processes,
+// like a (communicator, tag) pair in message-passing systems. A and B are
+// free application fields (e.g. iteration number, sender rank).
+type Tag struct {
+	Op   string
+	A, B int
+}
+
+// mailbox returns (creating on demand) the queue for tag at this node.
+func (nd *nodeRTS) mailbox(e *sim.Engine, t Tag) *sim.Mailbox {
+	mb, ok := nd.data[t]
+	if !ok {
+		mb = sim.NewMailbox(e, fmt.Sprintf("data %v@%d", t, nd.id))
+		nd.data[t] = mb
+	}
+	return mb
+}
+
+// SendData transmits an asynchronous tagged message of the given simulated
+// size from one node to another. The sender does not block (the paper's
+// low-level Orca RTS send primitive, used by the C re-implementations of
+// SOR and by RA's message combining).
+func (r *RTS) SendData(from, to cluster.NodeID, tag Tag, size int, payload any) {
+	r.ops.DataMsgs++
+	r.ops.DataBytes += int64(size)
+	r.net.Send(netsim.Msg{
+		From: from, To: to, Kind: netsim.KindData,
+		Size:    size + HeaderBytes,
+		Payload: &dataMsg{tag: tag, payload: payload},
+	})
+}
+
+// RecvData blocks process p (running at node at) until a message with the
+// given tag arrives, and returns its payload.
+func (r *RTS) RecvData(p *sim.Proc, at cluster.NodeID, tag Tag) any {
+	return r.nodes[at].mailbox(r.e, tag).Get(p)
+}
+
+// TryRecvData returns the oldest queued payload for tag without blocking;
+// ok is false if none is queued.
+func (r *RTS) TryRecvData(at cluster.NodeID, tag Tag) (payload any, ok bool) {
+	return r.nodes[at].mailbox(r.e, tag).TryGet()
+}
+
+// PendingData reports how many messages are queued for tag at the node.
+func (r *RTS) PendingData(at cluster.NodeID, tag Tag) int {
+	return r.nodes[at].mailbox(r.e, tag).Len()
+}

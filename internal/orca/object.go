@@ -1,0 +1,201 @@
+package orca
+
+import (
+	"fmt"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+// Op is one shared-object operation, function-shipped to wherever the state
+// lives. Apply must be deterministic: for replicated objects it executes
+// once against every replica, so all replicas stay identical.
+//
+// ArgBytes/ResBytes declare the simulated wire size of the operation's
+// arguments and result; they determine transfer times and traffic accounting
+// but the actual values travel by reference inside the simulator.
+type Op struct {
+	Name     string
+	ArgBytes int
+	ResBytes int
+	ReadOnly bool
+	Apply    func(state any) any
+}
+
+// Object is a shared object. Non-replicated objects have a single state copy
+// at the owner node; replicated objects have one copy per compute node.
+type Object struct {
+	rts        *RTS
+	id         int
+	name       string
+	replicated bool
+	owner      cluster.NodeID
+	state      any   // non-replicated state
+	replicas   []any // per-compute-node state when replicated
+
+	// applied, if non-nil, observes every ordered update as it is applied
+	// at a node (used by applications that react to replicated writes).
+	applied func(at cluster.NodeID, op Op, result any)
+}
+
+// pendingBcast is a replicated write travelling through the sequencer.
+type pendingBcast struct {
+	obj  *Object
+	op   Op
+	from cluster.NodeID
+	done *sim.Future
+}
+
+// NewObject creates a non-replicated shared object stored at owner, with
+// initial state init.
+func (r *RTS) NewObject(name string, owner cluster.NodeID, init any) *Object {
+	o := &Object{rts: r, id: len(r.objects), name: name, owner: owner, state: init}
+	r.objects = append(r.objects, o)
+	return o
+}
+
+// NewReplicated creates a replicated shared object; init is called once per
+// compute node to build that node's copy (copies must start identical in the
+// observable sense but may be distinct Go values).
+func (r *RTS) NewReplicated(name string, init func(node cluster.NodeID) any) *Object {
+	o := &Object{rts: r, id: len(r.objects), name: name, replicated: true}
+	o.replicas = make([]any, r.topo.Compute())
+	for i := range o.replicas {
+		o.replicas[i] = init(cluster.NodeID(i))
+	}
+	r.objects = append(r.objects, o)
+	return o
+}
+
+// OnApplied registers a callback observing every ordered update applied at
+// any node. Replicated objects only.
+func (o *Object) OnApplied(fn func(at cluster.NodeID, op Op, result any)) {
+	if !o.replicated {
+		panic("orca: OnApplied on non-replicated object " + o.name)
+	}
+	o.applied = fn
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Owner returns the owner node of a non-replicated object.
+func (o *Object) Owner() cluster.NodeID {
+	if o.replicated {
+		panic("orca: Owner of replicated object " + o.name)
+	}
+	return o.owner
+}
+
+// State returns a non-replicated object's state, for post-run inspection
+// and owner-local reads the application accounts for itself.
+func (o *Object) State() any {
+	if o.replicated {
+		panic("orca: State of replicated object " + o.name + "; use Replica")
+	}
+	return o.state
+}
+
+// Replica returns node id's copy of a replicated object's state, for
+// local reads that the application accounts for itself.
+func (o *Object) Replica(id cluster.NodeID) any {
+	if !o.replicated {
+		panic("orca: Replica of non-replicated object " + o.name)
+	}
+	return o.replicas[id]
+}
+
+// Invoke executes op on the object on behalf of process p running at node
+// from, blocking p in virtual time for the full cost of the invocation:
+//
+//   - non-replicated, from == owner: applied immediately (local operation);
+//   - non-replicated, remote: an RPC to the owner;
+//   - replicated, read-only: applied to the local replica;
+//   - replicated, write: a totally-ordered broadcast through the sequencer;
+//     p resumes when its own node has applied the update.
+func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
+	r := o.rts
+	if !o.replicated {
+		if from == o.owner {
+			r.ops.LocalOps++
+			return op.Apply(o.state)
+		}
+		return r.rpc(p, from, o, op)
+	}
+	if op.ReadOnly {
+		r.ops.LocalOps++
+		return op.Apply(o.replicas[from])
+	}
+	r.ops.Bcasts++
+	r.ops.BcastBytes += int64(op.ArgBytes)
+	b := &pendingBcast{
+		obj: o, op: op, from: from,
+		done: sim.NewFuture(r.e, fmt.Sprintf("bcast %s.%s", o.name, op.Name)),
+	}
+	r.seqr.Submit(r, from, b)
+	return b.done.Await(p)
+}
+
+// rpc performs a blocking remote invocation on a non-replicated object.
+func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
+	r.ops.RPCs++
+	r.ops.RPCBytes += int64(op.ArgBytes + op.ResBytes)
+	nd := r.nodes[from]
+	id := nd.nextCall
+	nd.nextCall++
+	f := sim.NewFuture(r.e, fmt.Sprintf("rpc %s.%s", o.name, op.Name))
+	nd.calls[id] = f
+	r.net.Send(netsim.Msg{
+		From: from, To: o.owner, Kind: netsim.KindRPCReq,
+		Size:    op.ArgBytes + HeaderBytes,
+		Payload: &rpcReq{callID: id, objID: o.id, op: op},
+	})
+	return f.Await(p)
+}
+
+// asyncDeliver is an unordered replicated update in flight (the asynchronous
+// broadcast of Section 4.7's proposed ACP optimization).
+type asyncDeliver struct {
+	obj *Object
+	op  Op
+}
+
+// AsyncUpdate applies a write to a replicated object using asynchronous,
+// unordered broadcast: the sender's replica updates immediately and the
+// sender continues without waiting; remote replicas update when the message
+// arrives. Delivery is FIFO per sender but there is no global total order,
+// so this is only safe for commutative, idempotent updates (like ACP's
+// domain pruning) — exactly the condition the paper states.
+func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
+	if !o.replicated {
+		panic("orca: AsyncUpdate on non-replicated object " + o.name)
+	}
+	r := o.rts
+	r.ops.Bcasts++
+	r.ops.BcastBytes += int64(op.ArgBytes)
+	size := op.ArgBytes + HeaderBytes
+	// Local cluster: hardware multicast (includes the sender's own copy,
+	// applied on delivery like any other member's).
+	r.net.BcastLocal(from, netsim.KindBcast, size, &asyncDeliver{obj: o, op: op})
+	// Remote clusters: one WAN message per cluster, relayed by gateways.
+	fc := r.topo.ClusterOf(from)
+	for c := 0; c < r.topo.Clusters; c++ {
+		if c == fc {
+			continue
+		}
+		r.net.Send(netsim.Msg{
+			From: from, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
+			Size:    size,
+			Payload: &relayAsync{obj: o, op: op, size: size},
+		})
+	}
+	return nil
+}
+
+// relayAsync asks a gateway to re-broadcast an unordered update locally.
+type relayAsync struct {
+	obj  *Object
+	op   Op
+	size int
+}

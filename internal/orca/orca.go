@@ -1,0 +1,297 @@
+// Package orca implements an Orca-style object-based parallel runtime on top
+// of the netsim network, following the system described in the paper:
+// processes communicate through shared objects; invocations on
+// non-replicated objects are remote procedure calls to the owner; objects
+// with a high read/write ratio are replicated on all machines, reads execute
+// locally, and writes are function-shipped via a totally-ordered broadcast
+// (write-update protocol), with the writer blocking until its own delivery.
+//
+// Total order is produced by a pluggable Sequencer: the paper's centralized
+// LAN sequencer, its distributed per-cluster rotating sequencer for WANs,
+// and the migrating sequencer used to optimize ASP. The package also exposes
+// the lower-level primitives the paper's optimized C programs use: raw
+// tagged point-to-point messages and application-level request/reply
+// services.
+package orca
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+// HeaderBytes is the protocol header added to every message's payload size.
+const HeaderBytes = 32
+
+// RTS is the runtime system for one simulated parallel machine. One instance
+// serves all compute nodes; per-node state is kept internally.
+type RTS struct {
+	e    *sim.Engine
+	net  *netsim.Network
+	topo cluster.Topology
+
+	nodes   []*nodeRTS
+	objects []*Object
+	seqr    Sequencer
+
+	// seqBusy is each sequencer node's ordering-work horizon.
+	seqBusy map[cluster.NodeID]time.Duration
+
+	ops OpStats
+}
+
+// nodeRTS is the per-compute-node runtime state.
+type nodeRTS struct {
+	id       cluster.NodeID
+	calls    map[uint64]*sim.Future // outstanding RPC/request replies
+	nextCall uint64
+	services map[string]*sim.Mailbox   // registered application services
+	handlers map[string]func(*Request) // event-context service handlers
+	data     map[Tag]*sim.Mailbox      // raw tagged message queues
+
+	// Totally-ordered delivery state: updates apply in global sequence
+	// order (one order across all replicated objects, as in Orca's single
+	// logical sequencer); out-of-order arrivals are buffered.
+	nextSeq  uint64
+	heldBack map[uint64]*pendingBcast
+}
+
+// OpStats counts logical runtime operations (as opposed to the physical
+// messages metered by netsim.Stats).
+type OpStats struct {
+	RPCs       int64 // remote invocations on non-replicated objects
+	RPCBytes   int64 // argument + result payload bytes of those RPCs
+	Bcasts     int64 // totally-ordered broadcasts (replicated writes)
+	BcastBytes int64 // argument payload bytes of those broadcasts
+	LocalOps   int64 // local reads/owner-local invocations
+	Requests   int64 // application-level service requests
+	DataMsgs   int64 // raw tagged messages
+	DataBytes  int64
+}
+
+// New creates a runtime bound to the given network, using seqr for
+// totally-ordered broadcast. If seqr is nil, DefaultSequencer is used.
+func New(net *netsim.Network, seqr Sequencer) *RTS {
+	topo := net.Topology()
+	r := &RTS{
+		e:    net.Engine(),
+		net:  net,
+		topo: topo,
+	}
+	r.nodes = make([]*nodeRTS, topo.Compute())
+	for i := range r.nodes {
+		id := cluster.NodeID(i)
+		r.nodes[i] = &nodeRTS{
+			id:       id,
+			calls:    make(map[uint64]*sim.Future),
+			services: make(map[string]*sim.Mailbox),
+			handlers: make(map[string]func(*Request)),
+			data:     make(map[Tag]*sim.Mailbox),
+			heldBack: make(map[uint64]*pendingBcast),
+		}
+		net.SetHandler(id, r.dispatchFor(id))
+	}
+	if topo.Clusters > 1 {
+		for c := 0; c < topo.Clusters; c++ {
+			gw := topo.Gateway(c)
+			net.SetHandler(gw, r.gatewayDispatch)
+		}
+	}
+	if seqr == nil {
+		seqr = DefaultSequencer(topo)
+	}
+	r.seqr = seqr
+	seqr.attach(r)
+	return r
+}
+
+// DefaultSequencer returns the sequencer the paper's system uses by default:
+// a centralized sequencer on a single cluster, the distributed per-cluster
+// rotating sequencer on a wide-area system.
+func DefaultSequencer(topo cluster.Topology) Sequencer {
+	if topo.Clusters > 1 {
+		return NewRotatingSequencer()
+	}
+	return NewCentralSequencer(0)
+}
+
+// Engine returns the underlying simulation engine.
+func (r *RTS) Engine() *sim.Engine { return r.e }
+
+// Network returns the underlying network.
+func (r *RTS) Network() *netsim.Network { return r.net }
+
+// Topology returns the platform topology.
+func (r *RTS) Topology() cluster.Topology { return r.topo }
+
+// Ops returns the logical operation counters accumulated so far.
+func (r *RTS) Ops() OpStats { return r.ops }
+
+// Sequencer returns the totally-ordered broadcast protocol in use.
+func (r *RTS) Sequencer() Sequencer { return r.seqr }
+
+// message payloads (internal protocol)
+
+type rpcReq struct {
+	callID uint64
+	objID  int
+	op     Op
+}
+
+type rpcRep struct {
+	callID uint64
+	result any
+}
+
+type bcastDeliver struct {
+	seq uint64
+	b   *pendingBcast
+}
+
+// relayBcast asks a remote gateway to re-broadcast an ordered update into
+// its own cluster.
+type relayBcast struct {
+	seq  uint64
+	b    *pendingBcast
+	size int
+}
+
+type serviceReq struct {
+	callID  uint64
+	from    cluster.NodeID
+	service string
+	payload any
+}
+
+type dataMsg struct {
+	tag     Tag
+	payload any
+}
+
+// dispatchFor returns the network delivery handler of a compute node.
+func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
+	nd := r.nodes[id]
+	return func(m netsim.Msg) {
+		switch pl := m.Payload.(type) {
+		case *rpcReq:
+			obj := r.objects[pl.objID]
+			res := pl.op.Apply(obj.state)
+			r.net.Send(netsim.Msg{
+				From: id, To: m.From, Kind: netsim.KindRPCRep,
+				Size:    pl.op.ResBytes + HeaderBytes,
+				Payload: &rpcRep{callID: pl.callID, result: res},
+			})
+		case *rpcRep:
+			f, ok := nd.calls[pl.callID]
+			if !ok {
+				panic(fmt.Sprintf("orca: stray reply %d at node %d", pl.callID, id))
+			}
+			delete(nd.calls, pl.callID)
+			f.Set(pl.result)
+		case *bcastDeliver:
+			r.applyOrdered(id, pl.seq, pl.b)
+		case *asyncDeliver:
+			res := pl.op.Apply(pl.obj.replicas[id])
+			if pl.obj.applied != nil {
+				pl.obj.applied(id, pl.op, res)
+			}
+		case *serviceReq:
+			req := &Request{rts: r, ID: pl.callID, From: pl.from, To: id, Payload: pl.payload}
+			if fn, ok := nd.handlers[pl.service]; ok {
+				fn(req)
+			} else if mb, ok := nd.services[pl.service]; ok {
+				mb.Put(req)
+			} else {
+				panic(fmt.Sprintf("orca: no service %q at node %d", pl.service, id))
+			}
+		case *dataMsg:
+			nd.mailbox(r.e, pl.tag).Put(pl.payload)
+		case seqProtoMsg:
+			pl.deliver(r)
+		default:
+			panic(fmt.Sprintf("orca: unknown payload %T at node %d", m.Payload, id))
+		}
+	}
+}
+
+// gatewayDispatch handles protocol traffic addressed to gateways: broadcast
+// relays and sequencer control messages.
+func (r *RTS) gatewayDispatch(m netsim.Msg) {
+	switch pl := m.Payload.(type) {
+	case *relayBcast:
+		// Re-broadcast into the local cluster using hardware multicast.
+		r.net.BcastLocal(m.To, netsim.KindBcast, pl.size, &bcastDeliver{seq: pl.seq, b: pl.b})
+	case *relayAsync:
+		r.net.BcastLocal(m.To, netsim.KindBcast, pl.size, &asyncDeliver{obj: pl.obj, op: pl.op})
+	case seqProtoMsg:
+		pl.deliver(r)
+	default:
+		panic(fmt.Sprintf("orca: unknown gateway payload %T", m.Payload))
+	}
+}
+
+// seqProtoMsg is implemented by sequencer-internal control messages.
+type seqProtoMsg interface{ deliver(r *RTS) }
+
+// distribute sends an ordered broadcast to every compute node: hardware
+// multicast in the orderer's cluster, one WAN message per remote cluster
+// relayed through its gateway. orderer must be a compute node.
+//
+// Ordering work serializes on the orderer (Params.OrderCost per message), so
+// a single central sequencer caps broadcast throughput system-wide; the
+// per-cluster distributed sequencer spreads that work over the clusters.
+func (r *RTS) distribute(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
+	if r.seqBusy == nil {
+		r.seqBusy = make(map[cluster.NodeID]time.Duration)
+	}
+	start := r.e.Now()
+	if busy := r.seqBusy[orderer]; busy > start {
+		start = busy
+	}
+	start += r.net.Params().OrderCost
+	r.seqBusy[orderer] = start
+	r.e.At(start, func() { r.distributeNow(orderer, seq, b) })
+}
+
+func (r *RTS) distributeNow(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
+	size := b.op.ArgBytes + HeaderBytes
+	r.net.BcastLocal(orderer, netsim.KindBcast, size, &bcastDeliver{seq: seq, b: b})
+	oc := r.topo.ClusterOf(orderer)
+	for c := 0; c < r.topo.Clusters; c++ {
+		if c == oc {
+			continue
+		}
+		r.net.Send(netsim.Msg{
+			From: orderer, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
+			Size:    size,
+			Payload: &relayBcast{seq: seq, b: b, size: size},
+		})
+	}
+}
+
+// applyOrdered applies ordered update seq at node id, buffering
+// out-of-order arrivals so every node applies the same total order.
+func (r *RTS) applyOrdered(id cluster.NodeID, seq uint64, b *pendingBcast) {
+	nd := r.nodes[id]
+	nd.heldBack[seq] = b
+	for {
+		nb, ok := nd.heldBack[nd.nextSeq]
+		if !ok {
+			return
+		}
+		delete(nd.heldBack, nd.nextSeq)
+		nd.nextSeq++
+		res := nb.op.Apply(nb.obj.replicas[id])
+		if nb.obj.applied != nil {
+			nb.obj.applied(id, nb.op, res)
+		}
+		if nb.from == id {
+			// Writer semantics: the invocation returns (and unblocks)
+			// when the writer's own copy has been updated.
+			nb.done.Set(res)
+		}
+	}
+}

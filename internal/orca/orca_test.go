@@ -1,0 +1,602 @@
+package orca
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/rng"
+	"albatross/internal/sim"
+)
+
+func build(clusters, npc int, seqr Sequencer) (*sim.Engine, *netsim.Network, *RTS) {
+	e := sim.NewEngine()
+	topo := cluster.Topology{Clusters: clusters, NodesPerCluster: npc}
+	net := netsim.New(e, topo, cluster.DASParams())
+	rts := New(net, seqr)
+	return e, net, rts
+}
+
+// counter state for shared-object tests.
+type counter struct{ n int }
+
+func incOp(by int) Op {
+	return Op{Name: "inc", ArgBytes: 8, ResBytes: 8,
+		Apply: func(s any) any { c := s.(*counter); c.n += by; return c.n }}
+}
+
+var readOp = Op{Name: "read", ArgBytes: 4, ResBytes: 8, ReadOnly: true,
+	Apply: func(s any) any { return s.(*counter).n }}
+
+func TestLocalInvoke(t *testing.T) {
+	e, _, rts := build(1, 4, nil)
+	obj := rts.NewObject("c", 0, &counter{})
+	var got any
+	e.Go("w", func(p *sim.Proc) {
+		obj.Invoke(p, 0, incOp(5))
+		got = obj.Invoke(p, 0, readOp)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("local ops took %v", e.Now())
+	}
+	if rts.Ops().RPCs != 0 || rts.Ops().LocalOps != 2 {
+		t.Fatalf("ops %+v", rts.Ops())
+	}
+}
+
+func TestRemoteRPC(t *testing.T) {
+	e, net, rts := build(1, 4, nil)
+	obj := rts.NewObject("c", 0, &counter{})
+	var got any
+	e.Go("w", func(p *sim.Proc) {
+		got = obj.Invoke(p, 2, incOp(7))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if rts.Ops().RPCs != 1 {
+		t.Fatalf("ops %+v", rts.Ops())
+	}
+	s := net.Stats()
+	if s.Intra[netsim.KindRPCReq].Msgs != 1 || s.Intra[netsim.KindRPCRep].Msgs != 1 {
+		t.Fatalf("stats %v", s)
+	}
+}
+
+// TestTable1LANRPCLatency checks the null-RPC calibration against the
+// paper's Table 1: 40 us application-to-application on Myrinet.
+func TestTable1LANRPCLatency(t *testing.T) {
+	e, _, rts := build(1, 2, nil)
+	obj := rts.NewObject("c", 0, &counter{})
+	var rtt time.Duration
+	e.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		obj.Invoke(p, 1, Op{Name: "null", Apply: func(s any) any { return nil }})
+		rtt = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 30*time.Microsecond || rtt > 50*time.Microsecond {
+		t.Fatalf("LAN null RPC %v, want ~40us", rtt)
+	}
+}
+
+// TestTable1LANBcastLatency checks the replicated-update calibration:
+// ~65 us on one cluster.
+func TestTable1LANBcastLatency(t *testing.T) {
+	e, _, rts := build(1, 60, nil)
+	obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+	var lat time.Duration
+	e.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		obj.Invoke(p, 5, Op{Name: "null", Apply: func(s any) any { return nil }})
+		lat = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lat < 45*time.Microsecond || lat > 90*time.Microsecond {
+		t.Fatalf("LAN replicated update %v, want ~65us", lat)
+	}
+}
+
+// TestTable1WANRPCLatency checks the WAN null-RPC calibration: ~2.7 ms
+// round trip.
+func TestTable1WANRPCLatency(t *testing.T) {
+	e, _, rts := build(2, 2, nil)
+	obj := rts.NewObject("c", 0, &counter{})
+	var rtt time.Duration
+	e.Go("w", func(p *sim.Proc) {
+		// Node 2 lives in cluster 1: the call crosses the WAN twice.
+		start := p.Now()
+		obj.Invoke(p, 2, Op{Name: "null", Apply: func(s any) any { return nil }})
+		rtt = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 2300*time.Microsecond || rtt > 3100*time.Microsecond {
+		t.Fatalf("WAN null RPC %v, want ~2.7ms", rtt)
+	}
+}
+
+// TestTable1Bandwidth checks that a 100 KB stream achieves roughly the
+// configured link bandwidths at application level.
+func TestTable1Bandwidth(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		clusters int
+		to       cluster.NodeID
+		minMbit  float64
+		maxMbit  float64
+	}{
+		{"LAN", 1, 1, 150, 230},
+		{"WAN", 2, 2, 3.8, 5.0},
+	} {
+		e, _, rts := build(tc.clusters, 2, nil)
+		const chunk = 100 * 1024
+		const nmsg = 10
+		var elapsed time.Duration
+		done := sim.NewFuture(e, "done")
+		e.Go("recv", func(p *sim.Proc) {
+			for i := 0; i < nmsg; i++ {
+				rts.RecvData(p, tc.to, Tag{Op: "bw"})
+			}
+			done.Set(nil)
+		})
+		e.Go("send", func(p *sim.Proc) {
+			for i := 0; i < nmsg; i++ {
+				rts.SendData(0, tc.to, Tag{Op: "bw"}, chunk, nil)
+			}
+			done.Await(p)
+			elapsed = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		mbit := float64(nmsg*chunk) * 8 / 1e6 / elapsed.Seconds()
+		if mbit < tc.minMbit || mbit > tc.maxMbit {
+			t.Fatalf("%s bandwidth %.2f Mbit/s, want [%v,%v]", tc.name, mbit, tc.minMbit, tc.maxMbit)
+		}
+	}
+}
+
+func TestReplicatedReadIsLocalAndFree(t *testing.T) {
+	e, net, rts := build(2, 4, nil)
+	obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{n: 9} })
+	var got any
+	e.Go("w", func(p *sim.Proc) { got = obj.Invoke(p, 6, readOp) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if net.Stats().TotalIntra().Msgs+net.Stats().TotalInter().Msgs != 0 {
+		t.Fatal("replicated read generated traffic")
+	}
+}
+
+func TestReplicatedWriteUpdatesAllReplicas(t *testing.T) {
+	for _, seqr := range []Sequencer{NewCentralSequencer(0), NewRotatingSequencer(), NewMigratingSequencer()} {
+		e, _, rts := build(2, 3, seqr)
+		obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+		e.Go("w", func(p *sim.Proc) {
+			obj.Invoke(p, 4, incOp(3))
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", seqr.Name(), err)
+		}
+		for i := 0; i < 6; i++ {
+			if obj.Replica(cluster.NodeID(i)).(*counter).n != 3 {
+				t.Fatalf("%s: replica %d not updated", seqr.Name(), i)
+			}
+		}
+	}
+}
+
+// TestTotalOrderProperty is the central correctness property of the
+// broadcast layer: whatever the sequencer protocol, cluster shape and write
+// schedule, every node applies exactly the same sequence of updates.
+func TestTotalOrderProperty(t *testing.T) {
+	protocols := []func() Sequencer{
+		func() Sequencer { return NewCentralSequencer(0) },
+		func() Sequencer { return NewRotatingSequencer() },
+		func() Sequencer { return NewMigratingSequencer() },
+	}
+	prop := func(seed uint64, pidx uint8, cl8, npc8 uint8) bool {
+		clusters := int(cl8%3) + 1
+		npc := int(npc8%4) + 1
+		seqr := protocols[int(pidx)%len(protocols)]()
+		e, _, rts := build(clusters, npc, seqr)
+		obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+
+		n := clusters * npc
+		applied := make([][]int, n) // per node: sequence of op IDs
+		obj.OnApplied(func(at cluster.NodeID, op Op, result any) {
+			applied[at] = append(applied[at], op.ArgBytes) // op ID smuggled in ArgBytes
+		})
+		r := rng.New(seed)
+		writers := 1 + r.Intn(n)
+		totalWrites := 0
+		for wi := 0; wi < writers; wi++ {
+			node := cluster.NodeID(r.Intn(n))
+			k := 1 + r.Intn(4)
+			totalWrites += k
+			wr := r.Derive(uint64(wi))
+			base := wi * 100
+			e.Go("writer", func(p *sim.Proc) {
+				for j := 0; j < k; j++ {
+					p.Compute(time.Duration(wr.Intn(2000)) * time.Microsecond)
+					id := base + j
+					obj.Invoke(p, node, Op{Name: "w", ArgBytes: id,
+						Apply: func(s any) any { s.(*counter).n++; return nil }})
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if len(applied[i]) != totalWrites {
+				return false
+			}
+			for j := range applied[i] {
+				if applied[i][j] != applied[0][j] {
+					return false
+				}
+			}
+			if obj.Replica(cluster.NodeID(i)).(*counter).n != totalWrites {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterBlocksUntilOwnDelivery: the invocation must not return before
+// the writer's own replica has the new value.
+func TestWriterBlocksUntilOwnDelivery(t *testing.T) {
+	e, _, rts := build(2, 2, nil)
+	obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+	e.Go("w", func(p *sim.Proc) {
+		obj.Invoke(p, 3, incOp(1))
+		if got := obj.Invoke(p, 3, readOp).(int); got != 1 {
+			t.Errorf("own replica stale after write returned: %d", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigratingFasterThanRotatingForBursts reproduces the ASP reasoning:
+// a burst of broadcasts from one node should be much faster under the
+// migrating sequencer than under the rotating one.
+func TestMigratingFasterThanRotatingForBursts(t *testing.T) {
+	burst := func(seqr Sequencer) time.Duration {
+		e, _, rts := build(4, 4, seqr)
+		obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+		e.Go("w", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				obj.Invoke(p, 5, incOp(1)) // node 5 is in cluster 1
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	rot := burst(NewRotatingSequencer())
+	mig := burst(NewMigratingSequencer())
+	if mig*3 > rot {
+		t.Fatalf("migrating (%v) not clearly faster than rotating (%v)", mig, rot)
+	}
+}
+
+func TestAsyncUpdateEventuallyEverywhere(t *testing.T) {
+	e, _, rts := build(3, 2, nil)
+	obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			obj.AsyncUpdate(1, incOp(1))
+		}
+		// Sender continues immediately: no virtual time may have passed.
+		if p.Now() != 0 {
+			t.Errorf("async update blocked the sender until %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if got := obj.Replica(cluster.NodeID(i)).(*counter).n; got != 5 {
+			t.Fatalf("replica %d has %d, want 5", i, got)
+		}
+	}
+}
+
+func TestServiceRequestReply(t *testing.T) {
+	e, _, rts := build(2, 2, nil)
+	mb := rts.RegisterService(3, "adder")
+	e.Go("server", func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			req := NextRequest(p, mb)
+			req.Reply(8, req.Payload.(int)+1)
+		}
+	})
+	var got any
+	e.Go("client", func(p *sim.Proc) {
+		got = rts.Call(p, 0, 3, "adder", 8, 41)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCastAndHandleService(t *testing.T) {
+	e, _, rts := build(1, 2, nil)
+	sum := 0
+	rts.HandleService(1, "acc", func(req *Request) { sum += req.Payload.(int) })
+	e.Go("client", func(p *sim.Proc) {
+		rts.Cast(0, 1, "acc", 8, 4)
+		rts.Cast(0, 1, "acc", 8, 38)
+		if p.Now() != 0 {
+			t.Error("Cast blocked the sender")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum %d", sum)
+	}
+}
+
+func TestDataTagsIsolateStreams(t *testing.T) {
+	e, _, rts := build(1, 2, nil)
+	tagA, tagB := Tag{Op: "a"}, Tag{Op: "b", A: 1}
+	var gotA, gotB any
+	e.Go("recv", func(p *sim.Proc) {
+		gotB = rts.RecvData(p, 1, tagB)
+		gotA = rts.RecvData(p, 1, tagA)
+	})
+	e.Go("send", func(p *sim.Proc) {
+		rts.SendData(0, 1, tagA, 10, "A")
+		rts.SendData(0, 1, tagB, 10, "B")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotA != "A" || gotB != "B" {
+		t.Fatalf("got %v %v", gotA, gotB)
+	}
+}
+
+func TestAsyncFIFOPerSender(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		e, _, rts := build(2, 2, nil)
+		obj := rts.NewReplicated("log", func(cluster.NodeID) any { return &[]int{} })
+		logs := make([][]int, 4)
+		obj.OnApplied(func(at cluster.NodeID, op Op, _ any) {
+			logs[at] = append(logs[at], op.ArgBytes)
+		})
+		const k = 15
+		e.Go("w", func(p *sim.Proc) {
+			for i := 0; i < k; i++ {
+				obj.AsyncUpdate(0, Op{Name: "w", ArgBytes: i, Apply: func(s any) any { return nil }})
+				p.Compute(time.Duration(r.Intn(300)) * time.Microsecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for n := 0; n < 4; n++ {
+			if len(logs[n]) != k {
+				return false
+			}
+			for i := 0; i < k; i++ {
+				if logs[n][i] != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	e, _, rts := build(2, 2, nil)
+	nonrep := rts.NewObject("n", 0, &counter{})
+	rep := rts.NewReplicated("r", func(cluster.NodeID) any { return &counter{} })
+	e.Go("w", func(p *sim.Proc) {
+		nonrep.Invoke(p, 1, incOp(1)) // RPC
+		nonrep.Invoke(p, 0, incOp(1)) // local (owner invocation via node 0 context)
+		rep.Invoke(p, 1, readOp)      // local read
+		rep.Invoke(p, 1, incOp(1))    // broadcast
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ops := rts.Ops()
+	if ops.RPCs != 1 || ops.LocalOps != 2 || ops.Bcasts != 1 {
+		t.Fatalf("ops %+v", ops)
+	}
+}
+
+func TestManyObjectsInterleavedWrites(t *testing.T) {
+	// Two replicated objects sharing the global order must not wedge.
+	e, _, rts := build(2, 2, nil)
+	a := rts.NewReplicated("a", func(cluster.NodeID) any { return &counter{} })
+	b := rts.NewReplicated("b", func(cluster.NodeID) any { return &counter{} })
+	for i := 0; i < 4; i++ {
+		node := cluster.NodeID(i)
+		e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			for j := 0; j < 5; j++ {
+				a.Invoke(p, node, incOp(1))
+				b.Invoke(p, node, incOp(2))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if a.Replica(cluster.NodeID(i)).(*counter).n != 20 {
+			t.Fatalf("a replica %d wrong", i)
+		}
+		if b.Replica(cluster.NodeID(i)).(*counter).n != 40 {
+			t.Fatalf("b replica %d wrong", i)
+		}
+	}
+}
+
+// TestTotalOrderOnIrregularTopology repeats the core total-order property on
+// the paper's real, unequal-cluster DAS shape.
+func TestTotalOrderOnIrregularTopology(t *testing.T) {
+	for _, mk := range []func() Sequencer{
+		func() Sequencer { return NewCentralSequencer(0) },
+		func() Sequencer { return NewRotatingSequencer() },
+		func() Sequencer { return NewMigratingSequencer() },
+	} {
+		e := sim.NewEngine()
+		topo := cluster.Irregular(5, 2, 3)
+		net := netsim.New(e, topo, cluster.DASParams())
+		rts := New(net, mk())
+		obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+		n := topo.Compute()
+		applied := make([][]int, n)
+		obj.OnApplied(func(at cluster.NodeID, op Op, _ any) {
+			applied[at] = append(applied[at], op.ArgBytes)
+		})
+		const writers = 6
+		for wi := 0; wi < writers; wi++ {
+			node := cluster.NodeID(wi % n)
+			id := wi
+			e.Go("writer", func(p *sim.Proc) {
+				p.Compute(time.Duration(id*150) * time.Microsecond)
+				obj.Invoke(p, node, Op{Name: "w", ArgBytes: id,
+					Apply: func(s any) any { s.(*counter).n++; return nil }})
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if len(applied[i]) != writers {
+				t.Fatalf("node %d applied %d of %d", i, len(applied[i]), writers)
+			}
+			for j := range applied[i] {
+				if applied[i][j] != applied[0][j] {
+					t.Fatalf("order differs at node %d: %v vs %v", i, applied[i], applied[0])
+				}
+			}
+		}
+	}
+}
+
+// TestChaosMix stress-tests the runtime with every primitive interleaved:
+// random RPCs, ordered and async replicated writes, service calls and raw
+// data messages, across a random topology — everything must stay conserved
+// and consistent.
+func TestChaosMix(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		clusters := 1 + r.Intn(3)
+		npc := 2 + r.Intn(3)
+		e, _, rts := build(clusters, npc, nil)
+		n := clusters * npc
+
+		counterObj := rts.NewObject("counter", 0, &counter{})
+		repObj := rts.NewReplicated("rep", func(cluster.NodeID) any { return &counter{} })
+		echoes := 0
+		for i := 0; i < n; i++ {
+			id := cluster.NodeID(i)
+			rts.HandleService(id, "echo", func(req *Request) {
+				echoes++
+				if req.NeedsReply() {
+					req.Reply(8, req.Payload)
+				}
+			})
+		}
+
+		var wantRPC, wantOrdered, wantAsync, wantData, wantCalls int
+		dataGot := 0
+		for i := 0; i < n; i++ {
+			node := cluster.NodeID(i)
+			pr := r.Derive(uint64(i))
+			steps := 5 + pr.Intn(10)
+			e.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+				for s := 0; s < steps; s++ {
+					p.Compute(time.Duration(pr.Intn(500)) * time.Microsecond)
+					switch pr.Intn(5) {
+					case 0:
+						counterObj.Invoke(p, node, incOp(1))
+						wantRPC++
+					case 1:
+						repObj.Invoke(p, node, incOp(1))
+						wantOrdered++
+					case 2:
+						repObj.AsyncUpdate(node, incOp(1))
+						wantAsync++
+					case 3:
+						dst := cluster.NodeID(pr.Intn(n))
+						if rts.Call(p, node, dst, "echo", 8, s) != s {
+							panic("echo mismatch")
+						}
+						wantCalls++
+					case 4:
+						dst := cluster.NodeID(pr.Intn(n))
+						rts.SendData(node, dst, Tag{Op: "chaos", A: int(dst)}, 16, s)
+						wantData++
+					}
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if counterObj.State().(*counter).n != wantRPC {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if repObj.Replica(cluster.NodeID(i)).(*counter).n != wantOrdered+wantAsync {
+				return false
+			}
+			for {
+				if _, ok := rts.TryRecvData(cluster.NodeID(i), Tag{Op: "chaos", A: i}); !ok {
+					break
+				}
+				dataGot++
+			}
+		}
+		return dataGot == wantData && echoes == wantCalls
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

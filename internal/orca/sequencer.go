@@ -1,0 +1,346 @@
+package orca
+
+import (
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+)
+
+// Sequencer produces the global total order of replicated-object updates.
+// Submit is called at the writer's node; the implementation must eventually
+// assign the update a globally unique, gap-free sequence number and
+// distribute it to all compute nodes (via RTS.distribute).
+//
+// Three protocols from the paper are provided:
+//
+//   - CentralSequencer: one sequencer machine orders everything. Efficient
+//     on a single LAN cluster, a bottleneck across a WAN.
+//   - RotatingSequencer: one sequencer per cluster; a token circulates and
+//     each cluster broadcasts in turn (the paper's wide-area default).
+//   - MigratingSequencer: a single sequencer that migrates to the cluster
+//     that is sending, pipelining bursts from one sender (the ASP
+//     optimization of Section 4.3).
+type Sequencer interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Submit hands an update to the protocol at the writer's node.
+	Submit(r *RTS, from cluster.NodeID, b *pendingBcast)
+	// attach binds the protocol to a runtime at construction time.
+	attach(r *RTS)
+}
+
+// seqNode returns the sequencer machine of cluster c: its first compute
+// node, as in the paper's default configuration.
+func seqNode(topo cluster.Topology, c int) cluster.NodeID { return topo.Node(c, 0) }
+
+// tokenHopBytes is the wire size of sequencer control messages.
+const tokenHopBytes = 16 + HeaderBytes
+
+// CentralSequencer
+
+// CentralSequencer orders all updates at one fixed node.
+type CentralSequencer struct {
+	node cluster.NodeID
+	next uint64
+}
+
+// NewCentralSequencer creates a central sequencer at the given compute node.
+func NewCentralSequencer(node cluster.NodeID) *CentralSequencer {
+	return &CentralSequencer{node: node}
+}
+
+func (s *CentralSequencer) Name() string  { return "central" }
+func (s *CentralSequencer) attach(r *RTS) {}
+
+// Submit routes the update to the sequencer node, which assigns the next
+// sequence number and distributes.
+func (s *CentralSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast) {
+	if from == s.node {
+		s.order(r, b)
+		return
+	}
+	r.net.Send(netsim.Msg{
+		From: from, To: s.node, Kind: netsim.KindBcast,
+		Size:    b.op.ArgBytes + HeaderBytes,
+		Payload: centralSubmit{s: s, b: b},
+	})
+}
+
+func (s *CentralSequencer) order(r *RTS, b *pendingBcast) {
+	seq := s.next
+	s.next++
+	r.distribute(s.node, seq, b)
+}
+
+type centralSubmit struct {
+	s *CentralSequencer
+	b *pendingBcast
+}
+
+func (m centralSubmit) deliver(r *RTS) { m.s.order(r, m.b) }
+
+// RotatingSequencer
+
+// RotatingSequencer implements the paper's distributed sequencer: every
+// cluster has a sequencer node holding a queue of local update requests,
+// and an ordering token rotates round-robin over the clusters. A cluster's
+// queue is drained only while it holds the token, so each cluster
+// "broadcasts in turn"; a sender therefore waits up to a full token rotation
+// (several WAN hops) before its update is ordered — the behaviour the paper
+// identifies as the major wide-area broadcast problem.
+type RotatingSequencer struct {
+	next     uint64
+	holder   int  // cluster where the token currently sits
+	moving   bool // token is in flight
+	turnUsed bool // the holder has already broadcast during this visit
+	queues   [][]*pendingBcast
+}
+
+// NewRotatingSequencer creates the distributed per-cluster sequencer.
+func NewRotatingSequencer() *RotatingSequencer { return &RotatingSequencer{} }
+
+func (s *RotatingSequencer) Name() string { return "rotating" }
+
+func (s *RotatingSequencer) attach(r *RTS) {
+	s.queues = make([][]*pendingBcast, r.topo.Clusters)
+}
+
+// Submit sends the update to the sender's cluster sequencer, which queues it
+// until the token arrives.
+func (s *RotatingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast) {
+	c := r.topo.ClusterOf(from)
+	sn := seqNode(r.topo, c)
+	if from == sn {
+		s.enqueue(r, c, b)
+		return
+	}
+	r.net.Send(netsim.Msg{
+		From: from, To: sn, Kind: netsim.KindBcast,
+		Size:    b.op.ArgBytes + HeaderBytes,
+		Payload: rotatingSubmit{s: s, c: c, b: b},
+	})
+}
+
+type rotatingSubmit struct {
+	s *RotatingSequencer
+	c int
+	b *pendingBcast
+}
+
+func (m rotatingSubmit) deliver(r *RTS) { m.s.enqueue(r, m.c, m.b) }
+
+func (s *RotatingSequencer) enqueue(r *RTS, c int, b *pendingBcast) {
+	s.queues[c] = append(s.queues[c], b)
+	if s.moving {
+		return // the token will reach this cluster on its rotation
+	}
+	if s.holder == c && !s.turnUsed {
+		// The token is parked here and this visit's turn is still unused.
+		s.turnUsed = true
+		s.drain(r, c)
+		return
+	}
+	// Wake the parked token and let it rotate towards us — a full rotation
+	// when we are the holder but already used our turn.
+	s.advance(r)
+}
+
+// drain orders and distributes every queued update of cluster c.
+func (s *RotatingSequencer) drain(r *RTS, c int) {
+	q := s.queues[c]
+	s.queues[c] = nil
+	orderer := seqNode(r.topo, c)
+	for _, b := range q {
+		seq := s.next
+		s.next++
+		r.distribute(orderer, seq, b)
+	}
+}
+
+func (s *RotatingSequencer) anyPending() bool {
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// advance moves the token one hop to the next cluster, or parks it when the
+// whole system is idle.
+func (s *RotatingSequencer) advance(r *RTS) {
+	if !s.anyPending() {
+		s.moving = false
+		return
+	}
+	s.moving = true
+	nextC := (s.holder + 1) % r.topo.Clusters
+	if r.topo.Clusters == 1 {
+		// Degenerate single-cluster case: no WAN hop to pay.
+		s.moving = false
+		s.turnUsed = true
+		s.drain(r, nextC)
+		return
+	}
+	r.net.Send(netsim.Msg{
+		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, nextC),
+		Kind: netsim.KindControl, Size: tokenHopBytes,
+		Payload: rotatingToken{s: s, c: nextC},
+	})
+}
+
+type rotatingToken struct {
+	s *RotatingSequencer
+	c int
+}
+
+func (m rotatingToken) deliver(r *RTS) {
+	s := m.s
+	s.holder = m.c
+	s.moving = false
+	s.turnUsed = len(s.queues[m.c]) > 0
+	s.drain(r, m.c)
+	s.advance(r)
+}
+
+// MigratingSequencer
+
+// MigratingSequencer keeps a single logical sequencer but migrates it to the
+// cluster that wants to broadcast: a burst of updates from one cluster pays
+// the WAN migration once (a request hop plus a hand-over hop) and is then
+// ordered at LAN speed, pipelining computation and communication — the
+// paper's ASP optimization.
+type MigratingSequencer struct {
+	next      uint64
+	holder    int // cluster currently hosting the sequencer
+	inFlight  bool
+	requests  []int  // FIFO of clusters waiting for the sequencer
+	requested []bool // per-cluster: migration already requested
+	queues    [][]*pendingBcast
+}
+
+// NewMigratingSequencer creates a migrating sequencer, initially hosted by
+// cluster 0.
+func NewMigratingSequencer() *MigratingSequencer { return &MigratingSequencer{} }
+
+func (s *MigratingSequencer) Name() string { return "migrating" }
+
+func (s *MigratingSequencer) attach(r *RTS) {
+	s.queues = make([][]*pendingBcast, r.topo.Clusters)
+	s.requested = make([]bool, r.topo.Clusters)
+}
+
+// Submit sends the update to the sender's cluster sequencer node; if the
+// sequencer is hosted there it orders immediately, otherwise the cluster
+// requests a migration.
+func (s *MigratingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast) {
+	c := r.topo.ClusterOf(from)
+	sn := seqNode(r.topo, c)
+	if from == sn {
+		s.arriveLocal(r, c, b)
+		return
+	}
+	r.net.Send(netsim.Msg{
+		From: from, To: sn, Kind: netsim.KindBcast,
+		Size:    b.op.ArgBytes + HeaderBytes,
+		Payload: migratingSubmit{s: s, c: c, b: b},
+	})
+}
+
+type migratingSubmit struct {
+	s *MigratingSequencer
+	c int
+	b *pendingBcast
+}
+
+func (m migratingSubmit) deliver(r *RTS) { m.s.arriveLocal(r, m.c, m.b) }
+
+// arriveLocal handles an update that has reached its cluster sequencer node.
+func (s *MigratingSequencer) arriveLocal(r *RTS, c int, b *pendingBcast) {
+	if s.holder == c && !s.inFlight {
+		seq := s.next
+		s.next++
+		r.distribute(seqNode(r.topo, c), seq, b)
+		return
+	}
+	s.queues[c] = append(s.queues[c], b)
+	if !s.requested[c] {
+		// Send a migration request from our sequencer node to the
+		// current holder's sequencer node (one WAN hop).
+		s.requested[c] = true
+		r.net.Send(netsim.Msg{
+			From: seqNode(r.topo, c), To: seqNode(r.topo, s.holder),
+			Kind: netsim.KindControl, Size: tokenHopBytes,
+			Payload: migratingRequest{s: s, c: c},
+		})
+	}
+}
+
+// migratingRequest asks the holder to hand the sequencer over to cluster c.
+type migratingRequest struct {
+	s *MigratingSequencer
+	c int
+}
+
+func (m migratingRequest) deliver(r *RTS) { m.s.handleRequest(r, m.c) }
+
+func (s *MigratingSequencer) handleRequest(r *RTS, c int) {
+	if s.inFlight {
+		s.requests = append(s.requests, c)
+		return
+	}
+	if s.holder == c {
+		// The sequencer migrated back here while the request was in
+		// flight; order the queued updates directly.
+		s.requested[c] = false
+		s.drain(r, c)
+		return
+	}
+	s.sendToken(r, c)
+}
+
+// sendToken hands the sequencer from the current holder to cluster c.
+func (s *MigratingSequencer) sendToken(r *RTS, c int) {
+	s.inFlight = true
+	r.net.Send(netsim.Msg{
+		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, c),
+		Kind: netsim.KindControl, Size: tokenHopBytes,
+		Payload: migratingToken{s: s, c: c},
+	})
+}
+
+type migratingToken struct {
+	s *MigratingSequencer
+	c int
+}
+
+func (m migratingToken) deliver(r *RTS) {
+	s := m.s
+	s.holder = m.c
+	s.inFlight = false
+	s.requested[m.c] = false
+	s.drain(r, m.c)
+	// Serve waiting clusters: drain any whose request is already satisfied
+	// by the token being here, then hand the token to the first remote one.
+	for len(s.requests) > 0 {
+		next := s.requests[0]
+		s.requests = s.requests[1:]
+		if next == s.holder {
+			s.requested[next] = false
+			s.drain(r, next)
+			continue
+		}
+		s.sendToken(r, next)
+		return
+	}
+}
+
+func (s *MigratingSequencer) drain(r *RTS, c int) {
+	q := s.queues[c]
+	s.queues[c] = nil
+	orderer := seqNode(r.topo, c)
+	for _, b := range q {
+		seq := s.next
+		s.next++
+		r.distribute(orderer, seq, b)
+	}
+}

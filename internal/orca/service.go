@@ -1,0 +1,102 @@
+package orca
+
+import (
+	"fmt"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+// Request is an application-level request delivered to a registered service.
+// The serving process must answer every request exactly once via Reply.
+type Request struct {
+	rts     *RTS
+	ID      uint64
+	From    cluster.NodeID
+	To      cluster.NodeID
+	Payload any
+}
+
+// NeedsReply reports whether the request came from a blocking Call (true)
+// or a one-way Cast (false, and Reply must not be called).
+func (q *Request) NeedsReply() bool { return q.ID != noReply }
+
+// Reply sends the response back to the requester, unblocking it when the
+// reply message arrives. resBytes is the simulated payload size.
+func (q *Request) Reply(resBytes int, result any) {
+	if q.ID == noReply {
+		panic("orca: Reply to a Cast request")
+	}
+	q.rts.net.Send(netsim.Msg{
+		From: q.To, To: q.From, Kind: netsim.KindRPCRep,
+		Size:    resBytes + HeaderBytes,
+		Payload: &rpcRep{callID: q.ID, result: result},
+	})
+}
+
+// RegisterService creates (or returns) the request mailbox for a named
+// service at a node. A server process consumes it with NextRequest.
+func (r *RTS) RegisterService(at cluster.NodeID, name string) *sim.Mailbox {
+	nd := r.nodes[at]
+	if _, taken := nd.handlers[name]; taken {
+		panic(fmt.Sprintf("orca: service %q at node %d already has a handler", name, at))
+	}
+	mb, ok := nd.services[name]
+	if !ok {
+		mb = sim.NewMailbox(r.e, fmt.Sprintf("service %s@%d", name, at))
+		nd.services[name] = mb
+	}
+	return mb
+}
+
+// HandleService registers an event-context handler for a named service at a
+// node: fn runs at message arrival time and must not block, but it may send
+// messages, schedule events and reply. Use this for protocol agents (like
+// message combiners) that need no process of their own.
+func (r *RTS) HandleService(at cluster.NodeID, name string, fn func(*Request)) {
+	nd := r.nodes[at]
+	if _, taken := nd.services[name]; taken {
+		panic(fmt.Sprintf("orca: service %q at node %d already has a mailbox", name, at))
+	}
+	if _, taken := nd.handlers[name]; taken {
+		panic(fmt.Sprintf("orca: service %q at node %d registered twice", name, at))
+	}
+	nd.handlers[name] = fn
+}
+
+// Cast sends a one-way, non-blocking request to a service: the sender
+// continues immediately and no reply is expected.
+func (r *RTS) Cast(from, to cluster.NodeID, name string, argBytes int, payload any) {
+	r.ops.Requests++
+	r.net.Send(netsim.Msg{
+		From: from, To: to, Kind: netsim.KindData,
+		Size:    argBytes + HeaderBytes,
+		Payload: &serviceReq{callID: noReply, from: from, service: name, payload: payload},
+	})
+}
+
+// noReply marks a cast request (Reply on it is a bug).
+const noReply = ^uint64(0)
+
+// NextRequest blocks the serving process until a request arrives.
+func NextRequest(p *sim.Proc, mb *sim.Mailbox) *Request {
+	return mb.Get(p).(*Request)
+}
+
+// Call performs a blocking application-level request to service name at node
+// to: the calling process is suspended until the server replies.
+func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes int, payload any) any {
+	r.ops.Requests++
+	nd := r.nodes[from]
+	id := nd.nextCall
+	nd.nextCall++
+	f := sim.NewFuture(r.e, fmt.Sprintf("call %s@%d", name, to))
+	nd.calls[id] = f
+	r.net.Send(netsim.Msg{
+		From: from, To: to, Kind: netsim.KindRPCReq,
+		Size:    argBytes + HeaderBytes,
+		Payload: &serviceReq{callID: id, from: from, service: name, payload: payload},
+	})
+	return f.Await(p)
+}

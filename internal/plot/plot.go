@@ -1,0 +1,80 @@
+// Package plot renders speedup figures as ASCII charts in the style of the
+// paper's gnuplot figures: speedup on the y-axis, total CPUs on the x-axis,
+// the linear-speedup diagonal for reference, and one glyph per cluster
+// count.
+package plot
+
+import (
+	"fmt"
+	"strings"
+
+	"albatross/internal/harness"
+)
+
+// glyphs per series, in order (1 cluster, 2 clusters, 4 clusters, ...).
+var glyphs = []byte{'o', '+', 'x', '*', '#'}
+
+// Render draws the figure on a width x height character canvas.
+func Render(fig *harness.Figure, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	maxX := float64(fig.MaxX)
+	maxY := fig.MaxY
+	if maxX == 0 {
+		maxX = 64
+	}
+	if maxY == 0 {
+		maxY = 64
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	px := func(x float64) int { return int(x / maxX * float64(width-1)) }
+	py := func(y float64) int { return height - 1 - int(y/maxY*float64(height-1)) }
+	set := func(x, y int, c byte) {
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = c
+		}
+	}
+	// Linear-speedup diagonal.
+	for x := 0.0; x <= maxX; x += maxX / float64(width*2) {
+		set(px(x), py(x*maxY/maxX), '.')
+	}
+	for si, s := range fig.Series {
+		g := glyphs[si%len(glyphs)]
+		var prev *harness.Point
+		for i := range s.Points {
+			p := s.Points[i]
+			if prev != nil {
+				// Sparse line interpolation between consecutive points.
+				steps := 8
+				for k := 1; k < steps; k++ {
+					fx := float64(prev.CPUs) + float64(p.CPUs-prev.CPUs)*float64(k)/float64(steps)
+					fy := prev.Speedup + (p.Speedup-prev.Speedup)*float64(k)/float64(steps)
+					set(px(fx), py(fy), '-')
+				}
+			}
+			set(px(float64(p.CPUs)), py(p.Speedup), g)
+			prev = &s.Points[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: speedup 0..%.0f, x: CPUs 0..%.0f, '.': linear)\n", fig.Title, maxY, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	legend := make([]string, 0, len(fig.Series))
+	for si, s := range fig.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Label))
+	}
+	b.WriteString("  " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}

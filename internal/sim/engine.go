@@ -1,0 +1,184 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// Simulated processes are goroutines coordinated by a strict baton-passing
+// protocol: at any instant exactly one goroutine (either the engine or a
+// single process) is running, so simulation state needs no locking and every
+// run of the same configuration produces the identical event order and the
+// identical virtual end time.
+//
+// Time is virtual. A process advances its own clock with Compute or Sleep,
+// synchronizes with others through Future and Mailbox, and the engine
+// schedules arbitrary callbacks with At. When the event heap drains while
+// processes are still parked, Run reports a deadlock naming the culprits.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Engine owns the virtual clock and the pending-event queue.
+// Create one with NewEngine, spawn processes with Go, then call Run.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+
+	ctl   chan procSignal // processes signal the engine here when parking/exiting
+	procs []*Proc
+	live  int // spawned but not yet exited
+
+	running bool
+	stopped bool
+}
+
+// procSignal tells the engine what the currently running process just did.
+type procSignal uint8
+
+const (
+	sigParked procSignal = iota // process blocked; it will wait on its resume channel
+	sigExited                   // process body returned
+)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{ctl: make(chan procSignal)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Events scheduled for a
+// time in the past run at the current time. Callbacks execute in the engine
+// context: they must not block, but they may resume processes (via Future,
+// Mailbox, or any primitive built on them) and schedule further events.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Go spawns a simulated process that begins executing body at the current
+// virtual time. The name is used in deadlock reports and String.
+func (e *Engine) Go(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	e.At(e.now, func() { e.start(p, body) })
+	return p
+}
+
+// start launches the goroutine for p and immediately hands it the baton.
+func (e *Engine) start(p *Proc, body func(*Proc)) {
+	go func() {
+		<-p.resume
+		body(p)
+		p.state = procDone
+		e.ctl <- sigExited
+	}()
+	e.handoff(p)
+}
+
+// handoff transfers the baton to p and waits until p parks or exits.
+func (e *Engine) handoff(p *Proc) {
+	p.state = procRunning
+	p.resume <- struct{}{}
+	sig := <-e.ctl
+	if sig == sigExited {
+		e.live--
+	}
+}
+
+// wake schedules p to resume at the current virtual time.
+func (e *Engine) wake(p *Proc) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: wake of %s which is %v", p.name, p.state))
+	}
+	p.state = procReady
+	e.At(e.now, func() { e.handoff(p) })
+}
+
+// Run executes events until the queue drains. It returns a *DeadlockError if
+// processes remain parked afterwards, and nil on clean completion.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Engine.Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	var parked []string
+	for _, p := range e.procs {
+		if p.state == procParked && !p.daemon {
+			parked = append(parked, p.waitReport())
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return &DeadlockError{Time: e.now, Parked: parked}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Useful for
+// open-ended simulations driven by recurring timers.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Procs returns the processes spawned so far, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Live reports how many spawned processes have not yet exited.
+func (e *Engine) Live() int { return e.live }
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	Time   time.Duration
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; parked: %s", d.Time, strings.Join(d.Parked, ", "))
+}

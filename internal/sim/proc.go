@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// procState tracks where a process is in the baton-passing protocol.
+type procState uint8
+
+const (
+	procReady   procState = iota // scheduled to run but not holding the baton
+	procRunning                  // holds the baton
+	procParked                   // blocked on a primitive, off the event heap
+	procDone                     // body returned
+)
+
+func (s procState) String() string {
+	switch s {
+	case procReady:
+		return "ready"
+	case procRunning:
+		return "running"
+	case procParked:
+		return "parked"
+	case procDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Proc is a simulated process. All methods must be called from the process's
+// own body function (they block the calling goroutine in virtual time).
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	state  procState
+
+	waitsOn string // description of the primitive currently blocking us
+	daemon  bool   // daemon procs may be left parked at end of run
+
+	busy time.Duration // accumulated Compute time, for utilization metrics
+}
+
+// SetDaemon marks the process as a daemon: a server that legitimately stays
+// blocked forever (waiting for requests). Daemon processes parked when the
+// event queue drains are not reported as deadlocks.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// ID reports the spawn-order index of the process.
+func (p *Proc) ID() int { return p.id }
+
+// Name reports the process name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// BusyTime reports total virtual time this process has spent in Compute.
+func (p *Proc) BusyTime() time.Duration { return p.busy }
+
+func (p *Proc) String() string { return fmt.Sprintf("%s(#%d,%v)", p.name, p.id, p.state) }
+
+func (p *Proc) waitReport() string {
+	if p.waitsOn == "" {
+		return p.name
+	}
+	return p.name + " on " + p.waitsOn
+}
+
+// park gives the baton back to the engine and blocks until woken.
+func (p *Proc) park(what string) {
+	p.state = procParked
+	p.waitsOn = what
+	p.e.ctl <- sigParked
+	<-p.resume
+	p.waitsOn = ""
+}
+
+// Sleep advances the process's clock by d without charging busy time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative Sleep")
+	}
+	pp := p
+	p.e.At(p.e.now+d, func() { p.e.handoff(pp) })
+	p.park("sleep")
+}
+
+// Compute models d of CPU work: the clock advances and busy time accrues.
+func (p *Proc) Compute(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative Compute")
+	}
+	p.busy += d
+	p.Sleep(d)
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event and process due now run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Future is a one-shot synchronization cell: many processes may Await it,
+// one Set resolves it and wakes them all. A Future may be Set at most once.
+// The zero value is ready to use once bound to an engine via NewFuture.
+type Future struct {
+	e       *Engine
+	name    string
+	done    bool
+	val     any
+	waiters []*Proc
+}
+
+// NewFuture creates an unresolved future. The name appears in deadlock
+// reports of processes blocked on it.
+func NewFuture(e *Engine, name string) *Future {
+	return &Future{e: e, name: name}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the resolved value, or nil if not yet resolved.
+func (f *Future) Value() any { return f.val }
+
+// Set resolves the future and wakes all waiters at the current virtual time.
+// It may be called from event callbacks or process context.
+func (f *Future) Set(v any) {
+	if f.done {
+		panic("sim: Future.Set called twice on " + f.name)
+	}
+	f.done = true
+	f.val = v
+	for _, w := range f.waiters {
+		f.e.wake(w)
+	}
+	f.waiters = nil
+}
+
+// Await blocks the calling process until the future resolves and returns the
+// value. If already resolved it returns immediately without yielding.
+func (f *Future) Await(p *Proc) any {
+	if f.done {
+		return f.val
+	}
+	f.waiters = append(f.waiters, p)
+	p.park("future " + f.name)
+	return f.val
+}
+
+// Mailbox is an unbounded FIFO queue of values with blocking receive.
+// Multiple receivers are served in arrival order.
+type Mailbox struct {
+	e       *Engine
+	name    string
+	q       []any
+	waiters []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(e *Engine, name string) *Mailbox {
+	return &Mailbox{e: e, name: name}
+}
+
+// Len reports the number of queued values.
+func (m *Mailbox) Len() int { return len(m.q) }
+
+// Waiting reports the number of processes blocked in Get.
+func (m *Mailbox) Waiting() int { return len(m.waiters) }
+
+// Put enqueues v, waking the longest-waiting receiver if any. It never
+// blocks and may be called from event callbacks or process context.
+func (m *Mailbox) Put(v any) {
+	m.q = append(m.q, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.e.wake(w)
+	}
+}
+
+// Get dequeues the oldest value, blocking the process until one arrives.
+func (m *Mailbox) Get(p *Proc) any {
+	for len(m.q) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park("mailbox " + m.name)
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v
+}
+
+// TryGet dequeues the oldest value without blocking; ok is false if empty.
+func (m *Mailbox) TryGet() (v any, ok bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v = m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
+// Barrier lets n processes rendezvous repeatedly. Each Arrive blocks until
+// all n processes of the current generation have arrived.
+type Barrier struct {
+	e       *Engine
+	name    string
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(e *Engine, name string, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{e: e, name: name, n: n}
+}
+
+// Arrive blocks until all participants of this generation have arrived.
+// The last arriver does not yield.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for _, w := range b.waiters {
+			b.e.wake(w)
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.park("barrier " + b.name)
+}
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	e       *Engine
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
+	return &Semaphore{e: e, name: name, count: initial}
+}
+
+// Acquire decrements the count, blocking while it is zero.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.waiters = append(s.waiters, p)
+		p.park("semaphore " + s.name)
+	}
+	s.count--
+}
+
+// Release increments the count and wakes one waiter if any.
+func (s *Semaphore) Release() {
+	s.count++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.e.wake(w)
+	}
+}

@@ -1,0 +1,531 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"albatross/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.At(10*time.Millisecond, func() { got = append(got, 11) }) // FIFO at equal times
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("end time %v", e.Now())
+	}
+}
+
+func TestPastEventRunsNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(10*time.Millisecond, func() {
+		e.At(5*time.Millisecond, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event ran at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestSleepAndCompute(t *testing.T) {
+	e := NewEngine()
+	var p1end, p2end time.Duration
+	e.Go("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		p.Compute(7 * time.Millisecond)
+		p1end = p.Now()
+		if p.BusyTime() != 7*time.Millisecond {
+			t.Errorf("busy %v", p.BusyTime())
+		}
+	})
+	e.Go("b", func(p *Proc) {
+		p.Compute(3 * time.Millisecond)
+		p2end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p1end != 12*time.Millisecond || p2end != 3*time.Millisecond {
+		t.Fatalf("ends %v %v", p1end, p2end)
+	}
+}
+
+func TestProcsRunConcurrentlyInVirtualTime(t *testing.T) {
+	// 10 procs each compute 1ms; virtual end time must be 1ms, not 10ms.
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Go("w", func(p *Proc) { p.Compute(time.Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != time.Millisecond {
+		t.Fatalf("end %v, want 1ms", e.Now())
+	}
+}
+
+func TestFutureBothOrders(t *testing.T) {
+	e := NewEngine()
+	f1 := NewFuture(e, "f1")
+	f2 := NewFuture(e, "f2")
+	var got1, got2 any
+	e.Go("await-then-set", func(p *Proc) {
+		got1 = f1.Await(p) // blocks: set at t=2ms
+		got2 = f2.Await(p) // already set: immediate
+	})
+	e.Go("setter", func(p *Proc) {
+		f2.Set("early")
+		p.Sleep(2 * time.Millisecond)
+		f1.Set(42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got1 != 42 || got2 != "early" {
+		t.Fatalf("got %v %v", got1, got2)
+	}
+}
+
+func TestFutureWakesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e, "f")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			f.Await(p)
+			woken++
+			if p.Now() != time.Millisecond {
+				t.Errorf("woke at %v", p.Now())
+			}
+		})
+	}
+	e.After(time.Millisecond, func() { f.Set(nil) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken %d", woken)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "m")
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, m.Get(p).(int))
+		}
+	})
+	e.Go("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(time.Millisecond)
+			m.Put(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxMultipleWaiters(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "m")
+	served := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			m.Get(p)
+			served++
+		})
+	}
+	e.After(time.Millisecond, func() {
+		for i := 0; i < 4; i++ {
+			m.Put(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 4 {
+		t.Fatalf("served %d", served)
+	}
+}
+
+func TestMailboxTryGet(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "m")
+	if _, ok := m.TryGet(); ok {
+		t.Fatal("TryGet on empty succeeded")
+	}
+	m.Put(7)
+	v, ok := m.TryGet()
+	if !ok || v.(int) != 7 {
+		t.Fatalf("TryGet got %v %v", v, ok)
+	}
+}
+
+func TestBarrierGenerations(t *testing.T) {
+	e := NewEngine()
+	const n = 4
+	b := NewBarrier(e, "b", n)
+	var maxRound [n]int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			for round := 1; round <= 3; round++ {
+				p.Compute(time.Duration(i+1) * time.Millisecond)
+				b.Arrive(p)
+				maxRound[i] = round
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range maxRound {
+		if maxRound[i] != 3 {
+			t.Fatalf("proc %d finished %d rounds", i, maxRound[i])
+		}
+	}
+	// Each round gated by slowest proc (4ms): total 12ms.
+	if e.Now() != 12*time.Millisecond {
+		t.Fatalf("end %v, want 12ms", e.Now())
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, "s", 2)
+	inCrit := 0
+	maxCrit := 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Acquire(p)
+			inCrit++
+			if inCrit > maxCrit {
+				maxCrit = inCrit
+			}
+			p.Compute(time.Millisecond)
+			inCrit--
+			s.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxCrit != 2 {
+		t.Fatalf("max concurrency %d, want 2", maxCrit)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("end %v, want 3ms", e.Now())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e, "never")
+	e.Go("victim", func(p *Proc) { f.Await(p) })
+	err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("err %v, want DeadlockError", err)
+	}
+	if len(d.Parked) != 1 || d.Parked[0] != "victim on future never" {
+		t.Fatalf("parked %v", d.Parked)
+	}
+}
+
+func TestDaemonExemptFromDeadlock(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "requests")
+	e.Go("server", func(p *Proc) {
+		p.SetDaemon(true)
+		for {
+			m.Get(p)
+		}
+	})
+	e.Go("client", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		m.Put("hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon reported as deadlock: %v", err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+		e.After(time.Millisecond, tick)
+	}
+	e.After(time.Millisecond, tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks %d", n)
+	}
+}
+
+func TestYieldLetsOthersRun(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+// runRandomProgram builds a pseudo-random process network from seed and
+// returns its final virtual time and a trace checksum.
+func runRandomProgram(seed uint64) (time.Duration, uint64) {
+	r := rng.New(seed)
+	e := NewEngine()
+	nprocs := 2 + r.Intn(6)
+	nboxes := 1 + r.Intn(3)
+	boxes := make([]*Mailbox, nboxes)
+	for i := range boxes {
+		boxes[i] = NewMailbox(e, "box")
+	}
+	var checksum uint64
+	for i := 0; i < nprocs; i++ {
+		pr := r.Derive(uint64(i))
+		e.Go("w", func(p *Proc) {
+			for step := 0; step < 20; step++ {
+				switch pr.Intn(3) {
+				case 0:
+					p.Compute(time.Duration(pr.Intn(1000)) * time.Microsecond)
+				case 1:
+					boxes[pr.Intn(nboxes)].Put(pr.Uint64())
+				case 2:
+					b := boxes[pr.Intn(nboxes)]
+					if v, ok := b.TryGet(); ok {
+						checksum = checksum*31 + v.(uint64)
+					}
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return e.Now(), checksum
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	prop := func(seed uint64) bool {
+		t1, c1 := runRandomProgram(seed)
+		t2, c2 := runRandomProgram(seed)
+		return t1 == t2 && c1 == c2
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPropertyMonotoneTime(t *testing.T) {
+	// Property: regardless of the schedule of insertions, callbacks observe
+	// a non-decreasing clock.
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := NewEngine()
+		ok := true
+		last := time.Duration(-1)
+		var add func(depth int)
+		add = func(depth int) {
+			e.At(time.Duration(r.Intn(10000))*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				if depth < 3 && r.Intn(2) == 0 {
+					add(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < 50; i++ {
+			add(0)
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReentrancyPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		_ = e.Run()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.Go("w", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	_ = e.Run()
+	if !panicked {
+		t.Fatal("negative sleep did not panic")
+	}
+}
+
+func TestProcIntrospection(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "box")
+	p := e.Go("worker", func(p *Proc) {
+		if p.Name() != "worker" || p.ID() != 0 {
+			t.Errorf("name/id wrong: %s %d", p.Name(), p.ID())
+		}
+		if p.Engine() != e {
+			t.Error("Engine() mismatch")
+		}
+		m.Get(p) // park so the engine can inspect the state
+	})
+	e.After(time.Millisecond, func() {
+		if got := p.String(); got != "worker(#0,parked)" {
+			t.Errorf("String() = %q", got)
+		}
+		if m.Waiting() != 1 {
+			t.Errorf("Waiting() = %d", m.Waiting())
+		}
+		m.Put("go")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Procs()) != 1 {
+		t.Fatalf("Procs() = %d", len(e.Procs()))
+	}
+	if p.String() != "worker(#0,done)" {
+		t.Fatalf("final String() = %q", p.String())
+	}
+}
+
+func TestMailboxLen(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "box")
+	m.Put(1)
+	m.Put(2)
+	if m.Len() != 2 {
+		t.Fatalf("Len() = %d", m.Len())
+	}
+}
+
+func TestFutureDoubleSetPanics(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e, "once")
+	f.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Set did not panic")
+		}
+	}()
+	f.Set(2)
+}
+
+func TestFutureDoneAndValue(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture(e, "v")
+	if f.Done() || f.Value() != nil {
+		t.Fatal("fresh future claims resolution")
+	}
+	f.Set(42)
+	if !f.Done() || f.Value() != 42 {
+		t.Fatal("resolved future wrong")
+	}
+}
+
+func TestBarrierSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size barrier accepted")
+		}
+	}()
+	NewBarrier(NewEngine(), "b", 0)
+}
+
+func TestDeadlockErrorMessage(t *testing.T) {
+	d := &DeadlockError{Time: time.Second, Parked: []string{"a on future f"}}
+	if !strings.Contains(d.Error(), "a on future f") || !strings.Contains(d.Error(), "1s") {
+		t.Fatalf("error message %q", d.Error())
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "m")
+	e.Go("short", func(p *Proc) {})
+	e.Go("long", func(p *Proc) { m.Get(p) })
+	e.After(time.Millisecond, func() {
+		if e.Live() != 1 {
+			t.Errorf("Live() = %d mid-run, want 1", e.Live())
+		}
+		m.Put(nil)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live() = %d at end", e.Live())
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"albatross/internal/apps/sor"
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/netsim"
+)
+
+func TestBucketing(t *testing.T) {
+	tl := New(time.Millisecond)
+	tl.Add(0, "a", 1)
+	tl.Add(999*time.Microsecond, "a", 2)
+	tl.Add(time.Millisecond, "a", 5)
+	tl.Add(10*time.Millisecond, "b", 7)
+	if got := tl.Counts("a"); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("a buckets %v", got)
+	}
+	if tl.Total("a") != 8 || tl.Total("b") != 7 {
+		t.Fatalf("totals %d %d", tl.Total("a"), tl.Total("b"))
+	}
+	if got := tl.Series(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("series %v", got)
+	}
+}
+
+func TestSparklineWidthAndScale(t *testing.T) {
+	tl := New(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		tl.Add(time.Duration(i)*time.Millisecond, "x", int64(i))
+	}
+	s := tl.Sparkline("x", 20)
+	if len([]rune(s)) != 20 {
+		t.Fatalf("sparkline width %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[19] != '@' {
+		t.Fatalf("peak cell %q, want '@': %q", runes[19], s)
+	}
+	if runes[0] == '@' {
+		t.Fatalf("low cell rendered as peak: %q", s)
+	}
+}
+
+func TestTotalPreservedByBucketing(t *testing.T) {
+	prop := func(vals []uint8) bool {
+		tl := New(100 * time.Microsecond)
+		var want int64
+		for i, v := range vals {
+			tl.Add(time.Duration(i)*37*time.Microsecond, "s", int64(v))
+			want += int64(v)
+		}
+		return tl.Total("s") == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderContainsAllSeries(t *testing.T) {
+	tl := New(time.Millisecond)
+	tl.Add(0, "rpc", 3)
+	tl.Add(time.Millisecond, "bcast", 1)
+	out := tl.Render(30)
+	if !strings.Contains(out, "rpc") || !strings.Contains(out, "bcast") {
+		t.Fatalf("render missing series:\n%s", out)
+	}
+}
+
+// TestTapIntegration runs a real application with a timeline tap attached
+// and checks the recorded traffic matches the run's counters.
+func TestTapIntegration(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Topology: cluster.DAS(2, 3),
+		Params:   cluster.DASParams(),
+	})
+	tl := New(time.Millisecond)
+	sys.Net.SetTap(func(at time.Duration, m netsim.Msg, inter bool) {
+		scope := "intra"
+		if inter {
+			scope = "inter"
+		}
+		tl.Add(at, scope+"/"+m.Kind.String(), 1)
+	})
+	cfg := sor.Config{NX: 24, NY: 16, Omega: 1.7, Eps: 1e-4, MaxIters: 3000,
+		CellCost: time.Microsecond, SkipMod: 3}
+	verify := sor.Build(sys, cfg, false)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(); err != nil {
+		t.Fatal(err)
+	}
+	var tapped int64
+	for _, s := range tl.Series() {
+		tapped += tl.Total(s)
+	}
+	want := m.Net.TotalIntra().Msgs + m.Net.TotalInter().Msgs
+	if tapped != want {
+		t.Fatalf("tap saw %d messages, stats counted %d", tapped, want)
+	}
+	if tl.Total("inter/data") == 0 {
+		t.Fatal("no intercluster data traffic recorded for a 2-cluster SOR run")
+	}
+}
