@@ -33,8 +33,10 @@ func main() {
 		plotFlag     = flag.Bool("plot", true, "render ASCII charts for speedup figures")
 		timelineFlag = flag.String("timeline", "", "show a message-activity timeline for one application on 4x15 instead of running experiments")
 		csvFlag      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		parallelFlag = flag.Int("parallel", 0, "simulation runs to execute concurrently (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
+	harness.SetParallelism(*parallelFlag)
 
 	if *listFlag {
 		for _, e := range harness.Experiments() {

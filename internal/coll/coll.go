@@ -18,6 +18,7 @@ package coll
 
 import (
 	"fmt"
+	"sort"
 
 	"albatross/internal/cluster"
 	"albatross/internal/core"
@@ -474,7 +475,16 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 				continue
 			}
 			b := w.Recv(c.tag("ab", seq, cl)).(bundle)
-			for dest, senders := range b {
+			// Scatter in rank order: map iteration order is randomized,
+			// and the order sends enter the network changes contention and
+			// therefore elapsed time — determinism requires a fixed order.
+			dests := make([]int, 0, len(b))
+			for dest := range b {
+				dests = append(dests, dest)
+			}
+			sort.Ints(dests)
+			for _, dest := range dests {
+				senders := b[dest]
 				if dest == lr {
 					for s, v := range senders {
 						out[s] = v

@@ -117,10 +117,15 @@ func (s *System) SpawnAt(node cluster.NodeID, name string, body func(w *Worker))
 }
 
 // Run executes the simulation to completion and returns the run's metrics.
-// A deadlock (processes blocked forever) is returned as an error.
+// A deadlock (processes blocked forever) is returned as an error. After the
+// run the engine is shut down: daemon servers (and, on deadlock, stuck
+// workers) release their goroutines, so sweeps that build many Systems do
+// not leak. Simulation state stays readable for result verification.
 func (s *System) Run() (Metrics, error) {
 	err := s.Engine.Run()
-	return s.Metrics(), err
+	m := s.Metrics()
+	s.Engine.Shutdown()
+	return m, err
 }
 
 // Metrics snapshots the run's measurements so far.

@@ -37,7 +37,7 @@ func AblationWater() (*Report, error) {
 		Title:   "Water on 4x15: contribution of each optimization",
 		Headers: []string{"variant", "time (s)", "inter msgs", "inter kbyte"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		opts water.Options
 	}{
@@ -45,22 +45,33 @@ func AblationWater() (*Report, error) {
 		{"cache only", water.Options{Cache: true}},
 		{"reduce only", water.Options{Reduce: true}},
 		{"cache + reduce (paper)", water.Options{Cache: true, Reduce: true}},
-	} {
-		sys := ablSystem(nil)
-		verify := water.BuildVariant(sys, cfg, v.opts)
-		m, err := sys.Run()
-		if err != nil {
-			return nil, fmt.Errorf("abl-water %s: %w", v.name, err)
-		}
-		if err := verify(); err != nil {
-			return nil, fmt.Errorf("abl-water %s: %w", v.name, err)
-		}
-		inter := m.Net.TotalInter()
-		t.Rows = append(t.Rows, []string{v.name,
-			fmt.Sprintf("%.3f", m.Seconds()),
-			fmt.Sprintf("%d", inter.Msgs),
-			fmt.Sprintf("%.0f", inter.KBytes())})
 	}
+	rows := make([][]string, len(variants))
+	tasks := make([]func() error, len(variants))
+	for i, v := range variants {
+		i, v := i, v
+		tasks[i] = func() error {
+			sys := ablSystem(nil)
+			verify := water.BuildVariant(sys, cfg, v.opts)
+			m, err := sys.Run()
+			if err != nil {
+				return fmt.Errorf("abl-water %s: %w", v.name, err)
+			}
+			if err := verify(); err != nil {
+				return fmt.Errorf("abl-water %s: %w", v.name, err)
+			}
+			inter := m.Net.TotalInter()
+			rows[i] = []string{v.name,
+				fmt.Sprintf("%.3f", m.Seconds()),
+				fmt.Sprintf("%d", inter.Msgs),
+				fmt.Sprintf("%.0f", inter.KBytes())}
+			return nil
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "abl-water", Title: t.Title, Tables: []*Table{t}}, nil
 }
 
@@ -73,32 +84,47 @@ func AblationSOR() (*Report, error) {
 		Title:   "SOR on 4x15: exchange skipping vs convergence",
 		Headers: []string{"variant", "iterations", "time (s)", "inter msgs"},
 	}
-	run := func(name string, optimized bool, skipMod int) error {
-		c := cfg
-		c.SkipMod = skipMod
-		sys := ablSystem(nil)
-		verify, iters := sor.BuildWithStats(sys, c, optimized)
-		m, err := sys.Run()
-		if err != nil {
-			return err
-		}
-		if err := verify(); err != nil {
-			return err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			fmt.Sprintf("%d", *iters),
-			fmt.Sprintf("%.3f", m.Seconds()),
-			fmt.Sprintf("%d", m.Net.TotalInter().Msgs)})
-		return nil
-	}
-	if err := run("lock-step (original)", false, 3); err != nil {
-		return nil, err
+	variants := []struct {
+		name      string
+		optimized bool
+		skipMod   int
+	}{
+		{"lock-step (original)", false, 3},
 	}
 	for _, sm := range []int{1, 2, 3, 6} {
-		if err := run(fmt.Sprintf("chaotic, exchange every %d", sm), true, sm); err != nil {
-			return nil, err
+		variants = append(variants, struct {
+			name      string
+			optimized bool
+			skipMod   int
+		}{fmt.Sprintf("chaotic, exchange every %d", sm), true, sm})
+	}
+	rows := make([][]string, len(variants))
+	tasks := make([]func() error, len(variants))
+	for i, v := range variants {
+		i, v := i, v
+		tasks[i] = func() error {
+			c := cfg
+			c.SkipMod = v.skipMod
+			sys := ablSystem(nil)
+			verify, iters := sor.BuildWithStats(sys, c, v.optimized)
+			m, err := sys.Run()
+			if err != nil {
+				return err
+			}
+			if err := verify(); err != nil {
+				return err
+			}
+			rows[i] = []string{v.name,
+				fmt.Sprintf("%d", *iters),
+				fmt.Sprintf("%.3f", m.Seconds()),
+				fmt.Sprintf("%d", m.Net.TotalInter().Msgs)}
+			return nil
 		}
 	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "abl-sor", Title: t.Title, Tables: []*Table{t},
 		Notes: []string{"skipping more exchanges cuts WAN traffic but costs iterations; the paper picked 2 of 3 skipped"}}, nil
 }
@@ -111,28 +137,46 @@ func AblationRA() (*Report, error) {
 		Title:   "RA on 4x15: node-level batching x cluster-level combining",
 		Headers: []string{"node batch", "cluster combining", "time (s)", "inter msgs", "inter kbyte"},
 	}
+	type combo struct {
+		batch int
+		comb  bool
+	}
+	var combos []combo
 	for _, batch := range []int{1, 4, 16, 64} {
 		for _, comb := range []bool{false, true} {
-			cfg := ra.Default()
-			cfg.NodeBatch = batch
-			sys := ablSystem(nil)
-			verify := ra.Build(sys, cfg, comb)
-			m, err := sys.Run()
-			if err != nil {
-				return nil, fmt.Errorf("abl-ra batch=%d comb=%v: %w", batch, comb, err)
-			}
-			if err := verify(); err != nil {
-				return nil, fmt.Errorf("abl-ra batch=%d comb=%v: %w", batch, comb, err)
-			}
-			inter := m.Net.TotalInter()
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", batch),
-				onOff(comb),
-				fmt.Sprintf("%.3f", m.Seconds()),
-				fmt.Sprintf("%d", inter.Msgs),
-				fmt.Sprintf("%.0f", inter.KBytes())})
+			combos = append(combos, combo{batch, comb})
 		}
 	}
+	rows := make([][]string, len(combos))
+	tasks := make([]func() error, len(combos))
+	for i, c := range combos {
+		i, c := i, c
+		tasks[i] = func() error {
+			cfg := ra.Default()
+			cfg.NodeBatch = c.batch
+			sys := ablSystem(nil)
+			verify := ra.Build(sys, cfg, c.comb)
+			m, err := sys.Run()
+			if err != nil {
+				return fmt.Errorf("abl-ra batch=%d comb=%v: %w", c.batch, c.comb, err)
+			}
+			if err := verify(); err != nil {
+				return fmt.Errorf("abl-ra batch=%d comb=%v: %w", c.batch, c.comb, err)
+			}
+			inter := m.Net.TotalInter()
+			rows[i] = []string{
+				fmt.Sprintf("%d", c.batch),
+				onOff(c.comb),
+				fmt.Sprintf("%.3f", m.Seconds()),
+				fmt.Sprintf("%d", inter.Msgs),
+				fmt.Sprintf("%.0f", inter.KBytes())}
+			return nil
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "abl-ra", Title: t.Title, Tables: []*Table{t}}, nil
 }
 
@@ -144,7 +188,7 @@ func AblationIDA() (*Report, error) {
 		Title:   "IDA* on 4x15: stealing policy refinements",
 		Headers: []string{"policy", "time (s)", "inter RPCs"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		pol  ida.Policy
 	}{
@@ -152,20 +196,31 @@ func AblationIDA() (*Report, error) {
 		{"local cluster first", ida.Policy{LocalFirst: true}},
 		{"remember empty", ida.Policy{RememberIdle: true}},
 		{"both (paper)", ida.Policy{LocalFirst: true, RememberIdle: true}},
-	} {
-		sys := ablSystem(nil)
-		verify := ida.BuildPolicy(sys, cfg, v.pol)
-		m, err := sys.Run()
-		if err != nil {
-			return nil, fmt.Errorf("abl-ida %s: %w", v.name, err)
-		}
-		if err := verify(); err != nil {
-			return nil, fmt.Errorf("abl-ida %s: %w", v.name, err)
-		}
-		t.Rows = append(t.Rows, []string{v.name,
-			fmt.Sprintf("%.3f", m.Seconds()),
-			fmt.Sprintf("%d", m.Net.InterRPC().Msgs)})
 	}
+	rows := make([][]string, len(variants))
+	tasks := make([]func() error, len(variants))
+	for i, v := range variants {
+		i, v := i, v
+		tasks[i] = func() error {
+			sys := ablSystem(nil)
+			verify := ida.BuildPolicy(sys, cfg, v.pol)
+			m, err := sys.Run()
+			if err != nil {
+				return fmt.Errorf("abl-ida %s: %w", v.name, err)
+			}
+			if err := verify(); err != nil {
+				return fmt.Errorf("abl-ida %s: %w", v.name, err)
+			}
+			rows[i] = []string{v.name,
+				fmt.Sprintf("%.3f", m.Seconds()),
+				fmt.Sprintf("%d", m.Net.InterRPC().Msgs)}
+			return nil
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "abl-ida", Title: t.Title, Tables: []*Table{t},
 		Notes: []string{"paper: intercluster steal requests roughly halve while speedup hardly changes"}}, nil
 }
@@ -179,47 +234,58 @@ func AblationSequencer() (*Report, error) {
 		Headers: []string{"sequencer", "time (s)", "per bcast", "inter msgs"},
 	}
 	const bursts, burstLen, rowBytes = 8, 40, 1024
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		mk   func() orca.Sequencer
 	}{
 		{"central", func() orca.Sequencer { return orca.NewCentralSequencer(0) }},
 		{"rotating (paper default)", func() orca.Sequencer { return orca.NewRotatingSequencer() }},
 		{"migrating (ASP opt)", func() orca.Sequencer { return orca.NewMigratingSequencer() }},
-	} {
-		sys := ablSystem(v.mk())
-		obj := sys.RTS.NewReplicated("rows", func(cluster.NodeID) any { return new(int) })
-		sys.SpawnWorkers("sender", func(w *core.Worker) {
-			for burst := 0; burst < bursts; burst++ {
-				// Spread the senders over the whole machine (and thus over
-				// all clusters), like ASP's row ownership.
-				if burst*w.NProcs()/bursts != w.Rank() {
-					continue
-				}
-				for *(obj.Replica(w.Node).(*int)) < burst*burstLen {
-					w.P.Sleep(100 * time.Microsecond)
-				}
-				for i := 0; i < burstLen; i++ {
-					w.Invoke(obj, orca.Op{Name: "row", ArgBytes: rowBytes,
-						Apply: func(s any) any { *(s.(*int))++; return nil }})
-				}
-			}
-		})
-		m, err := sys.Run()
-		if err != nil {
-			return nil, fmt.Errorf("abl-seq %s: %w", v.name, err)
-		}
-		for i := 0; i < sys.Topo.Compute(); i++ {
-			if got := *(obj.Replica(cluster.NodeID(i)).(*int)); got != bursts*burstLen {
-				return nil, fmt.Errorf("abl-seq %s: replica %d saw %d updates", v.name, i, got)
-			}
-		}
-		per := m.Elapsed / (bursts * burstLen)
-		t.Rows = append(t.Rows, []string{v.name,
-			fmt.Sprintf("%.3f", m.Seconds()),
-			per.Round(time.Microsecond).String(),
-			fmt.Sprintf("%d", m.Net.TotalInter().Msgs)})
 	}
+	rows := make([][]string, len(variants))
+	tasks := make([]func() error, len(variants))
+	for i, v := range variants {
+		i, v := i, v
+		tasks[i] = func() error {
+			sys := ablSystem(v.mk())
+			obj := sys.RTS.NewReplicated("rows", func(cluster.NodeID) any { return new(int) })
+			sys.SpawnWorkers("sender", func(w *core.Worker) {
+				for burst := 0; burst < bursts; burst++ {
+					// Spread the senders over the whole machine (and thus over
+					// all clusters), like ASP's row ownership.
+					if burst*w.NProcs()/bursts != w.Rank() {
+						continue
+					}
+					for *(obj.Replica(w.Node).(*int)) < burst*burstLen {
+						w.P.Sleep(100 * time.Microsecond)
+					}
+					for i := 0; i < burstLen; i++ {
+						w.Invoke(obj, orca.Op{Name: "row", ArgBytes: rowBytes,
+							Apply: func(s any) any { *(s.(*int))++; return nil }})
+					}
+				}
+			})
+			m, err := sys.Run()
+			if err != nil {
+				return fmt.Errorf("abl-seq %s: %w", v.name, err)
+			}
+			for i := 0; i < sys.Topo.Compute(); i++ {
+				if got := *(obj.Replica(cluster.NodeID(i)).(*int)); got != bursts*burstLen {
+					return fmt.Errorf("abl-seq %s: replica %d saw %d updates", v.name, i, got)
+				}
+			}
+			per := m.Elapsed / (bursts * burstLen)
+			rows[i] = []string{v.name,
+				fmt.Sprintf("%.3f", m.Seconds()),
+				per.Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", m.Net.TotalInter().Msgs)}
+			return nil
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "abl-seq", Title: t.Title, Tables: []*Table{t}}, nil
 }
 
@@ -232,29 +298,40 @@ func AblationTSP() (*Report, error) {
 		Title:   "TSP on 4x15: job grain (generation depth) x queue scheme",
 		Headers: []string{"depth", "jobs", "central time (s)", "static time (s)"},
 	}
-	for _, depth := range []int{3, 4, 5} {
+	depths := []int{3, 4, 5}
+	times := make([][2]float64, len(depths))
+	var tasks []func() error
+	for di, depth := range depths {
+		for vi, optimized := range []bool{false, true} {
+			di, vi, depth, optimized := di, vi, depth, optimized
+			tasks = append(tasks, func() error {
+				cfg := tsp.Default()
+				cfg.JobDepth = depth
+				sys := ablSystem(nil)
+				verify := tsp.Build(sys, cfg, optimized)
+				m, err := sys.Run()
+				if err != nil {
+					return fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
+				}
+				if err := verify(); err != nil {
+					return fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
+				}
+				times[di][vi] = m.Seconds()
+				return nil
+			})
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	for di, depth := range depths {
 		cfg := tsp.Default()
 		cfg.JobDepth = depth
-		times := make([]float64, 2)
-		var jobs int
-		for vi, optimized := range []bool{false, true} {
-			sys := ablSystem(nil)
-			verify := tsp.Build(sys, cfg, optimized)
-			m, err := sys.Run()
-			if err != nil {
-				return nil, fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
-			}
-			if err := verify(); err != nil {
-				return nil, fmt.Errorf("abl-tsp depth=%d: %w", depth, err)
-			}
-			times[vi] = m.Seconds()
-			jobs = tsp.CountJobs(cfg)
-		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", depth),
-			fmt.Sprintf("%d", jobs),
-			fmt.Sprintf("%.3f", times[0]),
-			fmt.Sprintf("%.3f", times[1])})
+			fmt.Sprintf("%d", tsp.CountJobs(cfg)),
+			fmt.Sprintf("%.3f", times[di][0]),
+			fmt.Sprintf("%.3f", times[di][1])})
 	}
 	return &Report{ID: "abl-tsp", Title: t.Title, Tables: []*Table{t}}, nil
 }

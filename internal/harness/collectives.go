@@ -56,23 +56,34 @@ func Collectives() (*Report, error) {
 		}},
 	}
 	const reps = 5
-	for _, o := range ops {
-		var lat [2]time.Duration
+	lats := make([][2]time.Duration, len(ops))
+	var tasks []func() error
+	for oi, o := range ops {
 		for si, strat := range []coll.Strategy{coll.Flat, coll.WideArea} {
-			sys := core.NewSystem(core.Config{Topology: cluster.DAS(4, 15), Params: Params})
-			comm := coll.New(sys, "bench", strat)
-			sys.SpawnWorkers("w", func(w *core.Worker) {
-				for i := 0; i < reps; i++ {
-					o.run(comm, w, o.size)
-					comm.Barrier(w)
+			oi, si, o, strat := oi, si, o, strat
+			tasks = append(tasks, func() error {
+				sys := core.NewSystem(core.Config{Topology: cluster.DAS(4, 15), Params: Params})
+				comm := coll.New(sys, "bench", strat)
+				sys.SpawnWorkers("w", func(w *core.Worker) {
+					for i := 0; i < reps; i++ {
+						o.run(comm, w, o.size)
+						comm.Barrier(w)
+					}
+				})
+				m, err := sys.Run()
+				if err != nil {
+					return fmt.Errorf("coll %s %v: %w", o.name, strat, err)
 				}
+				lats[oi][si] = m.Elapsed / reps
+				return nil
 			})
-			m, err := sys.Run()
-			if err != nil {
-				return nil, fmt.Errorf("coll %s %v: %w", o.name, strat, err)
-			}
-			lat[si] = m.Elapsed / reps
 		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	for oi, o := range ops {
+		lat := lats[oi]
 		t.Rows = append(t.Rows, []string{
 			o.name,
 			fmt.Sprintf("%d B", o.size),

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"albatross/internal/apps/acp"
 	"albatross/internal/apps/asp"
@@ -126,7 +127,9 @@ func RunOne(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics
 }
 
 // runCache memoizes runs within one harness session: the summary figures
-// and tables reuse many of the same configurations.
+// and tables reuse many of the same configurations. It is singleflight:
+// concurrent callers of one configuration share a single execution, the
+// first caller running the simulation while the rest wait on its entry.
 type runKey struct {
 	app        string
 	clusters   int
@@ -134,24 +137,45 @@ type runKey struct {
 	optimized  bool
 }
 
-var runCache = map[runKey]core.Metrics{}
-
-// Run is RunOne with memoization.
-func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
-	k := runKey{app.Name, clusters, perCluster, optimized}
-	if m, ok := runCache[k]; ok {
-		return m, nil
-	}
-	m, err := RunOne(app, clusters, perCluster, optimized)
-	if err != nil {
-		return m, err
-	}
-	runCache[k] = m
-	return m, nil
+// runEntry is one cache slot; done is closed once m/err are final.
+type runEntry struct {
+	done chan struct{}
+	m    core.Metrics
+	err  error
 }
 
-// ResetCache clears the memoized runs (tests use it for isolation).
-func ResetCache() { runCache = map[runKey]core.Metrics{} }
+var (
+	cacheMu  sync.Mutex
+	runCache = map[runKey]*runEntry{}
+)
+
+// Run is RunOne with memoization. It is safe for concurrent use: duplicate
+// configurations coalesce onto one execution (errors included, which a
+// deterministic simulation reproduces anyway).
+func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
+	k := runKey{app.Name, clusters, perCluster, optimized}
+	cacheMu.Lock()
+	e, ok := runCache[k]
+	if ok {
+		cacheMu.Unlock()
+		<-e.done
+		return e.m, e.err
+	}
+	e = &runEntry{done: make(chan struct{})}
+	runCache[k] = e
+	cacheMu.Unlock()
+	e.m, e.err = RunOne(app, clusters, perCluster, optimized)
+	close(e.done)
+	return e.m, e.err
+}
+
+// ResetCache clears the memoized runs (tests use it for isolation). It must
+// not race with in-flight Run calls.
+func ResetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	runCache = map[runKey]*runEntry{}
+}
 
 // Speedup returns T(1 CPU)/T(clusters x perCluster) for the variant; the
 // paper computes each variant's speedup relative to its own 1-CPU run.
@@ -163,6 +187,16 @@ func Speedup(app AppSpec, clusters, perCluster int, optimized bool) (float64, er
 	tp, err := Run(app, clusters, perCluster, optimized)
 	if err != nil {
 		return 0, err
+	}
+	return speedupRatio(app, clusters, perCluster, optimized, t1, tp)
+}
+
+// speedupRatio guards the division: a degenerate zero-elapsed run must
+// surface as an error, not as a silent +Inf in a report.
+func speedupRatio(app AppSpec, clusters, perCluster int, optimized bool, t1, tp core.Metrics) (float64, error) {
+	if tp.Elapsed <= 0 {
+		return 0, fmt.Errorf("harness: %s %dx%d opt=%v: degenerate run with non-positive elapsed time %v",
+			app.Name, clusters, perCluster, optimized, tp.Elapsed)
 	}
 	return t1.Elapsed.Seconds() / tp.Elapsed.Seconds(), nil
 }

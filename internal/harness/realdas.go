@@ -24,19 +24,33 @@ func RealDAS() (*Report, error) {
 	}
 	real := cluster.DASReal()
 	uniform := cluster.DAS(4, 34)
-	for _, app := range Apps {
-		row := []string{app.Name}
-		for _, topo := range []cluster.Topology{real, uniform} {
-			for _, optimized := range []bool{false, true} {
-				sp, err := speedupOnTopology(app, topo, optimized)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.1f", sp))
+	topos := []cluster.Topology{real, uniform}
+	// speedups[app][0..3]: real orig, real opt, uniform orig, uniform opt.
+	speedups := make([][4]float64, len(Apps))
+	var tasks []func() error
+	for ai, app := range Apps {
+		for ti, topo := range topos {
+			for vi, optimized := range []bool{false, true} {
+				ai, ti, vi, app, topo, optimized := ai, ti, vi, app, topo, optimized
+				tasks = append(tasks, func() error {
+					sp, err := speedupOnTopology(app, topo, optimized)
+					if err != nil {
+						return err
+					}
+					speedups[ai][2*ti+vi] = sp
+					return nil
+				})
 			}
 		}
-		// Reorder: real orig, real opt, uniform orig, uniform opt is
-		// already the append order above.
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	for ai, app := range Apps {
+		row := []string{app.Name}
+		for _, sp := range speedups[ai] {
+			row = append(row, fmt.Sprintf("%.1f", sp))
+		}
 		t.Rows = append(t.Rows, row)
 	}
 	return &Report{ID: "real-das", Title: t.Title, Tables: []*Table{t},
@@ -62,6 +76,10 @@ func speedupOnTopology(app AppSpec, topo cluster.Topology, optimized bool) (floa
 	}
 	if err := verify(); err != nil {
 		return 0, fmt.Errorf("%s on %v opt=%v: %w", app.Name, topo, optimized, err)
+	}
+	if m.Elapsed <= 0 {
+		return 0, fmt.Errorf("%s on %v opt=%v: degenerate run with non-positive elapsed time %v",
+			app.Name, topo, optimized, m.Elapsed)
 	}
 	return t1.Elapsed.Seconds() / m.Elapsed.Seconds(), nil
 }
@@ -94,6 +112,9 @@ func aspSpeedupAtSize(n int, optimized bool) (float64, error) {
 	tp, err := run(cluster.DAS(4, 15))
 	if err != nil {
 		return 0, err
+	}
+	if tp <= 0 {
+		return 0, fmt.Errorf("asp n=%d opt=%v: degenerate run with non-positive elapsed time", n, optimized)
 	}
 	return t1 / tp, nil
 }

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Scheduler executes independent simulation runs concurrently on a bounded
+// worker pool. Every run builds its own private sim.Engine/core.System, so
+// runs share no simulation state; the only cross-run coordination is the
+// singleflight run cache in Run. Experiments use the collect-then-render
+// pattern: submit the full run set through the scheduler, then render rows
+// and series sequentially in the exact order of the sequential baseline, so
+// report output is byte-identical at any parallelism.
+type Scheduler struct {
+	workers int
+}
+
+// NewScheduler returns a scheduler executing at most workers tasks at once.
+// A non-positive count selects GOMAXPROCS.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{workers: workers}
+}
+
+// Workers reports the scheduler's concurrency bound.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Do runs all tasks, at most Workers at a time, and waits for every one to
+// finish. A task panic is converted into an error. The returned error is
+// that of the earliest-indexed failing task — the same one a sequential
+// loop stopping at the first failure would report.
+func (s *Scheduler) Do(tasks ...func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("harness: task %d panicked: %v", i, r)
+			}
+		}()
+		errs[i] = tasks[i]()
+	}
+	if s.workers == 1 || len(tasks) == 1 {
+		for i := range tasks {
+			run(i)
+		}
+	} else {
+		sem := make(chan struct{}, s.workers)
+		var wg sync.WaitGroup
+		for i := range tasks {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The package-level default scheduler backs every experiment. dasbench's
+// -parallel flag configures it through SetParallelism.
+var (
+	schedMu      sync.Mutex
+	defaultSched = NewScheduler(0)
+)
+
+// SetParallelism replaces the default scheduler's worker count (non-positive
+// restores the GOMAXPROCS default) and returns the previous bound.
+func SetParallelism(workers int) int {
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	prev := defaultSched.workers
+	defaultSched = NewScheduler(workers)
+	return prev
+}
+
+// Parallelism reports the default scheduler's worker count.
+func Parallelism() int {
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	return defaultSched.workers
+}
+
+func scheduler() *Scheduler {
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	return defaultSched
+}
+
+// RunConfig identifies one memoizable harness execution.
+type RunConfig struct {
+	App        AppSpec
+	Clusters   int
+	PerCluster int
+	Optimized  bool
+}
+
+// Prefetch warms the run cache for every configuration concurrently through
+// the default scheduler. Failures are not reported here: they are memoized
+// by the singleflight cache and deterministically re-surface, in sequential
+// order, when the render pass calls Run/Speedup for the same configuration.
+func Prefetch(cfgs []RunConfig) {
+	tasks := make([]func() error, len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		tasks[i] = func() error {
+			_, err := Run(c.App, c.Clusters, c.PerCluster, c.Optimized)
+			return err
+		}
+	}
+	_ = scheduler().Do(tasks...)
+}
+
+// speedupConfigs expands one speedup measurement into its run set: the
+// variant's 1-CPU baseline plus the parallel configuration itself.
+func speedupConfigs(app AppSpec, clusters, perCluster int, optimized bool) []RunConfig {
+	return []RunConfig{
+		{app, 1, 1, optimized},
+		{app, clusters, perCluster, optimized},
+	}
+}

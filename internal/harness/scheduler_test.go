@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"albatross/internal/core"
+)
+
+func TestNewSchedulerDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := NewScheduler(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("NewScheduler(0).Workers() = %d, want %d", got, want)
+	}
+	if got := NewScheduler(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewScheduler(-3).Workers() = %d", got)
+	}
+	if got := NewScheduler(7).Workers(); got != 7 {
+		t.Fatalf("NewScheduler(7).Workers() = %d", got)
+	}
+}
+
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 24
+	s := NewScheduler(workers)
+	var cur, peak, ran atomic.Int64
+	tasks := make([]func() error, n)
+	for i := range tasks {
+		tasks[i] = func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			ran.Add(1)
+			return nil
+		}
+	}
+	if err := s.Do(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("%d of %d tasks ran", ran.Load(), n)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak.Load(), workers)
+	}
+}
+
+func TestDoReturnsEarliestIndexedError(t *testing.T) {
+	errA := errors.New("task 2 failed")
+	errB := errors.New("task 5 failed")
+	for _, workers := range []int{1, 4} {
+		tasks := make([]func() error, 8)
+		for i := range tasks {
+			switch i {
+			case 2:
+				tasks[i] = func() error { return errA }
+			case 5:
+				tasks[i] = func() error { return errB }
+			default:
+				tasks[i] = func() error { return nil }
+			}
+		}
+		if err := NewScheduler(workers).Do(tasks...); err != errA {
+			t.Fatalf("workers=%d: got %v, want the earliest-indexed error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestDoConvertsPanicsToErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := NewScheduler(workers).Do(
+			func() error { return nil },
+			func() error { panic("boom") },
+		)
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("workers=%d: panic not converted: %v", workers, err)
+		}
+	}
+}
+
+func TestSetParallelismRoundTrip(t *testing.T) {
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	if prev := SetParallelism(5); prev != orig {
+		t.Fatalf("SetParallelism returned %d, want previous bound %d", prev, orig)
+	}
+	if got := Parallelism(); got != 5 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(5)", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism() = %d after SetParallelism(0), want GOMAXPROCS", got)
+	}
+}
+
+// countingApp is a cheap synthetic application whose Build counts how many
+// times it actually executes — the singleflight tests assert each distinct
+// configuration simulates exactly once no matter how many goroutines ask.
+func countingApp(name string, builds *atomic.Int64) AppSpec {
+	return AppSpec{
+		Name: name,
+		Build: func(sys *core.System, opt bool) func() error {
+			builds.Add(1)
+			sys.SpawnWorkers("w", func(w *core.Worker) {
+				w.Compute(10 * time.Microsecond)
+			})
+			return func() error { return nil }
+		},
+	}
+}
+
+func TestRunSingleflightUnderContention(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	var builds atomic.Int64
+	app := countingApp("synthetic", &builds)
+	configs := []RunConfig{
+		{app, 1, 1, false},
+		{app, 1, 2, false},
+		{app, 2, 2, false},
+		{app, 1, 1, true},
+		{app, 2, 4, true},
+	}
+	const goroutines = 16
+	results := make([][]core.Metrics, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		results[g] = make([]core.Metrics, len(configs))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine visits every config twice, rotated so that
+			// different goroutines collide on different entries first.
+			for rep := 0; rep < 2; rep++ {
+				for i := range configs {
+					c := configs[(i+g)%len(configs)]
+					m, err := Run(c.App, c.Clusters, c.PerCluster, c.Optimized)
+					if err != nil {
+						t.Errorf("run %+v: %v", c, err)
+						return
+					}
+					results[g][(i+g)%len(configs)] = m
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != int64(len(configs)) {
+		t.Fatalf("%d builds for %d distinct configs: singleflight failed", got, len(configs))
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range configs {
+			if results[g][i].Elapsed != results[0][i].Elapsed {
+				t.Fatalf("goroutine %d saw different metrics for config %d", g, i)
+			}
+		}
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	var builds atomic.Int64
+	app := countingApp("prefetched", &builds)
+	cfgs := speedupConfigs(app, 2, 2, false)
+	Prefetch(cfgs)
+	if got := builds.Load(); got != int64(len(cfgs)) {
+		t.Fatalf("%d builds after Prefetch of %d configs", got, len(cfgs))
+	}
+	if _, err := Speedup(app, 2, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != int64(len(cfgs)) {
+		t.Fatalf("Speedup re-ran a prefetched config (%d builds)", got)
+	}
+}
+
+func TestSpeedupRejectsZeroElapsed(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	app := AppSpec{Name: "degenerate"}
+	seed := func(k runKey, m core.Metrics) {
+		e := &runEntry{done: make(chan struct{}), m: m}
+		close(e.done)
+		cacheMu.Lock()
+		runCache[k] = e
+		cacheMu.Unlock()
+	}
+	seed(runKey{"degenerate", 1, 1, false}, core.Metrics{Elapsed: time.Second})
+	seed(runKey{"degenerate", 4, 16, false}, core.Metrics{})
+	sp, err := Speedup(app, 4, 16, false)
+	if err == nil {
+		t.Fatalf("zero-elapsed run produced speedup %v, want error", sp)
+	}
+	if !strings.Contains(err.Error(), "non-positive elapsed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestParallelReportsByteIdentical is the tentpole's contract: the same
+// experiment rendered at any parallelism must produce byte-identical output.
+func TestParallelReportsByteIdentical(t *testing.T) {
+	orig := Parallelism()
+	defer SetParallelism(orig)
+	experiments := []struct {
+		name string
+		run  func() (*Report, error)
+	}{
+		{"table1", Table1},
+		{"coll", Collectives},
+		{"sens-atpg", SensitivityATPG},
+	}
+	outputs := map[string][]string{}
+	for _, workers := range []int{1, 8} {
+		SetParallelism(workers)
+		for _, e := range experiments {
+			ResetCache()
+			rep, err := e.run()
+			if err != nil {
+				t.Fatalf("%s at parallelism %d: %v", e.name, workers, err)
+			}
+			outputs[e.name] = append(outputs[e.name], rep.Render())
+		}
+	}
+	for _, e := range experiments {
+		got := outputs[e.name]
+		if got[0] != got[1] {
+			t.Fatalf("%s output differs between parallelism 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				e.name, got[0], got[1])
+		}
+	}
+}

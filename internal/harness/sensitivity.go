@@ -51,7 +51,7 @@ func SpeedupOnParams(app AppSpec, clusters, perCluster int, optimized bool, par 
 	if err != nil {
 		return 0, err
 	}
-	return t1.Elapsed.Seconds() / tp.Elapsed.Seconds(), nil
+	return speedupRatio(app, clusters, perCluster, optimized, t1, tp)
 }
 
 // wanScenario is one point of the network-quality sweep.
@@ -97,22 +97,33 @@ func SensitivityWAN(appName string) (*Report, error) {
 		Title:   fmt.Sprintf("%s speedup on 4x16 vs wide-area link quality", appName),
 		Headers: []string{"scenario", "original", "optimized", "gain"},
 	}
-	for _, sc := range wanScenarios() {
-		so, err := SpeedupOnParams(app, 4, 16, false, sc.par)
-		if err != nil {
-			return nil, err
+	scenarios := wanScenarios()
+	rows := make([][]string, len(scenarios))
+	tasks := make([]func() error, len(scenarios))
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		tasks[i] = func() error {
+			so, err := SpeedupOnParams(app, 4, 16, false, sc.par)
+			if err != nil {
+				return err
+			}
+			sp, err := SpeedupOnParams(app, 4, 16, true, sc.par)
+			if err != nil {
+				return err
+			}
+			rows[i] = []string{
+				sc.name,
+				fmt.Sprintf("%.1f", so),
+				fmt.Sprintf("%.1f", sp),
+				fmt.Sprintf("%.2fx", sp/so),
+			}
+			return nil
 		}
-		sp, err := SpeedupOnParams(app, 4, 16, true, sc.par)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			sc.name,
-			fmt.Sprintf("%.1f", so),
-			fmt.Sprintf("%.1f", sp),
-			fmt.Sprintf("%.2fx", sp/so),
-		})
 	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: t.ID, Title: t.Title, Tables: []*Table{t}}, nil
 }
 
@@ -130,21 +141,32 @@ func SensitivityATPG() (*Report, error) {
 		Title:   "ATPG on 4x16: the optimization only matters on slow networks (paper 4.4)",
 		Headers: []string{"network", "original", "optimized", "gain"},
 	}
-	for _, sc := range []wanScenario{
+	scenarios := []wanScenario{
 		{"DAS ATM", cluster.DASParams()},
 		{"slow WAN (10ms, 2Mb)", cluster.SlowWANParams()},
-	} {
-		so, err := SpeedupOnParams(app, 4, 16, false, sc.par)
-		if err != nil {
-			return nil, err
-		}
-		sp, err := SpeedupOnParams(app, 4, 16, true, sc.par)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{sc.name,
-			fmt.Sprintf("%.1f", so), fmt.Sprintf("%.1f", sp), fmt.Sprintf("%.2fx", sp/so)})
 	}
+	rows := make([][]string, len(scenarios))
+	tasks := make([]func() error, len(scenarios))
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		tasks[i] = func() error {
+			so, err := SpeedupOnParams(app, 4, 16, false, sc.par)
+			if err != nil {
+				return err
+			}
+			sp, err := SpeedupOnParams(app, 4, 16, true, sc.par)
+			if err != nil {
+				return err
+			}
+			rows[i] = []string{sc.name,
+				fmt.Sprintf("%.1f", so), fmt.Sprintf("%.1f", sp), fmt.Sprintf("%.2fx", sp/so)}
+			return nil
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return &Report{ID: "sens-atpg", Title: t.Title, Tables: []*Table{t},
 		Notes: []string{"paper: at DAS parameters 'speedups were not significantly improved'; on the slower network the original is 'significantly worse'"}}, nil
 }
@@ -157,6 +179,13 @@ func SensitivityClusters() (*Report, error) {
 		Title:   "Original-program speedup at 48 CPUs vs number of clusters",
 		Headers: []string{"program", "1 cluster", "2 clusters", "4 clusters", "6 clusters"},
 	}
+	var cfgs []RunConfig
+	for _, app := range Apps {
+		for _, c := range []int{1, 2, 4, 6} {
+			cfgs = append(cfgs, speedupConfigs(app, c, 48/c, false)...)
+		}
+	}
+	Prefetch(cfgs)
 	for _, app := range Apps {
 		row := []string{app.Name}
 		for _, c := range []int{1, 2, 4, 6} {
@@ -181,16 +210,30 @@ func SensitivitySize() (*Report, error) {
 		Title:   "ASP on 4x15: problem size vs speedup (grain grows with n)",
 		Headers: []string{"matrix size", "original", "optimized"},
 	}
-	for _, n := range []int{96, 192, 384} {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, optimized := range []bool{false, true} {
-			sp, err := aspSpeedupAtSize(n, optimized)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.1f", sp))
+	sizes := []int{96, 192, 384}
+	speedups := make([][2]float64, len(sizes))
+	var tasks []func() error
+	for ni, n := range sizes {
+		for vi, optimized := range []bool{false, true} {
+			ni, vi, n, optimized := ni, vi, n, optimized
+			tasks = append(tasks, func() error {
+				sp, err := aspSpeedupAtSize(n, optimized)
+				if err != nil {
+					return err
+				}
+				speedups[ni][vi] = sp
+				return nil
+			})
 		}
-		t.Rows = append(t.Rows, row)
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	for ni, n := range sizes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", speedups[ni][0]),
+			fmt.Sprintf("%.1f", speedups[ni][1])})
 	}
 	return &Report{ID: "sens-size", Title: t.Title, Tables: []*Table{t},
 		Notes: []string{"paper §3: 'choosing a bigger problem size can reduce the relative impact of overheads such as communication latencies'"}}, nil
@@ -213,18 +256,30 @@ func SensitivityCongestion() (*Report, error) {
 		}
 		return 1, 1
 	}
+	type variantKey struct {
+		name      string
+		optimized bool
+	}
+	var variants []variantKey
 	for _, name := range []string{"Water", "SOR"} {
-		app, err := AppByName(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, optimized := range []bool{false, true} {
-			variant := "original"
-			if optimized {
-				variant = "optimized"
-			}
-			var secs [2]float64
-			for i, useProfile := range []bool{false, true} {
+			variants = append(variants, variantKey{name, optimized})
+		}
+	}
+	secs := make([][2]float64, len(variants))
+	var tasks []func() error
+	for vi, v := range variants {
+		for pi, useProfile := range []bool{false, true} {
+			vi, pi, v, useProfile := vi, pi, v, useProfile
+			tasks = append(tasks, func() error {
+				app, err := AppByName(v.name)
+				if err != nil {
+					return err
+				}
+				variant := "original"
+				if v.optimized {
+					variant = "optimized"
+				}
 				par := cluster.DASParams()
 				if useProfile {
 					par.GatewayCost = 40 * time.Microsecond
@@ -236,21 +291,31 @@ func SensitivityCongestion() (*Report, error) {
 				if useProfile {
 					sys.Net.SetWANProfile(congested)
 				}
-				verify := app.Build(sys, optimized)
+				verify := app.Build(sys, v.optimized)
 				m, err := sys.Run()
 				if err != nil {
-					return nil, fmt.Errorf("sens-congestion %s %s: %w", name, variant, err)
+					return fmt.Errorf("sens-congestion %s %s: %w", v.name, variant, err)
 				}
 				if err := verify(); err != nil {
-					return nil, fmt.Errorf("sens-congestion %s %s: %w", name, variant, err)
+					return fmt.Errorf("sens-congestion %s %s: %w", v.name, variant, err)
 				}
-				secs[i] = m.Seconds()
-			}
-			t.Rows = append(t.Rows, []string{name, variant,
-				fmt.Sprintf("%.3f", secs[0]),
-				fmt.Sprintf("%.3f", secs[1]),
-				fmt.Sprintf("%.2fx", secs[1]/secs[0])})
+				secs[vi][pi] = m.Seconds()
+				return nil
+			})
 		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		variant := "original"
+		if v.optimized {
+			variant = "optimized"
+		}
+		t.Rows = append(t.Rows, []string{v.name, variant,
+			fmt.Sprintf("%.3f", secs[vi][0]),
+			fmt.Sprintf("%.3f", secs[vi][1]),
+			fmt.Sprintf("%.2fx", secs[vi][1]/secs[vi][0])})
 	}
 	return &Report{ID: "sens-congestion", Title: t.Title, Tables: []*Table{t},
 		Notes: []string{"optimized programs touch the WAN less, so congestion waves cost them proportionally less"}}, nil

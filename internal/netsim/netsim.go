@@ -258,11 +258,15 @@ func (n *Network) sendWAN(m Msg) {
 		if wait := p.free - now; wait > p.maxWait {
 			p.maxWait = wait
 		}
-		lat, bw := n.wanQuality(now)
 		start := now
 		if p.free > start {
 			start = p.free
 		}
+		// Sample WAN quality at the instant transmission actually begins:
+		// a message queued behind earlier traffic departs at p.free, and a
+		// time-varying profile (congestion wave) must apply there, not at
+		// the instant the message joined the queue.
+		lat, bw := n.wanQuality(start)
 		xmit := bwTime(m.Size, bw)
 		depart := start + xmit
 		p.free = depart

@@ -386,3 +386,45 @@ func TestWANProfileScalesDelivery(t *testing.T) {
 		t.Fatalf("slow delivery %v, want %v", slow, want)
 	}
 }
+
+// TestWANProfileSampledAtTransmissionStart pins the instant a time-varying
+// profile is evaluated: a message queued behind earlier pipe traffic starts
+// transmitting at the pipe's free time, so a step-function profile that
+// flips between queueing and transmission must apply its post-step quality.
+func TestWANProfileSampledAtTransmissionStart(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, cluster.Topology{Clusters: 2, NodesPerCluster: 2}, testParams())
+	// Before 500us: nominal quality. From 500us: 3x latency, half bandwidth.
+	n.SetWANProfile(func(at time.Duration) (float64, float64) {
+		if at < 500*time.Microsecond {
+			return 1, 1
+		}
+		return 3, 0.5
+	})
+	// Both messages are sent at t=0. Msg A (1000 B) reaches the local
+	// gateway at 151us and transmits at nominal quality, holding the pipe
+	// until 1151us. Msg B (500 B) joins the queue at 201us — before the
+	// step — but its transmission starts at 1151us, after it.
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 500})
+	var arrivals []time.Duration
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			n.Inbox(2).Get(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A: FE 151us + WAN (1000us xmit + 1000us lat + 1us) + FE 151us.
+	wantA := 2303 * time.Microsecond
+	// B: starts at 1151us under the degraded profile: 500 B at 0.5 MB/s =
+	// 1000us xmit, 3000us latency -> remote gateway at 5152us, FE leg
+	// (50us ser + 50us lat + 1us) -> 5253us. Sampling at queue time (the
+	// old bug) would deliver at 2753us instead.
+	wantB := 5253 * time.Microsecond
+	if len(arrivals) != 2 || arrivals[0] != wantA || arrivals[1] != wantB {
+		t.Fatalf("arrivals %v, want [%v %v]", arrivals, wantA, wantB)
+	}
+}

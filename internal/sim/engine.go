@@ -34,7 +34,12 @@ type Engine struct {
 
 	running bool
 	stopped bool
+	killing bool // Shutdown in progress or complete; primitives go inert
 }
+
+// procKilled is the panic value used to unwind process goroutines during
+// Shutdown. It is recovered by the spawn wrapper and never escapes.
+type procKilled struct{}
 
 // procSignal tells the engine what the currently running process just did.
 type procSignal uint8
@@ -103,11 +108,19 @@ func (e *Engine) Go(name string, body func(*Proc)) *Proc {
 
 // start launches the goroutine for p and immediately hands it the baton.
 func (e *Engine) start(p *Proc, body func(*Proc)) {
+	p.started = true
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					panic(r)
+				}
+			}
+			p.state = procDone
+			e.ctl <- sigExited
+		}()
 		<-p.resume
 		body(p)
-		p.state = procDone
-		e.ctl <- sigExited
 	}()
 	e.handoff(p)
 }
@@ -124,6 +137,11 @@ func (e *Engine) handoff(p *Proc) {
 
 // wake schedules p to resume at the current virtual time.
 func (e *Engine) wake(p *Proc) {
+	if e.killing {
+		// Wakes issued while dying goroutines unwind (e.g. a deferred
+		// Future.Set) are meaningless: Shutdown releases every process.
+		return
+	}
 	if p.state != procParked {
 		panic(fmt.Sprintf("sim: wake of %s which is %v", p.name, p.state))
 	}
@@ -147,6 +165,10 @@ func (e *Engine) Run() error {
 		ev.fn()
 	}
 	if e.stopped {
+		// A stopped engine is dead: release every process goroutine so
+		// sweep loops that create (and stop) many engines do not leak.
+		e.running = false
+		e.Shutdown()
 		return nil
 	}
 	var parked []string
@@ -163,8 +185,46 @@ func (e *Engine) Run() error {
 }
 
 // Stop makes Run return after the current event completes. Useful for
-// open-ended simulations driven by recurring timers.
+// open-ended simulations driven by recurring timers. A stopped engine is
+// finished: Run releases all remaining process goroutines before returning.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown releases every process goroutine the engine still owns: parked
+// processes (daemons included), processes woken but not yet resumed, and
+// processes spawned but never started. Blocked goroutines unwind via an
+// internal panic, so deferred functions in process bodies still run, but
+// re-parking or waking during the unwind is inert. Shutdown is idempotent,
+// must not be called from inside Run, and leaves the engine unusable for
+// further simulation (state remains readable). Run invokes it automatically
+// after Stop; owners of engines with daemon processes call it to reclaim
+// their goroutines.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Engine.Shutdown called during Run")
+	}
+	if e.killing {
+		return
+	}
+	e.killing = true
+	// Index loop: an unwinding process may spawn more procs via defers.
+	for i := 0; i < len(e.procs); i++ {
+		p := e.procs[i]
+		switch {
+		case p.state == procDone:
+		case !p.started:
+			// Spawned but its start event never ran: no goroutine exists.
+			p.state = procDone
+			e.live--
+		default:
+			// The goroutine is blocked on <-p.resume inside park. Release
+			// it; park sees killing and unwinds, and the spawn wrapper
+			// signals the exit we wait for here.
+			p.resume <- struct{}{}
+			<-e.ctl
+			e.live--
+		}
+	}
+}
 
 // Procs returns the processes spawned so far, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }

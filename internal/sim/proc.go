@@ -40,6 +40,7 @@ type Proc struct {
 
 	waitsOn string // description of the primitive currently blocking us
 	daemon  bool   // daemon procs may be left parked at end of run
+	started bool   // the goroutine for the body exists
 
 	busy time.Duration // accumulated Compute time, for utilization metrics
 }
@@ -73,12 +74,19 @@ func (p *Proc) waitReport() string {
 	return p.name + " on " + p.waitsOn
 }
 
-// park gives the baton back to the engine and blocks until woken.
+// park gives the baton back to the engine and blocks until woken. During
+// Shutdown it unwinds the calling goroutine instead of blocking forever.
 func (p *Proc) park(what string) {
+	if p.e.killing {
+		panic(procKilled{})
+	}
 	p.state = procParked
 	p.waitsOn = what
 	p.e.ctl <- sigParked
 	<-p.resume
+	if p.e.killing {
+		panic(procKilled{})
+	}
 	p.waitsOn = ""
 }
 

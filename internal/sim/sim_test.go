@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -291,6 +292,96 @@ func TestStop(t *testing.T) {
 	}
 	if n != 5 {
 		t.Fatalf("ticks %d", n)
+	}
+}
+
+// goroutinesSettleTo waits for the runtime goroutine count to drop to at
+// most want (released goroutines need a moment to actually exit).
+func goroutinesSettleTo(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count stuck at %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStopReleasesParkedProcs(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		e := NewEngine()
+		m := NewMailbox(e, "never")
+		// A parked process, a woken-but-not-resumed process, a daemon, and
+		// a spawned-but-never-started process: all must be released.
+		e.Go("parked", func(p *Proc) { m.Get(p) })
+		e.Go("daemon", func(p *Proc) {
+			p.SetDaemon(true)
+			for {
+				m.Get(p)
+			}
+		})
+		e.Go("ticker", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			e.Stop()
+			p.Sleep(time.Millisecond)
+		})
+		e.After(2*time.Millisecond, func() {
+			e.Go("never-started", func(p *Proc) {})
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Live() != 0 {
+			t.Fatalf("Live() = %d after stopped run", e.Live())
+		}
+	}
+	goroutinesSettleTo(t, baseline)
+}
+
+func TestShutdownReleasesDaemonsAfterCleanRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		e := NewEngine()
+		m := NewMailbox(e, "requests")
+		e.Go("server", func(p *Proc) {
+			p.SetDaemon(true)
+			for {
+				m.Get(p)
+			}
+		})
+		e.Go("client", func(p *Proc) { m.Put("hi") })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		e.Shutdown()
+		e.Shutdown() // idempotent
+		if e.Live() != 0 {
+			t.Fatalf("Live() = %d after Shutdown", e.Live())
+		}
+	}
+	goroutinesSettleTo(t, baseline)
+}
+
+func TestShutdownRunsProcDefers(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "never")
+	deferred := false
+	e.Go("w", func(p *Proc) {
+		defer func() { deferred = true }()
+		m.Get(p)
+	})
+	e.After(time.Millisecond, func() { e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !deferred {
+		t.Fatal("deferred function of killed proc did not run")
 	}
 }
 

@@ -30,8 +30,12 @@ func New(bucket time.Duration) *Timeline {
 // Bucket returns the bucket width.
 func (t *Timeline) Bucket() time.Duration { return t.bucket }
 
-// Add records n events on the series at virtual time at.
+// Add records n events on the series at virtual time at. Events before time
+// zero (e.g. from callers that pre-date their clock) land in the first bucket.
 func (t *Timeline) Add(at time.Duration, series string, n int64) {
+	if at < 0 {
+		at = 0
+	}
 	idx := int(at / t.bucket)
 	s := t.series[series]
 	for len(s) <= idx {
@@ -106,7 +110,17 @@ func (t *Timeline) Sparkline(series string, width int) string {
 func (t *Timeline) Render(width int) string {
 	var b strings.Builder
 	span := time.Duration(t.maxLen) * t.bucket
-	fmt.Fprintf(&b, "timeline over %v (one cell = %v)\n", span.Round(time.Millisecond), (span / time.Duration(max(width, 1))).Round(time.Microsecond))
+	cell := span / time.Duration(max(width, 1))
+	if cell < time.Nanosecond {
+		// Span shorter than the cell count: each cell still covers at
+		// least the simulator's resolution, never "0s".
+		cell = time.Nanosecond
+	}
+	disp := cell.Round(time.Microsecond)
+	if disp <= 0 {
+		disp = cell // sub-microsecond cells print exact, not rounded away
+	}
+	fmt.Fprintf(&b, "timeline over %v (one cell = %v)\n", span.Round(time.Millisecond), disp)
 	for _, name := range t.Series() {
 		fmt.Fprintf(&b, "%-14s |%s| %d\n", name, t.Sparkline(name, width), t.Total(name))
 	}

@@ -72,6 +72,34 @@ func TestRenderContainsAllSeries(t *testing.T) {
 	}
 }
 
+func TestAddBeforeTimeZeroClampsToFirstBucket(t *testing.T) {
+	tl := New(time.Millisecond)
+	tl.Add(-5*time.Millisecond, "x", 2) // must not panic
+	tl.Add(-1, "x", 1)
+	tl.Add(0, "x", 4)
+	if got := tl.Counts("x"); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("x buckets %v, want [7]", got)
+	}
+}
+
+func TestRenderShortSpanNeverShowsZeroCell(t *testing.T) {
+	tl := New(time.Nanosecond)
+	tl.Add(0, "x", 1)
+	tl.Add(3, "x", 1) // span of 4ns rendered at width 30
+	out := tl.Render(30)
+	if strings.Contains(out, "one cell = 0s") {
+		t.Fatalf("zero-width cell rendered:\n%s", out)
+	}
+}
+
+func TestRenderEmptyTimeline(t *testing.T) {
+	tl := New(time.Millisecond)
+	out := tl.Render(30)
+	if strings.Contains(out, "one cell = 0s") {
+		t.Fatalf("zero-width cell rendered for empty timeline:\n%s", out)
+	}
+}
+
 // TestTapIntegration runs a real application with a timeline tap attached
 // and checks the recorded traffic matches the run's counters.
 func TestTapIntegration(t *testing.T) {
