@@ -1,0 +1,163 @@
+// Hot-path engine benchmarks: raw event dispatch, process wakeups, RPC
+// round-trips, and end-to-end application throughput (virtual sim-seconds
+// simulated per wall-clock second).
+//
+// These are the numbers tracked across PRs in BENCH_engine.json; regenerate
+// it with scripts/bench.sh. Run ad hoc with:
+//
+//	go test -run '^$' -bench 'Engine|RPCRoundTrip|EndToEnd' -benchmem .
+package albatross
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/harness"
+	"albatross/internal/netsim"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// BenchmarkEngineEvents measures pure event-queue throughput: b.N timer
+// events with distinct timestamps, each insertion and removal exercising the
+// time-ordered queue (the heap path).
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineSameInstantEvents measures dispatch of events that all fire
+// at the current instant — the zero-delay case the ready ring serves.
+func BenchmarkEngineSameInstantEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(0, tick)
+		}
+	}
+	e.After(0, tick)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineWakes measures the park/wake handoff cycle: two processes
+// baton-pass through a pair of mailboxes, so every iteration is one Put
+// (wake) plus one Get (park) on each side, all at the same virtual instant.
+func BenchmarkEngineWakes(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	ping := sim.NewMailbox(e, "ping")
+	pong := sim.NewMailbox(e, "pong")
+	n := b.N
+	e.Go("a", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ping.Put(i)
+			pong.Get(p)
+		}
+	})
+	e.Go("b", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			ping.Get(p)
+			pong.Put(i)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRPCRoundTrip measures a full simulated remote invocation on a
+// two-node LAN: request serialization, delivery, dispatch, reply, and the
+// caller's park/wake — the per-operation cost every application pays.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	sys := core.NewDAS(1, 2)
+	obj := sys.RTS.NewObject("bench", 0, new(int))
+	n := b.N
+	sys.SpawnAt(1, "caller", func(w *core.Worker) {
+		for i := 0; i < n; i++ {
+			w.Invoke(obj, orca.Op{Name: "inc", ArgBytes: 8,
+				Apply: func(s any) any { *(s.(*int))++; return nil }})
+		}
+	})
+	if _, err := sys.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if *(obj.State().(*int)) != b.N {
+		b.Fatal("lost invocations")
+	}
+}
+
+// benchEndToEnd runs one full application configuration per iteration and
+// reports virtual sim-seconds per wall-clock second — the headline metric
+// for how large a platform/problem the simulator can model in real time.
+func benchEndToEnd(b *testing.B, appName string, clusters, perCluster int) {
+	b.Helper()
+	b.ReportAllocs()
+	app, err := harness.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunOne(app, clusters, perCluster, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simSecs += m.Seconds()
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simSecs/wall, "simsec/wallsec")
+	}
+}
+
+// BenchmarkEndToEndASP is broadcast-dominated (sequencer-ordered updates).
+func BenchmarkEndToEndASP(b *testing.B) { benchEndToEnd(b, "ASP", 2, 8) }
+
+// BenchmarkEndToEndSOR is point-to-point/RPC-dominated (neighbor exchange).
+func BenchmarkEndToEndSOR(b *testing.B) { benchEndToEnd(b, "SOR", 2, 8) }
+
+// BenchmarkNetSendLAN measures the flattened intracluster send path in
+// isolation: one Send plus its delivery event per iteration.
+func BenchmarkNetSendLAN(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	net := netsim.New(e, cluster.Topology{Clusters: 1, NodesPerCluster: 2}, cluster.DASParams())
+	delivered := 0
+	net.SetHandler(1, func(m netsim.Msg) { delivered++ })
+	for i := 0; i < b.N; i++ {
+		net.Send(netsim.Msg{From: 0, To: 1, Kind: netsim.KindData, Size: 64})
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,9 +36,44 @@ func main() {
 		timelineFlag = flag.String("timeline", "", "show a message-activity timeline for one application on 4x15 instead of running experiments")
 		csvFlag      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		parallelFlag = flag.Int("parallel", 0, "simulation runs to execute concurrently (0 = GOMAXPROCS); output is identical at any setting")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (taken after all runs drain) to this file")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallelFlag)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// The heap snapshot is taken after the scheduler has drained every
+		// run, so it reflects steady-state retention, not in-flight churn.
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *listFlag {
 		for _, e := range harness.Experiments() {

@@ -50,7 +50,7 @@ func main() {
 			rpc := m.Net.InterRPC()
 			data := m.Net.InterData()
 			bc := m.Net.InterBcast()
-			ctl := m.Net.Inter[netsim.KindControl]
+			ctl := m.Net.Inter(netsim.KindControl)
 			fmt.Printf("%-8s %-10s %10d %12.0f %10d %12.0f %12d %12.3f\n",
 				app.Name, variant,
 				rpc.Msgs+data.Msgs, rpc.KBytes()+data.KBytes(),

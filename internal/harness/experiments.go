@@ -263,7 +263,7 @@ func trafficTable(id string, optimized bool) (*Report, error) {
 		rpc := m.Net.InterRPC()
 		data := m.Net.InterData()
 		bc := m.Net.InterBcast()
-		ctl := m.Net.Inter[netsim.KindControl]
+		ctl := m.Net.Inter(netsim.KindControl)
 		name := app.Name
 		if optimized {
 			name += "'"

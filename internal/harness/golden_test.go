@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// goldenOutput renders an experiment in the exact format stored under
+// testdata: the human report, a separator, then the CSV data.
+func goldenOutput(t *testing.T, id string) string {
+	t.Helper()
+	e, err := ExperimentByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return rep.Render() + "\n--- CSV ---\n" + rep.CSV()
+}
+
+// TestGoldenReports proves the engine rebuild changed no observable result:
+// the fig5 (ASP, broadcast-heavy) and fig7 (ATPG, RPC-heavy) reports must be
+// byte-identical to the testdata captured from the pre-rebuild engine, and
+// identical whether the experiment's runs execute sequentially or on eight
+// concurrent workers.
+func TestGoldenReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are long in -short mode")
+	}
+	for _, id := range []string{"fig5", "fig7"} {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden_"+id+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			ResetCache()
+			prev := SetParallelism(workers)
+			got := goldenOutput(t, id)
+			SetParallelism(prev)
+			if got != string(want) {
+				t.Errorf("%s at parallelism %d: output differs from golden file\n got:\n%s\nwant:\n%s",
+					id, workers, got, want)
+			}
+		}
+	}
+	ResetCache()
+}
+
+// runFresh executes one configuration on a brand-new system (no run cache)
+// and reports both the metrics and how many events the engine dispatched.
+func runFresh(t *testing.T, appName string, clusters, perCluster int) (core.Metrics, uint64) {
+	t.Helper()
+	app, err := AppByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(false)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, perCluster),
+		Params:    Params,
+		Sequencer: seqr,
+	})
+	verify := app.Build(sys, false)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", appName, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("%s: %v", appName, err)
+	}
+	return m, sys.Engine.Dispatched()
+}
+
+// TestDeterministicMetrics runs the same seeded configuration three times on
+// fresh systems and requires the virtual end time AND the dispatched-event
+// count to match exactly: not just the same answer, the same event-by-event
+// schedule.
+func TestDeterministicMetrics(t *testing.T) {
+	for _, appName := range []string{"ASP", "SOR", "TSP"} {
+		var m0 core.Metrics
+		var d0 uint64
+		for i := 0; i < 3; i++ {
+			m, d := runFresh(t, appName, 2, 4)
+			if i == 0 {
+				m0, d0 = m, d
+				continue
+			}
+			if m.Elapsed != m0.Elapsed {
+				t.Errorf("%s run %d: elapsed %v, want %v", appName, i, m.Elapsed, m0.Elapsed)
+			}
+			if d != d0 {
+				t.Errorf("%s run %d: dispatched %d events, want %d", appName, i, d, d0)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"albatross/internal/cluster"
@@ -43,18 +44,13 @@ const (
 // NumKinds is the number of distinct message kinds.
 const NumKinds = int(numKinds)
 
+// kindNames is indexed by Kind; String is a plain array lookup so taps and
+// trace labels pay no switch or fmt cost.
+var kindNames = [NumKinds]string{"rpc-req", "rpc-rep", "bcast", "data", "control"}
+
 func (k Kind) String() string {
-	switch k {
-	case KindRPCReq:
-		return "rpc-req"
-	case KindRPCRep:
-		return "rpc-rep"
-	case KindBcast:
-		return "bcast"
-	case KindData:
-		return "data"
-	case KindControl:
-		return "control"
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return "invalid"
 }
@@ -66,6 +62,21 @@ type Msg struct {
 	Kind     Kind
 	Size     int
 	Payload  any
+}
+
+// String renders the message compactly ("data 0>17 128B") without fmt, so
+// taps and trace sinks can label messages cheaply.
+func (m Msg) String() string {
+	b := make([]byte, 0, 32)
+	b = append(b, m.Kind.String()...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(m.From), 10)
+	b = append(b, '>')
+	b = strconv.AppendInt(b, int64(m.To), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(m.Size), 10)
+	b = append(b, 'B')
+	return string(b)
 }
 
 // Handler consumes a delivered message. Handlers run in event context: they
@@ -91,15 +102,49 @@ type pipe struct {
 	maxWait time.Duration // worst queueing delay behind earlier traffic
 }
 
+// delivery is a recyclable deliver-callback record. The closure is bound
+// once per record and records are pooled, so a steady stream of messages
+// schedules delivery events without allocating a fresh closure per message.
+type delivery struct {
+	n  *Network
+	m  Msg
+	fn func() // bound to (*delivery).run once, at record creation
+}
+
+func (d *delivery) run() {
+	n, m := d.n, d.m
+	d.m = Msg{} // drop the payload reference while pooled
+	n.pool = append(n.pool, d)
+	n.deliver(m)
+}
+
 // Network is the two-level network for one simulated system.
 type Network struct {
-	e     *sim.Engine
-	topo  cluster.Topology
-	par   cluster.Params
-	nodes []*node
-	pipes map[[2]int]*pipe
-	stats Stats
-	tap   Tap
+	e         *sim.Engine
+	topo      cluster.Topology
+	par       cluster.Params
+	nodes     []*node
+	pipes     []pipe // dense, indexed srcCluster*nclusters+dstCluster
+	nclusters int
+	stats     Stats
+	tap       Tap
+	pool      []*delivery // free list of delivery records
+
+	// Flattened topology tables: the send path answers "which cluster",
+	// "is it a gateway" and "who are the local members" with one array
+	// index instead of Topology's arithmetic (or, for Nodes, a fresh
+	// slice allocation) per message.
+	clusterOf []int              // node → cluster index
+	isGW      []bool             // node → gateway flag
+	gateways  []cluster.NodeID   // cluster → gateway node (multi-cluster only)
+	members   [][]cluster.NodeID // cluster → compute nodes, in ID order
+
+	// Precomputed per-message latency sums (exact Duration additions, so
+	// arrival times are bit-identical to summing the parts on every send).
+	lanDelay      time.Duration // LANLatency + 2*SoftwareOverhead
+	lanBcastDelay time.Duration // LANBcastLatency + 2*SoftwareOverhead
+	feDelay       time.Duration // FELatency + SoftwareOverhead
+	wanDelay      time.Duration // SoftwareOverhead after WAN transit
 
 	// wanProfile, if set, scales WAN latency and bandwidth over virtual
 	// time (e.g. to model congestion waves). It must be a pure function of
@@ -127,18 +172,39 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 		panic(err)
 	}
 	n := &Network{
-		e:     e,
-		topo:  topo,
-		par:   par,
-		nodes: make([]*node, topo.Total()),
-		pipes: make(map[[2]int]*pipe),
+		e:         e,
+		topo:      topo,
+		par:       par,
+		nodes:     make([]*node, topo.Total()),
+		pipes:     make([]pipe, topo.Clusters*topo.Clusters),
+		nclusters: topo.Clusters,
+
+		lanDelay:      par.LANLatency + 2*par.SoftwareOverhead,
+		lanBcastDelay: par.LANBcastLatency + 2*par.SoftwareOverhead,
+		feDelay:       par.FELatency + par.SoftwareOverhead,
+		wanDelay:      par.SoftwareOverhead,
 	}
-	n.stats.init()
 	for i := range n.nodes {
 		id := cluster.NodeID(i)
 		n.nodes[i] = &node{
 			id:    id,
 			inbox: sim.NewMailbox(e, fmt.Sprintf("inbox-%d", i)),
+		}
+	}
+	n.clusterOf = make([]int, topo.Total())
+	n.isGW = make([]bool, topo.Total())
+	for i := range n.clusterOf {
+		n.clusterOf[i] = topo.ClusterOf(cluster.NodeID(i))
+		n.isGW[i] = topo.IsGateway(cluster.NodeID(i))
+	}
+	n.members = make([][]cluster.NodeID, topo.Clusters)
+	for c := range n.members {
+		n.members[c] = topo.Nodes(c)
+	}
+	if topo.Clusters > 1 {
+		n.gateways = make([]cluster.NodeID, topo.Clusters)
+		for c := range n.gateways {
+			n.gateways[c] = topo.Gateway(c)
 		}
 	}
 	return n
@@ -176,8 +242,23 @@ func (n *Network) deliver(m Msg) {
 	dst.inbox.Put(m)
 }
 
-// xmit reserves the sender-side NIC for size bytes at rate bw starting no
-// earlier than now, returning the serialization finish time.
+// deliverAt schedules delivery of m at absolute virtual time at, reusing a
+// pooled delivery record instead of allocating a per-message closure.
+func (n *Network) deliverAt(at time.Duration, m Msg) {
+	var d *delivery
+	if k := len(n.pool); k > 0 {
+		d = n.pool[k-1]
+		n.pool = n.pool[:k-1]
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.run
+	}
+	d.m = m
+	n.e.At(at, d.fn)
+}
+
+// serialize reserves the sender-side NIC for size bytes at rate bw starting
+// no earlier than now, returning the serialization finish time.
 func serialize(free *time.Duration, now time.Duration, size int, bw float64) time.Duration {
 	start := now
 	if *free > start {
@@ -196,16 +277,20 @@ func bwTime(size int, bw float64) time.Duration {
 // Send transmits m asynchronously; delivery happens at the simulated arrival
 // time. It never blocks and is callable from process or event context.
 func (n *Network) Send(m Msg) {
-	if n.tap != nil {
-		n.tap(n.e.Now(), m, m.From != m.To && !n.topo.SameCluster(m.From, m.To))
-	}
 	if m.From == m.To {
+		if n.tap != nil {
+			n.tap(n.e.Now(), m, false)
+		}
 		// Loopback: modelled as pure software overhead.
-		n.stats.count(false, m.Kind, m.Size)
-		n.e.After(n.par.SoftwareOverhead, func() { n.deliver(m) })
+		n.stats.count(scopeIntra, m.Kind, m.Size)
+		n.deliverAt(n.e.Now()+n.par.SoftwareOverhead, m)
 		return
 	}
-	if n.topo.SameCluster(m.From, m.To) {
+	inter := n.clusterOf[m.From] != n.clusterOf[m.To]
+	if n.tap != nil {
+		n.tap(n.e.Now(), m, inter)
+	}
+	if !inter {
 		n.sendLAN(m)
 		return
 	}
@@ -214,32 +299,31 @@ func (n *Network) Send(m Msg) {
 
 // sendLAN delivers an intracluster message over the fast local network.
 func (n *Network) sendLAN(m Msg) {
-	n.stats.count(false, m.Kind, m.Size)
+	n.stats.count(scopeIntra, m.Kind, m.Size)
 	now := n.e.Now()
 	src := n.nodes[m.From]
 	end := serialize(&src.nicFree, now, m.Size, n.par.LANBandwidth)
-	arrive := end + n.par.LANLatency + 2*n.par.SoftwareOverhead
-	n.e.At(arrive, func() { n.deliver(m) })
+	n.deliverAt(end+n.lanDelay, m)
 }
 
 // sendWAN routes an intercluster message through both gateways and the WAN
 // pipe for the directed cluster pair.
 func (n *Network) sendWAN(m Msg) {
-	n.stats.count(true, m.Kind, m.Size)
+	n.stats.count(scopeInter, m.Kind, m.Size)
 	now := n.e.Now()
-	cs, cd := n.topo.ClusterOf(m.From), n.topo.ClusterOf(m.To)
-	gwLocal := n.nodes[n.topo.Gateway(cs)]
-	gwRemote := n.nodes[n.topo.Gateway(cd)]
+	cs, cd := n.clusterOf[m.From], n.clusterOf[m.To]
+	gwLocal := n.nodes[n.gateways[cs]]
+	gwRemote := n.nodes[n.gateways[cd]]
 
 	// Leg 1: node → local gateway over Fast Ethernet (skipped when the
 	// sender is the gateway itself, e.g. forwarded protocol traffic).
 	var atLocalGW time.Duration
-	if n.topo.IsGateway(m.From) {
+	if n.isGW[m.From] {
 		atLocalGW = now
 	} else {
 		src := n.nodes[m.From]
 		end := serialize(&src.nicFree, now, m.Size, n.par.FEBandwidth)
-		atLocalGW = end + n.par.FELatency + n.par.SoftwareOverhead
+		atLocalGW = end + n.feDelay
 	}
 
 	// Leg 2: the local gateway's forwarding stage, then the WAN pipe (a
@@ -254,7 +338,7 @@ func (n *Network) sendWAN(m Msg) {
 			gwLocal.gwFree += n.par.GatewayCost
 			now = gwLocal.gwFree
 		}
-		p := n.pipe(cs, cd)
+		p := &n.pipes[cs*n.nclusters+cd]
 		if wait := p.free - now; wait > p.maxWait {
 			p.maxWait = wait
 		}
@@ -273,12 +357,12 @@ func (n *Network) sendWAN(m Msg) {
 		p.busy += xmit
 		p.bytes += int64(m.Size)
 		p.msgs++
-		atRemoteGW := depart + lat + n.par.SoftwareOverhead
+		atRemoteGW := depart + lat + n.wanDelay
 
 		// Leg 3: remote gateway forwarding, then Fast Ethernet to the
 		// destination node (skipped when the destination is the gateway).
 		n.e.At(atRemoteGW, func() {
-			if n.topo.IsGateway(m.To) {
+			if n.isGW[m.To] {
 				n.deliver(m)
 				return
 			}
@@ -291,7 +375,7 @@ func (n *Network) sendWAN(m Msg) {
 				t = gwRemote.gwFree
 			}
 			end := serialize(&gwRemote.nicFree, t, m.Size, n.par.FEBandwidth)
-			n.e.At(end+n.par.FELatency+n.par.SoftwareOverhead, func() { n.deliver(m) })
+			n.deliverAt(end+n.feDelay, m)
 		})
 	})
 }
@@ -303,16 +387,6 @@ func (n *Network) wanQuality(at time.Duration) (time.Duration, float64) {
 	}
 	ls, bs := n.wanProfile(at)
 	return time.Duration(float64(n.par.WANLatency) * ls), n.par.WANBandwidth * bs
-}
-
-func (n *Network) pipe(cs, cd int) *pipe {
-	key := [2]int{cs, cd}
-	p, ok := n.pipes[key]
-	if !ok {
-		p = &pipe{}
-		n.pipes[key] = p
-	}
-	return p
 }
 
 // PipeReport describes the load on one directed WAN link over a run.
@@ -336,10 +410,10 @@ func (r PipeReport) Utilization(elapsed time.Duration) float64 {
 // (from, to). Links that carried no traffic are omitted.
 func (n *Network) PipeReports() []PipeReport {
 	var out []PipeReport
-	for cs := 0; cs < n.topo.Clusters; cs++ {
-		for cd := 0; cd < n.topo.Clusters; cd++ {
-			p, ok := n.pipes[[2]int{cs, cd}]
-			if !ok || p.msgs == 0 {
+	for cs := 0; cs < n.nclusters; cs++ {
+		for cd := 0; cd < n.nclusters; cd++ {
+			p := &n.pipes[cs*n.nclusters+cd]
+			if p.msgs == 0 {
 				continue
 			}
 			out = append(out, PipeReport{
@@ -360,14 +434,12 @@ func (n *Network) BcastLocal(from cluster.NodeID, kind Kind, size int, payload a
 	if n.tap != nil {
 		n.tap(n.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
 	}
-	n.stats.count(false, kind, size)
+	n.stats.count(scopeIntra, kind, size)
 	now := n.e.Now()
 	src := n.nodes[from]
 	end := serialize(&src.nicFree, now, size, n.par.LANBandwidth)
-	arrive := end + n.par.LANBcastLatency + 2*n.par.SoftwareOverhead
-	c := n.topo.ClusterOf(from)
-	for _, id := range n.topo.Nodes(c) {
-		m := Msg{From: from, To: id, Kind: kind, Size: size, Payload: payload}
-		n.e.At(arrive, func() { n.deliver(m) })
+	arrive := end + n.lanBcastDelay
+	for _, id := range n.members[n.clusterOf[from]] {
+		n.deliverAt(arrive, Msg{From: from, To: id, Kind: kind, Size: size, Payload: payload})
 	}
 }

@@ -183,11 +183,11 @@ func TestStatsSplitIntraInter(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := n.Stats()
-	if s.Intra[KindRPCReq].Msgs != 1 || s.Intra[KindRPCReq].Bytes != 100 {
-		t.Fatalf("intra rpc %+v", s.Intra[KindRPCReq])
+	if s.Intra(KindRPCReq).Msgs != 1 || s.Intra(KindRPCReq).Bytes != 100 {
+		t.Fatalf("intra rpc %+v", s.Intra(KindRPCReq))
 	}
-	if s.Inter[KindRPCReq].Msgs != 1 || s.Inter[KindRPCReq].Bytes != 200 {
-		t.Fatalf("inter rpc %+v", s.Inter[KindRPCReq])
+	if s.Inter(KindRPCReq).Msgs != 1 || s.Inter(KindRPCReq).Bytes != 200 {
+		t.Fatalf("inter rpc %+v", s.Inter(KindRPCReq))
 	}
 	rpc := s.InterRPC()
 	if rpc.Msgs != 1 || rpc.Bytes != 250 {
@@ -208,8 +208,8 @@ func TestStatsDiff(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := n.Stats().Diff(snap)
-	if d.Intra[KindData].Msgs != 1 || d.Intra[KindData].Bytes != 20 {
-		t.Fatalf("diff %+v", d.Intra[KindData])
+	if d.Intra(KindData).Msgs != 1 || d.Intra(KindData).Bytes != 20 {
+		t.Fatalf("diff %+v", d.Intra(KindData))
 	}
 }
 

@@ -11,11 +11,6 @@ type Counter struct {
 	Bytes int64
 }
 
-func (c *Counter) add(size int) {
-	c.Msgs++
-	c.Bytes += int64(size)
-}
-
 // Add merges another counter into c.
 func (c *Counter) Add(o Counter) {
 	c.Msgs += o.Msgs
@@ -25,22 +20,30 @@ func (c *Counter) Add(o Counter) {
 // KBytes reports the byte volume in kilobytes (paper units: 1 kB = 1024 B).
 func (c Counter) KBytes() float64 { return float64(c.Bytes) / 1024 }
 
+// Scope indices into Stats.counts: the send path passes them as constants,
+// so metering a message is a branch-free array index.
+const (
+	scopeIntra = 0 // traffic that stayed inside a cluster
+	scopeInter = 1 // traffic that crossed a WAN link
+)
+
 // Stats meters all traffic of a Network, split by locality and kind.
 // It is the data source for the paper's traffic tables.
 type Stats struct {
-	Intra [NumKinds]Counter // traffic that stayed inside a cluster
-	Inter [NumKinds]Counter // traffic that crossed a WAN link
+	counts [2][NumKinds]Counter // [scopeIntra|scopeInter][kind]
 }
 
-func (s *Stats) init() {}
-
-func (s *Stats) count(inter bool, k Kind, size int) {
-	if inter {
-		s.Inter[k].add(size)
-	} else {
-		s.Intra[k].add(size)
-	}
+func (s *Stats) count(scope int, k Kind, size int) {
+	c := &s.counts[scope][k]
+	c.Msgs++
+	c.Bytes += int64(size)
 }
+
+// Intra reports the intracluster traffic of one message kind.
+func (s *Stats) Intra(k Kind) Counter { return s.counts[scopeIntra][k] }
+
+// Inter reports the intercluster traffic of one message kind.
+func (s *Stats) Inter(k Kind) Counter { return s.counts[scopeInter][k] }
 
 // Reset zeroes all counters (used to exclude warm-up or setup traffic).
 func (s *Stats) Reset() { *s = Stats{} }
@@ -51,9 +54,13 @@ func (s *Stats) Clone() Stats { return *s }
 // Diff returns the traffic accumulated since the earlier snapshot.
 func (s *Stats) Diff(earlier Stats) Stats {
 	var d Stats
-	for k := 0; k < NumKinds; k++ {
-		d.Intra[k] = Counter{s.Intra[k].Msgs - earlier.Intra[k].Msgs, s.Intra[k].Bytes - earlier.Intra[k].Bytes}
-		d.Inter[k] = Counter{s.Inter[k].Msgs - earlier.Inter[k].Msgs, s.Inter[k].Bytes - earlier.Inter[k].Bytes}
+	for scope := 0; scope < 2; scope++ {
+		for k := 0; k < NumKinds; k++ {
+			d.counts[scope][k] = Counter{
+				s.counts[scope][k].Msgs - earlier.counts[scope][k].Msgs,
+				s.counts[scope][k].Bytes - earlier.counts[scope][k].Bytes,
+			}
+		}
 	}
 	return d
 }
@@ -62,7 +69,7 @@ func (s *Stats) Diff(earlier Stats) Stats {
 func (s *Stats) TotalIntra() Counter {
 	var t Counter
 	for k := 0; k < NumKinds; k++ {
-		t.Add(s.Intra[k])
+		t.Add(s.counts[scopeIntra][k])
 	}
 	return t
 }
@@ -71,7 +78,7 @@ func (s *Stats) TotalIntra() Counter {
 func (s *Stats) TotalInter() Counter {
 	var t Counter
 	for k := 0; k < NumKinds; k++ {
-		t.Add(s.Inter[k])
+		t.Add(s.counts[scopeInter][k])
 	}
 	return t
 }
@@ -81,29 +88,29 @@ func (s *Stats) TotalInter() Counter {
 // crossed a WAN link and the volume includes both directions.
 func (s *Stats) InterRPC() Counter {
 	return Counter{
-		Msgs:  s.Inter[KindRPCReq].Msgs,
-		Bytes: s.Inter[KindRPCReq].Bytes + s.Inter[KindRPCRep].Bytes,
+		Msgs:  s.counts[scopeInter][KindRPCReq].Msgs,
+		Bytes: s.counts[scopeInter][KindRPCReq].Bytes + s.counts[scopeInter][KindRPCRep].Bytes,
 	}
 }
 
 // InterBcast reports intercluster broadcast traffic.
-func (s *Stats) InterBcast() Counter { return s.Inter[KindBcast] }
+func (s *Stats) InterBcast() Counter { return s.counts[scopeInter][KindBcast] }
 
 // InterData reports intercluster bulk-data traffic.
-func (s *Stats) InterData() Counter { return s.Inter[KindData] }
+func (s *Stats) InterData() Counter { return s.counts[scopeInter][KindData] }
 
 func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "intra: ")
 	for k := 0; k < NumKinds; k++ {
-		if s.Intra[k].Msgs > 0 {
-			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), s.Intra[k].Msgs, s.Intra[k].KBytes())
+		if c := s.counts[scopeIntra][k]; c.Msgs > 0 {
+			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), c.Msgs, c.KBytes())
 		}
 	}
 	fmt.Fprintf(&b, "| inter: ")
 	for k := 0; k < NumKinds; k++ {
-		if s.Inter[k].Msgs > 0 {
-			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), s.Inter[k].Msgs, s.Inter[k].KBytes())
+		if c := s.counts[scopeInter][k]; c.Msgs > 0 {
+			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), c.Msgs, c.KBytes())
 		}
 	}
 	return strings.TrimSpace(b.String())

@@ -1,8 +1,6 @@
 package orca
 
 import (
-	"fmt"
-
 	"albatross/internal/cluster"
 	"albatross/internal/netsim"
 	"albatross/internal/sim"
@@ -29,6 +27,7 @@ type Object struct {
 	rts        *RTS
 	id         int
 	name       string
+	futName    string // precomputed future name: invocations are the hot path
 	replicated bool
 	owner      cluster.NodeID
 	state      any   // non-replicated state
@@ -50,7 +49,7 @@ type pendingBcast struct {
 // NewObject creates a non-replicated shared object stored at owner, with
 // initial state init.
 func (r *RTS) NewObject(name string, owner cluster.NodeID, init any) *Object {
-	o := &Object{rts: r, id: len(r.objects), name: name, owner: owner, state: init}
+	o := &Object{rts: r, id: len(r.objects), name: name, futName: "rpc " + name, owner: owner, state: init}
 	r.objects = append(r.objects, o)
 	return o
 }
@@ -59,7 +58,7 @@ func (r *RTS) NewObject(name string, owner cluster.NodeID, init any) *Object {
 // compute node to build that node's copy (copies must start identical in the
 // observable sense but may be distinct Go values).
 func (r *RTS) NewReplicated(name string, init func(node cluster.NodeID) any) *Object {
-	o := &Object{rts: r, id: len(r.objects), name: name, replicated: true}
+	o := &Object{rts: r, id: len(r.objects), name: name, futName: "bcast " + name, replicated: true}
 	o.replicas = make([]any, r.topo.Compute())
 	for i := range o.replicas {
 		o.replicas[i] = init(cluster.NodeID(i))
@@ -131,7 +130,7 @@ func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
 	r.ops.BcastBytes += int64(op.ArgBytes)
 	b := &pendingBcast{
 		obj: o, op: op, from: from,
-		done: sim.NewFuture(r.e, fmt.Sprintf("bcast %s.%s", o.name, op.Name)),
+		done: sim.NewFuture(r.e, o.futName),
 	}
 	r.seqr.Submit(r, from, b)
 	return b.done.Await(p)
@@ -144,7 +143,7 @@ func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
 	nd := r.nodes[from]
 	id := nd.nextCall
 	nd.nextCall++
-	f := sim.NewFuture(r.e, fmt.Sprintf("rpc %s.%s", o.name, op.Name))
+	f := sim.NewFuture(r.e, o.futName)
 	nd.calls[id] = f
 	r.net.Send(netsim.Msg{
 		From: from, To: o.owner, Kind: netsim.KindRPCReq,

@@ -40,6 +40,10 @@ type RTS struct {
 	// seqBusy is each sequencer node's ordering-work horizon.
 	seqBusy map[cluster.NodeID]time.Duration
 
+	// callNames caches the "call <service>" future names so the blocking
+	// Call path formats nothing per request.
+	callNames map[string]string
+
 	ops OpStats
 }
 

@@ -70,7 +70,7 @@ func TestRemoteRPC(t *testing.T) {
 		t.Fatalf("ops %+v", rts.Ops())
 	}
 	s := net.Stats()
-	if s.Intra[netsim.KindRPCReq].Msgs != 1 || s.Intra[netsim.KindRPCRep].Msgs != 1 {
+	if s.Intra(netsim.KindRPCReq).Msgs != 1 || s.Intra(netsim.KindRPCRep).Msgs != 1 {
 		t.Fatalf("stats %v", s)
 	}
 }

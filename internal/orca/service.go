@@ -84,6 +84,20 @@ func NextRequest(p *sim.Proc, mb *sim.Mailbox) *Request {
 	return mb.Get(p).(*Request)
 }
 
+// callFutName returns the cached future name for blocking calls to a
+// service, building it on first use.
+func (r *RTS) callFutName(name string) string {
+	s, ok := r.callNames[name]
+	if !ok {
+		s = "call " + name
+		if r.callNames == nil {
+			r.callNames = make(map[string]string)
+		}
+		r.callNames[name] = s
+	}
+	return s
+}
+
 // Call performs a blocking application-level request to service name at node
 // to: the calling process is suspended until the server replies.
 func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes int, payload any) any {
@@ -91,7 +105,7 @@ func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes i
 	nd := r.nodes[from]
 	id := nd.nextCall
 	nd.nextCall++
-	f := sim.NewFuture(r.e, fmt.Sprintf("call %s@%d", name, to))
+	f := sim.NewFuture(r.e, r.callFutName(name))
 	nd.calls[id] = f
 	r.net.Send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindRPCReq,

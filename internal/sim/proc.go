@@ -36,11 +36,16 @@ type Proc struct {
 	id     int
 	name   string
 	resume chan struct{}
+	runFn  func() // pre-bound resume thunk: hands this proc the baton
 	state  procState
 
-	waitsOn string // description of the primitive currently blocking us
-	daemon  bool   // daemon procs may be left parked at end of run
-	started bool   // the goroutine for the body exists
+	// What blocks us, split in two so parking never concatenates: the
+	// primitive kind ("future ", "mailbox ", ...) and the instance name.
+	// waitReport joins them only when a deadlock report needs the text.
+	waitKind string
+	waitName string
+	daemon   bool // daemon procs may be left parked at end of run
+	started  bool // the goroutine for the body exists
 
 	busy time.Duration // accumulated Compute time, for utilization metrics
 }
@@ -68,26 +73,30 @@ func (p *Proc) BusyTime() time.Duration { return p.busy }
 func (p *Proc) String() string { return fmt.Sprintf("%s(#%d,%v)", p.name, p.id, p.state) }
 
 func (p *Proc) waitReport() string {
-	if p.waitsOn == "" {
+	if p.waitKind == "" {
 		return p.name
 	}
-	return p.name + " on " + p.waitsOn
+	return p.name + " on " + p.waitKind + p.waitName
 }
 
 // park gives the baton back to the engine and blocks until woken. During
 // Shutdown it unwinds the calling goroutine instead of blocking forever.
-func (p *Proc) park(what string) {
+// kind and name describe the blocking primitive; they are stored as-is and
+// joined only if a deadlock report is built, so parking allocates nothing.
+func (p *Proc) park(kind, name string) {
 	if p.e.killing {
 		panic(procKilled{})
 	}
 	p.state = procParked
-	p.waitsOn = what
+	p.waitKind = kind
+	p.waitName = name
 	p.e.ctl <- sigParked
 	<-p.resume
 	if p.e.killing {
 		panic(procKilled{})
 	}
-	p.waitsOn = ""
+	p.waitKind = ""
+	p.waitName = ""
 }
 
 // Sleep advances the process's clock by d without charging busy time.
@@ -95,9 +104,8 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic("sim: negative Sleep")
 	}
-	pp := p
-	p.e.At(p.e.now+d, func() { p.e.handoff(pp) })
-	p.park("sleep")
+	p.e.At(p.e.now+d, p.runFn)
+	p.park("sleep", "")
 }
 
 // Compute models d of CPU work: the clock advances and busy time accrues.
@@ -157,7 +165,7 @@ func (f *Future) Await(p *Proc) any {
 		return f.val
 	}
 	f.waiters = append(f.waiters, p)
-	p.park("future " + f.name)
+	p.park("future ", f.name)
 	return f.val
 }
 
@@ -196,7 +204,7 @@ func (m *Mailbox) Put(v any) {
 func (m *Mailbox) Get(p *Proc) any {
 	for len(m.q) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.park("mailbox " + m.name)
+		p.park("mailbox ", m.name)
 	}
 	v := m.q[0]
 	m.q = m.q[1:]
@@ -244,7 +252,7 @@ func (b *Barrier) Arrive(p *Proc) {
 		return
 	}
 	b.waiters = append(b.waiters, p)
-	p.park("barrier " + b.name)
+	p.park("barrier ", b.name)
 }
 
 // Semaphore is a counting semaphore in virtual time.
@@ -264,7 +272,7 @@ func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.count == 0 {
 		s.waiters = append(s.waiters, p)
-		p.park("semaphore " + s.name)
+		p.park("semaphore ", s.name)
 	}
 	s.count--
 }

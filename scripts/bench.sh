@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Runs the hot-path engine benchmarks and regenerates BENCH_engine.json at
+# the repository root. The JSON keeps two sections:
+#
+#   baseline — the numbers measured on the container/heap engine before the
+#              ready-ring rebuild (fixed; the reference for the speedup gate)
+#   current  — the numbers from this run
+#
+# Usage:
+#   scripts/bench.sh              # full run (benchtime 1s)
+#   BENCHTIME=1x scripts/bench.sh # CI smoke: one iteration per benchmark
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="BENCH_engine.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkEngine|BenchmarkRPCRoundTrip|BenchmarkNetSendLAN|BenchmarkEndToEnd' \
+	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op")           ns[name] = $i
+		if ($(i + 1) == "B/op")            bytes[name] = $i
+		if ($(i + 1) == "allocs/op")       allocs[name] = $i
+		if ($(i + 1) == "simsec/wallsec")  simsec[name] = $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"note\": \"hot-path engine benchmarks; regenerate with scripts/bench.sh\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"baseline\": {\n"
+	printf "    \"note\": \"container/heap engine before the ready-ring rebuild (PR 1 seed), benchtime 1s\",\n"
+	printf "    \"BenchmarkEngineEvents\":            {\"ns_per_op\": 102.8, \"bytes_per_op\": 48, \"allocs_per_op\": 2},\n"
+	printf "    \"BenchmarkEngineSameInstantEvents\": {\"ns_per_op\": 103.7, \"bytes_per_op\": 48, \"allocs_per_op\": 2},\n"
+	printf "    \"BenchmarkEngineWakes\":             {\"ns_per_op\": 1697, \"bytes_per_op\": 239, \"allocs_per_op\": 13},\n"
+	printf "    \"BenchmarkRPCRoundTrip\":            {\"ns_per_op\": 1522, \"bytes_per_op\": 544, \"allocs_per_op\": 17},\n"
+	printf "    \"BenchmarkNetSendLAN\":              {\"ns_per_op\": 1363, \"bytes_per_op\": 232, \"allocs_per_op\": 3},\n"
+	printf "    \"BenchmarkEndToEndASP\":             {\"simsec_per_wallsec\": 55.41},\n"
+	printf "    \"BenchmarkEndToEndSOR\":             {\"simsec_per_wallsec\": 17.72}\n"
+	printf "  },\n"
+	printf "  \"current\": {\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {", name
+		sep = ""
+		if (name in ns)     { printf "%s\"ns_per_op\": %s", sep, ns[name]; sep = ", " }
+		if (name in bytes)  { printf "%s\"bytes_per_op\": %s", sep, bytes[name]; sep = ", " }
+		if (name in allocs) { printf "%s\"allocs_per_op\": %s", sep, allocs[name]; sep = ", " }
+		if (name in simsec) { printf "%s\"simsec_per_wallsec\": %s", sep, simsec[name]; sep = ", " }
+		printf "}"
+		printf (i < n) ? ",\n" : "\n"
+	}
+	printf "  }\n"
+	printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
