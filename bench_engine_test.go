@@ -74,16 +74,17 @@ func BenchmarkEngineWakes(b *testing.B) {
 	ping := sim.NewMailbox(e, "ping")
 	pong := sim.NewMailbox(e, "pong")
 	n := b.N
+	var tok any = "tok" // pre-boxed: Put(i) would allocate per iteration
 	e.Go("a", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			ping.Put(i)
+			ping.Put(tok)
 			pong.Get(p)
 		}
 	})
 	e.Go("b", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
 			ping.Get(p)
-			pong.Put(i)
+			pong.Put(tok)
 		}
 	})
 	if err := e.Run(); err != nil {
@@ -137,11 +138,33 @@ func benchEndToEnd(b *testing.B, appName string, clusters, perCluster int) {
 	}
 }
 
+// The eight end-to-end benchmarks run every application of the paper's
+// suite on a 2x8 wide-area system; together they cover every communication
+// style the runtime serves. BENCH_apps.json tracks them across PRs.
+
 // BenchmarkEndToEndASP is broadcast-dominated (sequencer-ordered updates).
 func BenchmarkEndToEndASP(b *testing.B) { benchEndToEnd(b, "ASP", 2, 8) }
 
 // BenchmarkEndToEndSOR is point-to-point/RPC-dominated (neighbor exchange).
 func BenchmarkEndToEndSOR(b *testing.B) { benchEndToEnd(b, "SOR", 2, 8) }
+
+// BenchmarkEndToEndWater is an all-to-all object-invocation exchange.
+func BenchmarkEndToEndWater(b *testing.B) { benchEndToEnd(b, "Water", 2, 8) }
+
+// BenchmarkEndToEndTSP is work-stealing with bound broadcasts.
+func BenchmarkEndToEndTSP(b *testing.B) { benchEndToEnd(b, "TSP", 2, 8) }
+
+// BenchmarkEndToEndATPG is static work distribution plus reductions.
+func BenchmarkEndToEndATPG(b *testing.B) { benchEndToEnd(b, "ATPG", 2, 8) }
+
+// BenchmarkEndToEndIDA is work-stealing with synchronous deepening rounds.
+func BenchmarkEndToEndIDA(b *testing.B) { benchEndToEnd(b, "IDA*", 2, 8) }
+
+// BenchmarkEndToEndRA is a storm of tiny asynchronous messages.
+func BenchmarkEndToEndRA(b *testing.B) { benchEndToEnd(b, "RA", 2, 8) }
+
+// BenchmarkEndToEndACP is iterative asynchronous neighbor updates.
+func BenchmarkEndToEndACP(b *testing.B) { benchEndToEnd(b, "ACP", 2, 8) }
 
 // BenchmarkNetSendLAN measures the flattened intracluster send path in
 // isolation: one Send plus its delivery event per iteration.

@@ -150,6 +150,9 @@ func showTimeline(appName string) error {
 			Sequencer: seqr,
 		})
 		tl := trace.New(time.Millisecond)
+		// A traced run is the one place readable mailbox names are worth
+		// their formatting cost.
+		sys.RTS.SetDebugNames(true)
 		sys.Net.SetTap(func(at time.Duration, m netsim.Msg, inter bool) {
 			scope := "intra"
 			if inter {

@@ -13,6 +13,7 @@ package asp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"albatross/internal/cluster"
@@ -83,12 +84,57 @@ func Sequential(cfg Config) [][]int32 {
 	return d
 }
 
+// generateCached memoizes the pristine input matrix per Config; Build and
+// Sequential copy from the shared master instead of re-running the
+// generator. Masters are read-only once stored.
+var genCache sync.Map // Config -> [][]int32
+
+func generateCached(cfg Config) [][]int32 {
+	if v, ok := genCache.Load(cfg); ok {
+		return v.([][]int32)
+	}
+	v, _ := genCache.LoadOrStore(cfg, Generate(cfg))
+	return v.([][]int32)
+}
+
+func copyMatrix(src [][]int32) [][]int32 {
+	d := make([][]int32, len(src))
+	for i, row := range src {
+		d[i] = append([]int32(nil), row...)
+	}
+	return d
+}
+
+// seqCache memoizes the solved matrix per Config: verifiers share one
+// read-only reference solution instead of re-running Floyd-Warshall (which
+// dominated verification CPU) on every run.
+var seqCache sync.Map // Config -> [][]int32
+
+func sequentialCached(cfg Config) [][]int32 {
+	if v, ok := seqCache.Load(cfg); ok {
+		return v.([][]int32)
+	}
+	v, _ := seqCache.LoadOrStore(cfg, Sequential(cfg))
+	return v.([][]int32)
+}
+
+// pivotRow carries one pivot-row buffer. Rows travel through replicas and
+// futures as *pivotRow: the pointer boxes into an interface without
+// allocating, where a bare []int32 would allocate a header per replica per
+// row (the dominant allocation of the whole run before this record existed).
+type pivotRow struct {
+	row []int32
+}
+
 // pivotState is each node's replica of the pivot-row object: the rows
-// received so far plus futures for processes waiting on a row.
+// received so far plus futures for processes waiting on a row, both dense
+// by iteration. The wait future is pooled: each node has one worker, so at
+// most one wait is outstanding per node at a time.
 type pivotState struct {
-	node cluster.NodeID
-	rows map[int][]int32
-	wait map[int]*sim.Future
+	node    cluster.NodeID
+	rows    []*pivotRow
+	wait    []*sim.Future
+	futPool []*sim.Future
 }
 
 // rowRange returns the row block [lo, hi) owned by rank r of p.
@@ -109,39 +155,67 @@ func rowRange(n, p, r int) (lo, hi int) {
 func Build(sys *core.System, cfg Config) func() error {
 	n := cfg.N
 	p := sys.Topo.Compute()
-	d := Generate(cfg)
+	d := copyMatrix(generateCached(cfg))
 	e := sys.Engine
 
 	pivot := sys.RTS.NewReplicated("pivot-rows", func(node cluster.NodeID) any {
-		return &pivotState{node: node, rows: make(map[int][]int32), wait: make(map[int]*sim.Future)}
+		return &pivotState{node: node, rows: make([]*pivotRow, n), wait: make([]*sim.Future, n)}
 	})
 
-	setRow := func(k int, row []int32) orca.Op {
+	// Pivot-row buffers are refcounted and recycled: the owner snapshots
+	// into a pooled buffer, every worker releases the row after its relax
+	// sweep, and the last release returns the buffer for a later pivot. The
+	// live row set stays proportional to the broadcast pipeline depth
+	// instead of the full matrix.
+	var rowPool []*pivotRow
+	rowRefs := make([]int32, n)
+	getRow := func() *pivotRow {
+		if m := len(rowPool); m > 0 {
+			pr := rowPool[m-1]
+			rowPool = rowPool[:m-1]
+			return pr
+		}
+		return &pivotRow{row: make([]int32, n)}
+	}
+	releaseRow := func(st *pivotState, k int, pr *pivotRow) {
+		st.rows[k] = nil
+		if rowRefs[k]--; rowRefs[k] == 0 {
+			rowPool = append(rowPool, pr)
+		}
+	}
+
+	setRow := func(k int, pr *pivotRow) orca.Op {
 		return orca.Op{
-			Name: "SetRow", ArgBytes: 4 * len(row), ResBytes: 4,
+			Name: "SetRow", ArgBytes: 4 * len(pr.row), ResBytes: 4,
 			Apply: func(s any) any {
 				st := s.(*pivotState)
-				st.rows[k] = row
-				if f, ok := st.wait[k]; ok {
-					delete(st.wait, k)
-					f.Set(row)
+				st.rows[k] = pr
+				if f := st.wait[k]; f != nil {
+					st.wait[k] = nil
+					f.Set(pr)
 				}
 				return nil
 			},
 		}
 	}
 
-	waitRow := func(w *core.Worker, k int) []int32 {
-		st := pivot.Replica(w.Node).(*pivotState)
-		if row, ok := st.rows[k]; ok {
-			return row
+	waitRow := func(w *core.Worker, st *pivotState, k int) *pivotRow {
+		if pr := st.rows[k]; pr != nil {
+			return pr
 		}
-		f, ok := st.wait[k]
-		if !ok {
-			f = sim.NewFuture(e, fmt.Sprintf("asp-row-%d@%d", k, w.Node))
-			st.wait[k] = f
+		var f *sim.Future
+		if m := len(st.futPool); m > 0 {
+			f = st.futPool[m-1]
+			st.futPool = st.futPool[:m-1]
+			f.Reset("asp-row")
+		} else {
+			f = sim.NewFuture(e, "asp-row")
 		}
-		return f.Await(w.P).([]int32)
+		st.wait[k] = f
+		pr := f.Await(w.P).(*pivotRow)
+		// Apply cleared st.wait[k] before Set, so the future is idle again.
+		st.futPool = append(st.futPool, f)
+		return pr
 	}
 
 	owner := func(k int) int {
@@ -155,17 +229,19 @@ func Build(sys *core.System, cfg Config) func() error {
 	sys.SpawnWorkers("asp", func(w *core.Worker) {
 		lo, hi := rowRange(n, p, w.Rank())
 		own := hi - lo
+		st := pivot.Replica(w.Node).(*pivotState)
 		for k := 0; k < n; k++ {
-			var rk []int32
+			var pr *pivotRow
 			if owner(k) == w.Rank() {
 				// Snapshot the row: it already reflects iterations < k.
-				row := make([]int32, n)
-				copy(row, d[k])
-				w.Invoke(pivot, setRow(k, row))
-				rk = row
+				pr = getRow()
+				copy(pr.row, d[k])
+				rowRefs[k] = int32(p)
+				w.Invoke(pivot, setRow(k, pr))
 			} else {
-				rk = waitRow(w, k)
+				pr = waitRow(w, st, k)
 			}
+			rk := pr.row
 			for i := lo; i < hi; i++ {
 				ri := d[i]
 				dik := ri[k]
@@ -178,12 +254,13 @@ func Build(sys *core.System, cfg Config) func() error {
 					}
 				}
 			}
+			releaseRow(st, k, pr)
 			w.Compute(time.Duration(own*n) * cfg.OpCost)
 		}
 	})
 
 	return func() error {
-		want := Sequential(cfg)
+		want := sequentialCached(cfg)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if d[i][j] != want[i][j] {

@@ -22,6 +22,7 @@ package ra
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"albatross/internal/cluster"
@@ -124,6 +125,18 @@ func Sequential(cfg Config) []Value {
 	return vals
 }
 
+// seqCache memoizes Sequential per Config: verifiers share one read-only
+// reference instead of re-running the backward induction on every run.
+var seqCache sync.Map // Config -> []Value
+
+func sequentialCached(cfg Config) []Value {
+	if v, ok := seqCache.Load(cfg); ok {
+		return v.([]Value)
+	}
+	v, _ := seqCache.LoadOrStore(cfg, Sequential(cfg))
+	return v.([]Value)
+}
+
 // update is one retrograde notification: position target has a successor
 // whose value is val.
 type update struct {
@@ -132,6 +145,13 @@ type update struct {
 }
 
 const updateBytes = 6
+
+// batch is a combined group of updates in flight to one node. Batches are
+// pooled (the receiver recycles them after processing) and travel as a
+// pointer, so the steady-state send path allocates nothing.
+type batch struct {
+	items []update
+}
 
 // Build sets up the parallel RA run; optimized selects cluster-level message
 // combining on top of the sender-side batching both variants use.
@@ -159,30 +179,49 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		combiner = core.NewCombiner(sys, "ra", 8192, cfg.FlushEach)
 	}
 
+	// One interned tag per destination rank, shared by all workers, and a
+	// shared batch free list (the simulation runs one process at a time, so
+	// producers and consumers share it safely).
+	tags := make([]orca.TagID, p)
+	for r := 0; r < p; r++ {
+		tags[r] = sys.RTS.InternTag(orca.Tag{Op: "ra", A: r})
+	}
+	var batchPool []*batch
+	getBatch := func() *batch {
+		if m := len(batchPool); m > 0 {
+			b := batchPool[m-1]
+			batchPool = batchPool[:m-1]
+			return b
+		}
+		return new(batch)
+	}
+	putBatch := func(b *batch) {
+		b.items = b.items[:0]
+		batchPool = append(batchPool, b)
+	}
+
 	determined := 0
 	done := func() bool { return determined == cfg.N }
 
 	sys.SpawnWorkers("ra", func(w *core.Worker) {
 		r := w.Rank()
-		tag := orca.Tag{Op: "ra", A: r}
 
 		// Sender-side per-destination batches (node-level combining).
-		batches := make([][]update, p)
+		batches := make([]*batch, p)
 		flush := func(dst int) {
-			if len(batches[dst]) == 0 {
+			b := batches[dst]
+			if b == nil || len(b.items) == 0 {
 				return
 			}
-			items := batches[dst]
 			batches[dst] = nil
 			w.Compute(cfg.SendCost)
-			size := updateBytes * len(items)
+			size := updateBytes * len(b.items)
 			to := cluster.NodeID(dst)
-			dtag := orca.Tag{Op: "ra", A: dst}
 			if optimized && !topo.SameCluster(w.Node, to) {
-				combiner.Send(w, to, dtag, size, items)
+				combiner.SendID(w, to, tags[dst], size, b)
 				return
 			}
-			w.Send(to, dtag, size, items)
+			w.SendID(to, tags[dst], size, b)
 		}
 		flushAll := func() {
 			for d := 0; d < p; d++ {
@@ -231,8 +270,13 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 						process(u, t.val)
 						continue
 					}
-					batches[d] = append(batches[d], update{target: u, val: t.val})
-					if len(batches[d]) >= cfg.NodeBatch {
+					b := batches[d]
+					if b == nil {
+						b = getBatch()
+						batches[d] = b
+					}
+					b.items = append(b.items, update{target: u, val: t.val})
+					if len(b.items) >= cfg.NodeBatch {
 						flush(d)
 					}
 				}
@@ -250,16 +294,18 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		flushAll()
 
 		for !done() {
-			got, ok := w.TryRecv(tag)
+			got, ok := w.TryRecvID(tags[r])
 			if !ok {
 				flushAll()
 				w.P.Sleep(200 * time.Microsecond)
 				continue
 			}
-			for _, up := range got.([]update) {
+			b := got.(*batch)
+			for _, up := range b.items {
 				w.Compute(cfg.ApplyCost)
 				process(up.target, up.val)
 			}
+			putBatch(b)
 			drain()
 			// Partial batches are flushed only when we run out of input
 			// (the idle branch above), so batches fill to NodeBatch during
@@ -268,7 +314,7 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 	})
 
 	return func() error {
-		want := Sequential(cfg)
+		want := sequentialCached(cfg)
 		if determined != cfg.N {
 			return fmt.Errorf("ra: only %d of %d positions determined", determined, cfg.N)
 		}

@@ -13,26 +13,30 @@ import (
 // buildOriginal is the unmodified program: every processor pushes its
 // positions to, and its force contributions across, the raw network — on a
 // multicluster, the same block crosses the same WAN link once per consumer.
+//
+// Steady-state exchange allocates nothing: position snapshots live in
+// two parity buffers per sender (the buffer of iteration t is reused at
+// t+2, by which time every consumer has finished t+1 and no longer reads
+// the t snapshot), force slices cycle through a shared pool, and iteration
+// state lives in procState's parity ring.
 func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]int, blockLen func(int) int) {
 	p := sys.Topo.Compute()
 	e := sys.Engine
 	states := make([]*procState, p)
 	objs := make([]*orca.Object, p)
 	for r := 0; r < p; r++ {
-		states[r] = &procState{rank: r, iters: make(map[int]*iterState)}
+		states[r] = newProcState(r, p, len(tgt[r]), len(snd[r]), blockLen(r))
 		objs[r] = sys.RTS.NewObject(fmt.Sprintf("water-mbox-%d", r), cluster.NodeID(r), states[r])
 	}
-	stateAt := func(ps *procState, t int) *iterState {
-		return ps.at(t, len(tgt[ps.rank]), len(snd[ps.rank]), blockLen(ps.rank))
-	}
+	vp := &vecPool{max: blockLen(0)}
 
 	putPos := func(t, from int, data []Vec) orca.Op {
 		return orca.Op{Name: "PutPos", ArgBytes: molBytes * len(data), ResBytes: 4,
 			Apply: func(s any) any {
-				ps := s.(*procState)
-				st := stateAt(ps, t)
+				st := s.(*procState).at(t)
 				st.pos[from] = data
-				if st.posFut != nil && len(st.pos) == st.posNeed {
+				st.posGot++
+				if st.posFut != nil && st.posGot == st.posNeed {
 					st.posFut.Set(nil)
 				}
 				return nil
@@ -41,9 +45,9 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 	putFrc := func(t int, data []Vec) orca.Op {
 		return orca.Op{Name: "PutFrc", ArgBytes: molBytes * len(data), ResBytes: 4,
 			Apply: func(s any) any {
-				ps := s.(*procState)
-				st := stateAt(ps, t)
+				st := s.(*procState).at(t)
 				addInto(st.frcAgg, data)
+				vp.put(data)
 				st.frcGot++
 				if st.frcFut != nil && st.frcGot == st.frcNeed {
 					st.frcFut.Set(nil)
@@ -56,40 +60,50 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 		i := w.Rank()
 		ps := states[i]
 		lo, hi := blockRange(cfg.N, p, i)
+		var mine [2][]Vec
+		for k := range mine {
+			mine[k] = make([]Vec, hi-lo)
+		}
+		fOwn := make([]Vec, hi-lo)
+		frem := make([][]Vec, len(tgt[i]))
 		for t := 0; t < cfg.Iters; t++ {
 			// Push our positions to everyone that interacts with our block.
-			mine := snapshotBlock(pos, lo, hi)
+			mb := mine[t&1]
+			copy(mb, pos[lo:hi])
 			for _, j := range snd[i] {
-				w.Invoke(objs[j], putPos(t, i, mine))
+				w.Invoke(objs[j], putPos(t, i, mb))
 			}
 			// Wait for the positions of the blocks we interact with.
-			st := stateAt(ps, t)
-			if len(st.pos) < st.posNeed {
-				st.posFut = sim.NewFuture(e, fmt.Sprintf("water-pos-%d@%d", t, i))
+			st := ps.at(t)
+			if st.posGot < st.posNeed {
+				st.posFut = ps.futFor(e)
 				st.posFut.Await(w.P)
+				st.posFut = nil
 			}
 			// Compute: internal pairs plus the half-shell cross blocks.
-			fOwn := make([]Vec, hi-lo)
+			for k := range fOwn {
+				fOwn[k] = Vec{}
+			}
 			pairs := internalStep(pos, lo, hi, fOwn)
-			fRemote := make(map[int][]Vec, len(tgt[i]))
-			for _, q := range tgt[i] {
-				fq := make([]Vec, len(st.pos[q]))
+			for idx, q := range tgt[i] {
+				fq := vp.get(len(st.pos[q]))
 				pairs += pairStepBlocks(pos[lo:hi], st.pos[q], fOwn, fq)
-				fRemote[q] = fq
+				frem[idx] = fq
 			}
 			w.Compute(time.Duration(pairs) * cfg.PairCost)
 			// Send the computed forces back to their owners to be summed.
-			for _, q := range tgt[i] {
-				w.Invoke(objs[q], putFrc(t, fRemote[q]))
+			for idx, q := range tgt[i] {
+				w.Invoke(objs[q], putFrc(t, frem[idx]))
+				frem[idx] = nil
 			}
 			// Wait for contributions to our own block.
 			if st.frcGot < st.frcNeed {
-				st.frcFut = sim.NewFuture(e, fmt.Sprintf("water-frc-%d@%d", t, i))
+				st.frcFut = ps.futFor(e)
 				st.frcFut.Await(w.P)
+				st.frcFut = nil
 			}
 			addInto(fOwn, st.frcAgg)
 			integrate(cfg, pos, vel, lo, hi, fOwn)
-			delete(ps.iters, t)
 		}
 	})
 }
@@ -114,18 +128,35 @@ func pairStepBlocks(own []Vec, remote []Vec, fOwn, fRemote []Vec) int {
 // posStore is the per-processor published-positions service used by the
 // optimized program: requests for an iteration not yet published wait until
 // the owner publishes it.
+//
+// Publications and waiters live in parity slots. A request can be at most
+// two iterations ahead of the publisher (a consumer at t+3 would have needed
+// positions the owner only publishes at t+2), so the two parities never hold
+// more than one pending iteration each; and by the time iteration t is
+// published, everyone who needed t-2 has long fetched it, so its buffer is
+// reused in place. The cluster cache may retain a stale alias of the buffer,
+// but cache keys include the iteration and old keys are never read again.
 type posStore struct {
-	published map[int][]Vec
-	waiting   map[int][]*orca.Request
+	bufs      [2][]Vec
+	published [2][]Vec
+	pubT      [2]int
+	waiting   [2][]*orca.Request
+	waitT     [2]int
 	bytes     int
 }
 
-func (s *posStore) publish(t int, data []Vec) {
-	s.published[t] = data
-	for _, req := range s.waiting[t] {
-		req.Reply(s.bytes, data)
+func (s *posStore) publish(t int, src []Vec) {
+	k := t & 1
+	copy(s.bufs[k], src)
+	s.published[k], s.pubT[k] = s.bufs[k], t
+	if s.waitT[k] == t {
+		w := s.waiting[k]
+		for i, req := range w {
+			req.Reply(s.bytes, s.bufs[k])
+			w[i] = nil
+		}
+		s.waiting[k], s.waitT[k] = w[:0], -1
 	}
-	delete(s.waiting, t)
 }
 
 // buildOptimized applies the paper's Water optimizations per opts: position
@@ -137,22 +168,27 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 	p := sys.Topo.Compute()
 	topo := sys.Topo
 	rts := sys.RTS
+	vp := &vecPool{max: blockLen(0)}
 
 	stores := make([]*posStore, p)
 	for r := 0; r < p; r++ {
 		st := &posStore{
-			published: make(map[int][]Vec),
-			waiting:   make(map[int][]*orca.Request),
-			bytes:     molBytes * blockLen(r),
+			pubT:  [2]int{-1, -1},
+			waitT: [2]int{-1, -1},
+			bytes: molBytes * blockLen(r),
+		}
+		for k := range st.bufs {
+			st.bufs[k] = make([]Vec, blockLen(r))
 		}
 		stores[r] = st
 		rts.HandleService(cluster.NodeID(r), "water-pos", func(req *orca.Request) {
 			t := req.Payload.(int)
-			if data, ok := st.published[t]; ok {
-				req.Reply(st.bytes, data)
-				return
+			if k := t & 1; st.pubT[k] == t {
+				req.Reply(st.bytes, st.published[k])
+			} else {
+				st.waitT[k] = t
+				st.waiting[k] = append(st.waiting[k], req)
 			}
-			st.waiting[t] = append(st.waiting[t], req)
 		})
 	}
 
@@ -165,15 +201,33 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 	}
 	var reducer *core.ClusterReducer
 	if opts.Reduce {
+		// Contributions and aggregates both come from, and return to, the
+		// shared buffer pool: the first contribution of a round is copied
+		// into a pooled accumulator, later ones are folded and recycled.
 		reducer = core.NewClusterReducer(sys, "water", func(acc, v any) any {
 			contrib := v.([]Vec)
 			if acc == nil {
-				return append([]Vec(nil), contrib...)
+				a := vp.get(len(contrib))
+				copy(a, contrib)
+				vp.put(contrib)
+				return a
 			}
 			a := acc.([]Vec)
 			addInto(a, contrib)
+			vp.put(contrib)
 			return a
 		})
+	}
+
+	// Force messages are tagged by (destination, iteration parity): only
+	// iterations t and t+1 can be in flight toward a collector still in t
+	// (a t+2 sender implies the collector finished t), so parity alone
+	// disambiguates and the tag space stays bounded.
+	frcTags := [2][]orca.TagID{make([]orca.TagID, p), make([]orca.TagID, p)}
+	for par := 0; par < 2; par++ {
+		for q := 0; q < p; q++ {
+			frcTags[par][q] = rts.InternTag(orca.Tag{Op: "water-frc", A: q, B: par})
+		}
 	}
 
 	// expectLocal[q][c] = number of contributors to block q in cluster c.
@@ -202,8 +256,10 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 	sys.SpawnWorkers("water", func(w *core.Worker) {
 		i := w.Rank()
 		lo, hi := blockRange(cfg.N, p, i)
+		got := make([][]Vec, len(tgt[i]))
+		fOwn := make([]Vec, hi-lo)
 		for t := 0; t < cfg.Iters; t++ {
-			stores[i].publish(t, snapshotBlock(pos, lo, hi))
+			stores[i].publish(t, pos[lo:hi])
 			// Pull the blocks we interact with. With the cluster cache we
 			// first warm it for every remote block (the coordinators know
 			// the access pattern in advance), so by the time the blocking
@@ -214,34 +270,37 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 					cache.Prefetch(w, cluster.NodeID(q), t)
 				}
 			}
-			got := make(map[int][]Vec, len(tgt[i]))
-			for _, q := range tgt[i] {
+			for idx, q := range tgt[i] {
 				if cache != nil {
-					got[q] = cache.Get(w, cluster.NodeID(q), t).([]Vec)
+					got[idx] = cache.Get(w, cluster.NodeID(q), t).([]Vec)
 				} else {
-					got[q] = rts.Call(w.P, w.Node, cluster.NodeID(q), "water-pos", 8, t).([]Vec)
+					got[idx] = rts.Call(w.P, w.Node, cluster.NodeID(q), "water-pos", 8, t).([]Vec)
 				}
 			}
-			fOwn := make([]Vec, hi-lo)
+			for k := range fOwn {
+				fOwn[k] = Vec{}
+			}
 			pairs := internalStep(pos, lo, hi, fOwn)
-			for _, q := range tgt[i] {
-				fq := make([]Vec, len(got[q]))
-				pairs += pairStepBlocks(pos[lo:hi], got[q], fOwn, fq)
-				tag := orca.Tag{Op: "water-frc", A: t, B: q}
+			for idx, q := range tgt[i] {
+				fq := vp.get(len(got[idx]))
+				pairs += pairStepBlocks(pos[lo:hi], got[idx], fOwn, fq)
+				got[idx] = nil
 				if reducer != nil {
+					tag := orca.Tag{Op: "water-frc", A: q, B: t & 1}
 					reducer.Put(w, cluster.NodeID(q), tag, molBytes*len(fq), fq, expectLocal[q][w.Cluster()])
 				} else {
-					w.Send(cluster.NodeID(q), tag, molBytes*len(fq), fq)
+					w.SendID(cluster.NodeID(q), frcTags[t&1][q], molBytes*len(fq), fq)
 				}
 			}
 			w.Compute(time.Duration(pairs) * cfg.PairCost)
 			// Collect the (partially pre-reduced) contributions to our block.
-			myTag := orca.Tag{Op: "water-frc", A: t, B: i}
+			myID := frcTags[t&1][i]
 			for k := 0; k < nAggs[i]; k++ {
-				addInto(fOwn, w.Recv(myTag).([]Vec))
+				fa := w.RecvID(myID).([]Vec)
+				addInto(fOwn, fa)
+				vp.put(fa)
 			}
 			integrate(cfg, pos, vel, lo, hi, fOwn)
-			delete(stores[i].published, t)
 		}
 	})
 }

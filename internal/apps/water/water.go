@@ -19,6 +19,7 @@ package water
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"albatross/internal/core"
@@ -151,9 +152,29 @@ func Sequential(cfg Config) []Vec {
 	return pos
 }
 
+// seqCache memoizes the sequential reference per Config: verifiers share one
+// read-only result instead of re-running the n² reference on every run.
+var seqCache sync.Map // Config -> []Vec
+
+func sequentialCached(cfg Config) []Vec {
+	if v, ok := seqCache.Load(cfg); ok {
+		return v.([]Vec)
+	}
+	v, _ := seqCache.LoadOrStore(cfg, Sequential(cfg))
+	return v.([]Vec)
+}
+
 // iterState is the per-processor exchange bookkeeping of one iteration.
+//
+// States live in a two-slot parity ring instead of a per-iteration map: a
+// message for iteration t arrives only once its sender has reached t, and a
+// sender reaches t only after every one of its interaction partners — in
+// particular this processor — has finished t-2 and stopped touching that
+// slot. So the slot of iteration t-2 is always reclaimable when t begins.
 type iterState struct {
-	pos     map[int][]Vec // sender rank -> their positions (this iteration)
+	t       int
+	pos     [][]Vec // sender rank -> their positions (this iteration)
+	posGot  int
 	posFut  *sim.Future
 	frcAgg  []Vec // summed force contributions received
 	frcGot  int
@@ -165,22 +186,70 @@ type iterState struct {
 // procState is one processor's mailbox-object state in the original program.
 type procState struct {
 	rank  int
-	iters map[int]*iterState
+	fut   *sim.Future // pooled wait future: at most one wait pending per proc
+	slots [2]*iterState
 }
 
-func (ps *procState) at(t int, posNeed, frcNeed, blockLen int) *iterState {
-	st, ok := ps.iters[t]
-	if !ok {
-		st = &iterState{
-			pos:     make(map[int][]Vec),
-			frcAgg:  make([]Vec, blockLen),
-			posNeed: posNeed,
-			frcNeed: frcNeed,
+func newProcState(rank, p, posNeed, frcNeed, blockLen int) *procState {
+	ps := &procState{rank: rank}
+	for k := range ps.slots {
+		ps.slots[k] = &iterState{t: -1, pos: make([][]Vec, p),
+			frcAgg: make([]Vec, blockLen), posNeed: posNeed, frcNeed: frcNeed}
+	}
+	return ps
+}
+
+// at returns iteration t's state, reclaiming the parity slot last used by
+// iteration t-2 (see iterState).
+func (ps *procState) at(t int) *iterState {
+	st := ps.slots[t&1]
+	if st.t != t {
+		st.t = t
+		st.posGot, st.frcGot = 0, 0
+		for i := range st.pos {
+			st.pos[i] = nil
 		}
-		ps.iters[t] = st
+		for i := range st.frcAgg {
+			st.frcAgg[i] = Vec{}
+		}
 	}
 	return st
 }
+
+// futFor returns the processor's reusable wait future. The exchange loop
+// waits at most once at a time (positions, then forces), and every wait is
+// always completed, so a single rearmed future per processor suffices.
+func (ps *procState) futFor(e *sim.Engine) *sim.Future {
+	if ps.fut == nil {
+		ps.fut = sim.NewFuture(e, "water-wait")
+	} else {
+		ps.fut.Reset("water-wait")
+	}
+	return ps.fut
+}
+
+// vecPool recycles force-contribution buffers. Every receiver folds a
+// contribution into its accumulator the moment it arrives and never retains
+// the slice, so buffers cycle sender -> receiver -> pool. The pool is shared
+// by all processes of a run; the simulator runs one at a time.
+type vecPool struct {
+	bufs [][]Vec
+	max  int // largest block length; every pooled buffer has this capacity
+}
+
+func (vp *vecPool) get(n int) []Vec {
+	if m := len(vp.bufs); m > 0 {
+		v := vp.bufs[m-1][:n]
+		vp.bufs = vp.bufs[:m-1]
+		for i := range v {
+			v[i] = Vec{}
+		}
+		return v
+	}
+	return make([]Vec, n, vp.max)
+}
+
+func (vp *vecPool) put(v []Vec) { vp.bufs = append(vp.bufs, v[:0]) }
 
 // Options selects which of the paper's two Water optimizations to apply —
 // both in the paper's optimized program, individually in the ablation.
@@ -224,7 +293,7 @@ func BuildVariant(sys *core.System, cfg Config, opts Options) func() error {
 	}
 
 	return func() error {
-		want := Sequential(cfg)
+		want := sequentialCached(cfg)
 		for i := range want {
 			for k := 0; k < 3; k++ {
 				if math.Abs(pos[i][k]-want[i][k]) > 1e-9 {
@@ -244,11 +313,6 @@ func integrate(cfg Config, pos, vel []Vec, lo, hi int, f []Vec) {
 			pos[i][k] += vel[i][k] * cfg.DT
 		}
 	}
-}
-
-// snapshotBlock copies the owner's positions for sending.
-func snapshotBlock(pos []Vec, lo, hi int) []Vec {
-	return append([]Vec(nil), pos[lo:hi]...)
 }
 
 // addInto sums a force contribution into an accumulator.

@@ -12,13 +12,14 @@
 //     else moves at LAN speed.
 //
 // Every operation is collective: all workers of the system must call it,
-// in the same order. Each worker keeps its own call counter, so matching
-// needs no central coordination.
+// in the same order. Matching relies on that call order plus the network's
+// per-channel FIFO delivery: a tag identifies (communicator, phase, sender
+// or cluster), not the individual call, so the interned-tag space is small
+// and fixed and repeated collectives allocate no tag or mailbox state.
 package coll
 
 import (
 	"fmt"
-	"sort"
 
 	"albatross/internal/cluster"
 	"albatross/internal/core"
@@ -42,40 +43,138 @@ func (s Strategy) String() string {
 	return "flat"
 }
 
+// phase distinguishes the message streams of the collective algorithms; a
+// wire tag is (communicator name, phase, aux). Calls are matched purely by
+// order, which is sound because every tag pins down a single sender: every
+// worker issues the same collectives in the same order, each send in call k
+// has exactly one matching receive in call k, and the network delivers each
+// (sender, receiver) channel in FIFO order, so same-tag messages arrive in
+// call order and a receive can never observe a later call's message first.
+// Phases whose natural sender is the per-call root (broadcast and scatter
+// legs) therefore encode the root into aux; all others use the sender rank
+// or the sending cluster (whose root is fixed) directly.
+type phase int
+
+const (
+	phB phase = iota // broadcast, global/WAN leg
+	phBL             // broadcast, cluster-local tree
+	phR              // reduce, global/WAN leg
+	phRL             // reduce, cluster-local tree
+	phG              // gather, global/WAN leg
+	phGL             // gather, cluster-local leg
+	phS              // scatter, global/WAN leg
+	phSL             // scatter, cluster-local leg
+	phA              // all-to-all, intra-cluster direct
+	phAR             // all-to-all, member → cluster root
+	phAB             // all-to-all, root → root bundle
+	phAS             // all-to-all, root → member scatter
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"b", "bl", "r", "rl", "g", "gl", "s", "sl", "a", "ar", "ab", "as"}
+
 // Comm is a communicator spanning all compute nodes of a system.
 type Comm struct {
 	sys      *core.System
 	strategy Strategy
 	name     string
-	seq      []int                  // per-rank collective-call counter
-	stash    map[[3]int]map[int]any // cluster roots' own AllToAll parts
+
+	phNames [numPhases]string       // precomputed "name/phase" tag strings
+	tids    [numPhases][]orca.TagID // interned tag per (phase, aux), stored +1
+
+	all       []int   // ranks 0..p-1
+	byCluster [][]int // per-cluster ranks, in order
+
+	// AllToAll: each cluster root's own per-remote-cluster parts, indexed
+	// [own cluster * Clusters + remote cluster] (every root stashes).
+	stash [][]any
+
+	// Free lists for the intermediate combined-message payloads of the
+	// wide-area gather/scatter/all-to-all paths. The simulation runs one
+	// process at a time, so producers and consumers share them safely.
+	partPool   [][]any
+	bundlePool [][][]any
 }
 
 // New creates a communicator. name must be unique per system.
 func New(sys *core.System, name string, strategy Strategy) *Comm {
-	return &Comm{
-		sys:      sys,
-		strategy: strategy,
-		name:     name,
-		seq:      make([]int, sys.Topo.Compute()),
+	c := &Comm{sys: sys, strategy: strategy, name: name}
+	for ph := phase(0); ph < numPhases; ph++ {
+		c.phNames[ph] = name + "/" + phaseNames[ph]
 	}
+	topo := sys.Topo
+	c.all = make([]int, topo.Compute())
+	for i := range c.all {
+		c.all[i] = i
+	}
+	c.byCluster = make([][]int, topo.Clusters)
+	for cl := 0; cl < topo.Clusters; cl++ {
+		nodes := topo.Nodes(cl)
+		ranks := make([]int, len(nodes))
+		for i, n := range nodes {
+			ranks[i] = int(n)
+		}
+		c.byCluster[cl] = ranks
+	}
+	c.stash = make([][]any, topo.Clusters*topo.Clusters)
+	return c
 }
 
 // Strategy returns the communicator's strategy.
 func (c *Comm) Strategy() Strategy { return c.strategy }
 
-// next returns this worker's collective-call sequence number.
-func (c *Comm) next(w *core.Worker) int {
-	s := c.seq[w.Rank()]
-	c.seq[w.Rank()]++
-	return s
+// tag returns the interned tag of (phase, aux), caching IDs in a dense
+// table so steady-state collectives neither format names nor probe maps.
+func (c *Comm) tag(ph phase, aux int) orca.TagID {
+	t := c.tids[ph]
+	if aux >= len(t) {
+		t = append(t, make([]orca.TagID, aux+1-len(t))...)
+		c.tids[ph] = t
+	} else if id := t[aux]; id != 0 {
+		return id - 1
+	}
+	id := c.sys.RTS.InternTag(orca.Tag{Op: c.phNames[ph], A: aux})
+	c.tids[ph][aux] = id + 1
+	return id
 }
 
-func (c *Comm) tag(op string, seq, aux int) orca.Tag {
-	return orca.Tag{Op: c.name + "/" + op + "/" + itoa(seq), A: aux}
+// getPart pops (or makes) an n-element payload slice from the free list.
+func (c *Comm) getPart(n int) []any {
+	if k := len(c.partPool); k > 0 {
+		p := c.partPool[k-1]
+		c.partPool = c.partPool[:k-1]
+		if cap(p) >= n {
+			return p[:n]
+		}
+	}
+	return make([]any, n)
 }
 
-func itoa(v int) string { return fmt.Sprintf("%d", v) }
+// putPart recycles a consumed payload slice.
+func (c *Comm) putPart(p []any) {
+	for i := range p {
+		p[i] = nil
+	}
+	c.partPool = append(c.partPool, p)
+}
+
+func (c *Comm) getBundle(n int) [][]any {
+	if k := len(c.bundlePool); k > 0 {
+		b := c.bundlePool[k-1]
+		c.bundlePool = c.bundlePool[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([][]any, n)
+}
+
+func (c *Comm) putBundle(b [][]any) {
+	for i := range b {
+		b[i] = nil
+	}
+	c.bundlePool = append(c.bundlePool, b)
+}
 
 // CombineFunc folds two values (used by Reduce/AllReduce); it must be
 // associative. acc is nil for the first value.
@@ -84,28 +183,29 @@ type CombineFunc = core.CombineFunc
 // Bcast distributes data of the given size from root to every worker. It
 // returns the received value (root returns its own data).
 func (c *Comm) Bcast(w *core.Worker, root int, size int, data any) any {
-	seq := c.next(w)
 	if c.strategy == Flat {
-		return c.bcastTree(w, seq, root, size, data, c.allRanks(), "b")
+		return c.bcastTree(w, root, size, data, c.all, phB)
 	}
 	topo := c.sys.Topo
 	rootCluster := topo.ClusterOf(cluster.NodeID(root))
 	myCluster := w.Cluster()
-	local := c.clusterRanks(myCluster)
+	local := c.byCluster[myCluster]
 	clusterRoot := local[0]
 	var v any
 	switch {
 	case w.Rank() == root:
-		// Send once to each remote cluster's local root.
+		// Send once to each remote cluster's local root. The tag encodes
+		// (root, destination cluster): the root varies across calls, and
+		// call-order matching needs one sender per tag.
 		for cl := 0; cl < topo.Clusters; cl++ {
 			if cl == rootCluster {
 				continue
 			}
-			w.Send(cluster.NodeID(c.clusterRanks(cl)[0]), c.tag("b", seq, cl), size, data)
+			w.SendID(cluster.NodeID(c.byCluster[cl][0]), c.tag(phB, root*topo.Clusters+cl), size, data)
 		}
 		v = data
 	case w.Rank() == clusterRoot && myCluster != rootCluster:
-		v = w.Recv(c.tag("b", seq, myCluster))
+		v = w.RecvID(c.tag(phB, root*topo.Clusters+myCluster))
 	}
 	// Distribute within the cluster, rooted at the cluster root (or the
 	// global root for its own cluster).
@@ -117,15 +217,15 @@ func (c *Comm) Bcast(w *core.Worker, root int, size int, data any) any {
 		if v == nil {
 			v = data
 		}
-		return c.bcastTree(w, seq, lr, size, v, local, "bl")
+		return c.bcastTree(w, lr, size, v, local, phBL)
 	}
-	return c.bcastTree(w, seq, lr, size, nil, local, "bl")
+	return c.bcastTree(w, lr, size, nil, local, phBL)
 }
 
 // bcastTree runs the standard binomial broadcast over the given rank group:
 // relative to the root, a node receives at its lowest set bit and forwards
 // to every position below that bit.
-func (c *Comm) bcastTree(w *core.Worker, seq, root, size int, data any, group []int, phase string) any {
+func (c *Comm) bcastTree(w *core.Worker, root, size int, data any, group []int, ph phase) any {
 	n := len(group)
 	me := indexOf(group, w.Rank())
 	if me < 0 {
@@ -141,7 +241,7 @@ func (c *Comm) bcastTree(w *core.Worker, seq, root, size int, data any, group []
 	for mask < n {
 		if rel&mask != 0 {
 			parent := group[(rel-mask+r)%n]
-			v = w.Recv(c.tag(phase, seq, parent))
+			v = w.RecvID(c.tag(ph, parent))
 			break
 		}
 		mask <<= 1
@@ -149,7 +249,7 @@ func (c *Comm) bcastTree(w *core.Worker, seq, root, size int, data any, group []
 	for cm := mask >> 1; cm > 0; cm >>= 1 {
 		if rel+cm < n {
 			child := group[(rel+cm+r)%n]
-			w.Send(cluster.NodeID(child), c.tag(phase, seq, w.Rank()), size, v)
+			w.SendID(cluster.NodeID(child), c.tag(ph, w.Rank()), size, v)
 		}
 	}
 	return v
@@ -158,25 +258,24 @@ func (c *Comm) bcastTree(w *core.Worker, seq, root, size int, data any, group []
 // Reduce folds every worker's value with combine; the result arrives at
 // root (others return nil).
 func (c *Comm) Reduce(w *core.Worker, root int, size int, value any, combine CombineFunc) any {
-	seq := c.next(w)
 	if c.strategy == Flat {
-		return c.reduceTree(w, seq, root, size, value, combine, c.allRanks(), "r")
+		return c.reduceTree(w, root, size, value, combine, c.all, phR)
 	}
 	topo := c.sys.Topo
 	rootCluster := topo.ClusterOf(cluster.NodeID(root))
 	myCluster := w.Cluster()
-	local := c.clusterRanks(myCluster)
+	local := c.byCluster[myCluster]
 	lr := local[0]
 	if myCluster == rootCluster {
 		lr = root
 	}
-	partial := c.reduceTree(w, seq, lr, size, value, combine, local, "rl")
+	partial := c.reduceTree(w, lr, size, value, combine, local, phRL)
 	if w.Rank() != lr {
 		return nil
 	}
 	if myCluster != rootCluster {
 		// Ship the cluster's partial to the global root: one WAN message.
-		w.Send(cluster.NodeID(root), c.tag("r", seq, myCluster), size, partial)
+		w.SendID(cluster.NodeID(root), c.tag(phR, myCluster), size, partial)
 		return nil
 	}
 	// Global root: fold in one partial per remote cluster.
@@ -185,7 +284,7 @@ func (c *Comm) Reduce(w *core.Worker, root int, size int, value any, combine Com
 		if cl == rootCluster {
 			continue
 		}
-		acc = combine(acc, w.Recv(c.tag("r", seq, cl)))
+		acc = combine(acc, w.RecvID(c.tag(phR, cl)))
 	}
 	return acc
 }
@@ -193,7 +292,7 @@ func (c *Comm) Reduce(w *core.Worker, root int, size int, value any, combine Com
 // reduceTree runs the mirror-image binomial reduction over the group: a
 // node folds in one child per zero bit below its lowest set bit, then sends
 // the partial to its parent; the root folds everything.
-func (c *Comm) reduceTree(w *core.Worker, seq, root, size int, value any, combine CombineFunc, group []int, phase string) any {
+func (c *Comm) reduceTree(w *core.Worker, root, size int, value any, combine CombineFunc, group []int, ph phase) any {
 	n := len(group)
 	me := indexOf(group, w.Rank())
 	r := indexOf(group, root)
@@ -203,12 +302,12 @@ func (c *Comm) reduceTree(w *core.Worker, seq, root, size int, value any, combin
 	for mask < n {
 		if rel&mask != 0 {
 			parent := group[(rel-mask+r)%n]
-			w.Send(cluster.NodeID(parent), c.tag(phase, seq, w.Rank()), size, acc)
+			w.SendID(cluster.NodeID(parent), c.tag(ph, w.Rank()), size, acc)
 			return nil
 		}
 		if rel+mask < n {
 			child := group[(rel+mask+r)%n]
-			acc = combine(acc, w.Recv(c.tag(phase, seq, child)))
+			acc = combine(acc, w.RecvID(c.tag(ph, child)))
 		}
 		mask <<= 1
 	}
@@ -221,19 +320,22 @@ func (c *Comm) AllReduce(w *core.Worker, size int, value any, combine CombineFun
 	return c.Bcast(w, 0, size, v)
 }
 
+// barrierCombine is the do-nothing fold of Barrier, hoisted so repeated
+// barriers allocate no closure.
+func barrierCombine(acc, v any) any { return 0 }
+
 // Barrier blocks until every worker has arrived (an empty allreduce).
 func (c *Comm) Barrier(w *core.Worker) {
-	c.AllReduce(w, 4, 0, func(acc, v any) any { return 0 })
+	c.AllReduce(w, 4, 0, barrierCombine)
 }
 
 // Gather collects every worker's value at root, indexed by rank; others
 // return nil. size is the per-contribution wire size.
 func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
-	seq := c.next(w)
 	p := c.sys.Topo.Compute()
 	if c.strategy == Flat {
 		if w.Rank() != root {
-			w.Send(cluster.NodeID(root), c.tag("g", seq, w.Rank()), size, value)
+			w.SendID(cluster.NodeID(root), c.tag(phG, w.Rank()), size, value)
 			return nil
 		}
 		out := make([]any, p)
@@ -242,47 +344,51 @@ func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
 			if r == root {
 				continue
 			}
-			out[r] = w.Recv(c.tag("g", seq, r))
+			out[r] = w.RecvID(c.tag(phG, r))
 		}
 		return out
 	}
 	topo := c.sys.Topo
 	rootCluster := topo.ClusterOf(cluster.NodeID(root))
 	myCluster := w.Cluster()
-	local := c.clusterRanks(myCluster)
+	local := c.byCluster[myCluster]
 	lr := local[0]
 	if myCluster == rootCluster {
 		lr = root
 	}
 	if w.Rank() != lr {
-		w.Send(cluster.NodeID(lr), c.tag("gl", seq, w.Rank()), size, value)
+		w.SendID(cluster.NodeID(lr), c.tag(phGL, w.Rank()), size, value)
 		return nil
 	}
-	// Cluster root gathers its cluster...
-	part := make(map[int]any, len(local))
-	part[w.Rank()] = value
-	for _, r := range local {
+	// Cluster root gathers its cluster into a positional slice (indexed
+	// like local)...
+	part := c.getPart(len(local))
+	for i, r := range local {
 		if r == w.Rank() {
+			part[i] = value
 			continue
 		}
-		part[r] = w.Recv(c.tag("gl", seq, r))
+		part[i] = w.RecvID(c.tag(phGL, r))
 	}
 	if myCluster != rootCluster {
 		// ... and ships one combined message across the WAN.
-		w.Send(cluster.NodeID(root), c.tag("g", seq, myCluster), size*len(local), part)
+		w.SendID(cluster.NodeID(root), c.tag(phG, myCluster), size*len(local), part)
 		return nil
 	}
 	out := make([]any, p)
-	for r, v := range part {
-		out[r] = v
+	for i, r := range local {
+		out[r] = part[i]
 	}
+	c.putPart(part)
 	for cl := 0; cl < topo.Clusters; cl++ {
 		if cl == rootCluster {
 			continue
 		}
-		for r, v := range w.Recv(c.tag("g", seq, cl)).(map[int]any) {
-			out[r] = v
+		rp := w.RecvID(c.tag(phG, cl)).([]any)
+		for i, r := range c.byCluster[cl] {
+			out[r] = rp[i]
 		}
+		c.putPart(rp)
 	}
 	return out
 }
@@ -293,25 +399,6 @@ func (c *Comm) AllGather(w *core.Worker, size int, value any) []any {
 	p := c.sys.Topo.Compute()
 	v := c.Bcast(w, 0, size*p, all)
 	return v.([]any)
-}
-
-// allRanks returns 0..p-1.
-func (c *Comm) allRanks() []int {
-	out := make([]int, c.sys.Topo.Compute())
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// clusterRanks returns the ranks of cluster cl in order.
-func (c *Comm) clusterRanks(cl int) []int {
-	nodes := c.sys.Topo.Nodes(cl)
-	out := make([]int, len(nodes))
-	for i, n := range nodes {
-		out[i] = int(n)
-	}
-	return out
 }
 
 func indexOf(xs []int, v int) int {
@@ -327,24 +414,25 @@ func indexOf(xs []int, v int) int {
 // values[r] (indexed by global rank; only root's values matter). size is
 // the per-element wire size.
 func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
-	seq := c.next(w)
 	p := c.sys.Topo.Compute()
 	if c.strategy == Flat {
+		// Tags encode (root, destination): the root is the sender and
+		// varies across calls.
 		if w.Rank() == root {
 			for r := 0; r < p; r++ {
 				if r == root {
 					continue
 				}
-				w.Send(cluster.NodeID(r), c.tag("s", seq, r), size, values[r])
+				w.SendID(cluster.NodeID(r), c.tag(phS, root*p+r), size, values[r])
 			}
 			return values[root]
 		}
-		return w.Recv(c.tag("s", seq, w.Rank()))
+		return w.RecvID(c.tag(phS, root*p+w.Rank()))
 	}
 	topo := c.sys.Topo
 	rootCluster := topo.ClusterOf(cluster.NodeID(root))
 	myCluster := w.Cluster()
-	local := c.clusterRanks(myCluster)
+	local := c.byCluster[myCluster]
 	lr := local[0]
 	if myCluster == rootCluster {
 		lr = root
@@ -356,32 +444,35 @@ func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
 			if cl == rootCluster {
 				continue
 			}
-			ranks := c.clusterRanks(cl)
-			part := make(map[int]any, len(ranks))
-			for _, r := range ranks {
-				part[r] = values[r]
+			ranks := c.byCluster[cl]
+			part := c.getPart(len(ranks))
+			for i, r := range ranks {
+				part[i] = values[r]
 			}
-			w.Send(cluster.NodeID(ranks[0]), c.tag("s", seq, cl), size*len(ranks), part)
+			w.SendID(cluster.NodeID(ranks[0]), c.tag(phS, root*topo.Clusters+cl), size*len(ranks), part)
 		}
-		// Own cluster directly.
+		// Own cluster directly (root is this cluster's scatter sender).
 		for _, r := range local {
 			if r == root {
 				continue
 			}
-			w.Send(cluster.NodeID(r), c.tag("sl", seq, r), size, values[r])
+			w.SendID(cluster.NodeID(r), c.tag(phSL, root*p+r), size, values[r])
 		}
 		return values[root]
 	case w.Rank() == lr && myCluster != rootCluster:
-		part := w.Recv(c.tag("s", seq, myCluster)).(map[int]any)
-		for _, r := range local {
+		part := w.RecvID(c.tag(phS, root*topo.Clusters+myCluster)).([]any)
+		var own any
+		for i, r := range local {
 			if r == lr {
+				own = part[i]
 				continue
 			}
-			w.Send(cluster.NodeID(r), c.tag("sl", seq, r), size, part[r])
+			w.SendID(cluster.NodeID(r), c.tag(phSL, lr*p+r), size, part[i])
 		}
-		return part[lr]
+		c.putPart(part)
+		return own
 	default:
-		return w.Recv(c.tag("sl", seq, w.Rank()))
+		return w.RecvID(c.tag(phSL, lr*p+w.Rank()))
 	}
 }
 
@@ -389,9 +480,10 @@ func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
 // every worker q and receives a slice indexed by sender rank. The wide-area
 // strategy routes all intercluster traffic through the cluster roots, which
 // exchange one combined message per cluster pair (the paper's cluster-level
-// message combining applied to a collective).
+// message combining applied to a collective). All combined payloads are
+// positional slices: a per-cluster part is indexed like that cluster's rank
+// list, and a root-to-root bundle is indexed [destination][sender].
 func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
-	seq := c.next(w)
 	topo := c.sys.Topo
 	p := topo.Compute()
 	out := make([]any, p)
@@ -401,28 +493,27 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 			if q == w.Rank() {
 				continue
 			}
-			w.Send(cluster.NodeID(q), c.tag("a", seq, w.Rank()), size, values[q])
+			w.SendID(cluster.NodeID(q), c.tag(phA, w.Rank()), size, values[q])
 		}
 		for q := 0; q < p; q++ {
 			if q == w.Rank() {
 				continue
 			}
-			out[q] = w.Recv(c.tag("a", seq, q))
+			out[q] = w.RecvID(c.tag(phA, q))
 		}
 		return out
 	}
 	myCluster := w.Cluster()
-	local := c.clusterRanks(myCluster)
+	local := c.byCluster[myCluster]
 	lr := local[0]
 	// Intra-cluster legs go direct; intercluster legs go through the
 	// cluster roots as combined bundles.
-	type bundle map[int]map[int]any // dest rank -> sender rank -> value
 	for q := 0; q < p; q++ {
 		if q == w.Rank() {
 			continue
 		}
 		if topo.SameCluster(w.Node, cluster.NodeID(q)) {
-			w.Send(cluster.NodeID(q), c.tag("a", seq, w.Rank()), size, values[q])
+			w.SendID(cluster.NodeID(q), c.tag(phA, w.Rank()), size, values[q])
 		}
 	}
 	// Hand our remote-bound values to the cluster root, per remote cluster.
@@ -430,17 +521,17 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 		if cl == myCluster {
 			continue
 		}
-		ranks := c.clusterRanks(cl)
-		part := make(map[int]any, len(ranks))
-		for _, q := range ranks {
-			part[q] = values[q]
+		ranks := c.byCluster[cl]
+		part := c.getPart(len(ranks))
+		for i, q := range ranks {
+			part[i] = values[q]
 		}
 		if w.Rank() == lr {
 			// Root keeps its own contribution for the bundle below.
-			c.rootStash(seq, cl, w.Rank(), part)
+			c.stash[myCluster*topo.Clusters+cl] = part
 			continue
 		}
-		w.Send(cluster.NodeID(lr), c.tag("ar", seq, cl*1000+w.Rank()), size*len(ranks), part)
+		w.SendID(cluster.NodeID(lr), c.tag(phAR, cl*1000+w.Rank()), size*len(ranks), part)
 	}
 	if w.Rank() == lr {
 		// Collect every member's per-cluster parts, bundle, exchange with
@@ -449,59 +540,62 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 			if cl == myCluster {
 				continue
 			}
-			b := bundle{}
-			addPart := func(sender int, part map[int]any) {
-				for dest, v := range part {
-					if b[dest] == nil {
-						b[dest] = map[int]any{}
-					}
-					b[dest][sender] = v
+			ranks := c.byCluster[cl]
+			b := c.getBundle(len(ranks))
+			for di := range b {
+				b[di] = c.getPart(len(local))
+			}
+			addPart := func(si int, part []any) {
+				for di, v := range part {
+					b[di][si] = v
 				}
 			}
-			addPart(lr, c.rootUnstash(seq, cl, lr))
-			for _, r := range local {
+			for si, r := range local {
 				if r == lr {
+					st := myCluster*topo.Clusters + cl
+					addPart(si, c.stash[st])
+					c.putPart(c.stash[st])
+					c.stash[st] = nil
 					continue
 				}
-				addPart(r, w.Recv(c.tag("ar", seq, cl*1000+r)).(map[int]any))
+				rp := w.RecvID(c.tag(phAR, cl*1000+r)).([]any)
+				addPart(si, rp)
+				c.putPart(rp)
 			}
-			ranks := c.clusterRanks(cl)
-			w.Send(cluster.NodeID(ranks[0]), c.tag("ab", seq, myCluster),
+			w.SendID(cluster.NodeID(ranks[0]), c.tag(phAB, myCluster),
 				size*len(local)*len(ranks), b)
 		}
-		// Receive the bundles from the other cluster roots and scatter.
+		// Receive the bundles from the other cluster roots and scatter to
+		// the local members, in rank order.
 		for cl := 0; cl < topo.Clusters; cl++ {
 			if cl == myCluster {
 				continue
 			}
-			b := w.Recv(c.tag("ab", seq, cl)).(bundle)
-			// Scatter in rank order: map iteration order is randomized,
-			// and the order sends enter the network changes contention and
-			// therefore elapsed time — determinism requires a fixed order.
-			dests := make([]int, 0, len(b))
-			for dest := range b {
-				dests = append(dests, dest)
-			}
-			sort.Ints(dests)
-			for _, dest := range dests {
-				senders := b[dest]
+			b := w.RecvID(c.tag(phAB, cl)).([][]any)
+			srcRanks := c.byCluster[cl]
+			for di, dest := range local {
+				senders := b[di]
 				if dest == lr {
-					for s, v := range senders {
-						out[s] = v
+					for si, v := range senders {
+						out[srcRanks[si]] = v
 					}
+					c.putPart(senders)
 					continue
 				}
-				w.Send(cluster.NodeID(dest), c.tag("as", seq, cl*1000+dest), size*len(senders), senders)
+				w.SendID(cluster.NodeID(dest), c.tag(phAS, cl*1000+dest), size*len(senders), senders)
 			}
+			c.putBundle(b)
 		}
 	} else {
 		for cl := 0; cl < topo.Clusters; cl++ {
 			if cl == myCluster {
 				continue
 			}
-			for s, v := range w.Recv(c.tag("as", seq, cl*1000+w.Rank())).(map[int]any) {
-				out[s] = v
+			senders := w.RecvID(c.tag(phAS, cl*1000+w.Rank())).([]any)
+			for si, v := range senders {
+				out[c.byCluster[cl][si]] = v
 			}
+			c.putPart(senders)
 		}
 	}
 	// Finally the intra-cluster receives.
@@ -509,22 +603,7 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 		if q == w.Rank() {
 			continue
 		}
-		out[q] = w.Recv(c.tag("a", seq, q))
+		out[q] = w.RecvID(c.tag(phA, q))
 	}
 	return out
-}
-
-// rootStash/rootUnstash pass the cluster root's own per-cluster parts from
-// the member phase to the bundling phase without a self-message.
-func (c *Comm) rootStash(seq, cl, rank int, part map[int]any) {
-	if c.stash == nil {
-		c.stash = map[[3]int]map[int]any{}
-	}
-	c.stash[[3]int{seq, cl, rank}] = part
-}
-
-func (c *Comm) rootUnstash(seq, cl, rank int) map[int]any {
-	p := c.stash[[3]int{seq, cl, rank}]
-	delete(c.stash, [3]int{seq, cl, rank})
-	return p
 }

@@ -16,6 +16,10 @@ import (
 //
 // A buffer is flushed when it reaches FlushBytes or when FlushAfter elapses
 // since its first pending message, whichever comes first.
+//
+// Item records and item slices are pooled: the receiving agent recycles
+// them after scattering, so sustained combining allocates nothing beyond
+// the flush timers.
 type Combiner struct {
 	sys        *System
 	name       string
@@ -25,12 +29,15 @@ type Combiner struct {
 	// per (source cluster, destination cluster) buffers, at the source's
 	// designated combiner node
 	bufs [][]combineBuf
+
+	itemPool  []*combineItem
+	slicePool [][]*combineItem
 }
 
 // combineItem is one application message riding inside a combined message.
 type combineItem struct {
 	to      cluster.NodeID
-	tag     orca.Tag
+	tag     orca.TagID
 	size    int
 	payload any
 }
@@ -60,6 +67,36 @@ func NewCombiner(sys *System, name string, flushBytes int, flushAfter time.Durat
 	return cb
 }
 
+func (cb *Combiner) getItem() *combineItem {
+	if k := len(cb.itemPool); k > 0 {
+		it := cb.itemPool[k-1]
+		cb.itemPool = cb.itemPool[:k-1]
+		return it
+	}
+	return new(combineItem)
+}
+
+func (cb *Combiner) putItem(it *combineItem) {
+	it.payload = nil
+	cb.itemPool = append(cb.itemPool, it)
+}
+
+func (cb *Combiner) getSlice() []*combineItem {
+	if k := len(cb.slicePool); k > 0 {
+		s := cb.slicePool[k-1]
+		cb.slicePool = cb.slicePool[:k-1]
+		return s
+	}
+	return nil
+}
+
+func (cb *Combiner) putSlice(s []*combineItem) {
+	for i := range s {
+		s[i] = nil
+	}
+	cb.slicePool = append(cb.slicePool, s[:0])
+}
+
 // agent returns the designated combining machine of cluster c: its last
 // compute node (keeping it off the sequencer node).
 func (cb *Combiner) agent(c int) cluster.NodeID {
@@ -75,6 +112,9 @@ func (cb *Combiner) install(c int) {
 		it := req.Payload.(*combineItem)
 		dc := cb.sys.Topo.ClusterOf(it.to)
 		buf := &cb.bufs[c][dc]
+		if buf.items == nil {
+			buf.items = cb.getSlice()
+		}
 		buf.items = append(buf.items, it)
 		buf.bytes += it.size + itemHeaderBytes
 		if buf.bytes >= cb.FlushBytes {
@@ -91,11 +131,15 @@ func (cb *Combiner) install(c int) {
 			})
 		}
 	})
-	// Incoming side: scatter a combined message locally.
+	// Incoming side: scatter a combined message locally, then recycle the
+	// item records and the carrier slice.
 	rts.HandleService(agent, "scat:"+cb.name, func(req *orca.Request) {
-		for _, it := range req.Payload.([]*combineItem) {
-			rts.SendData(agent, it.to, it.tag, it.size, it.payload)
+		items := req.Payload.([]*combineItem)
+		for _, it := range items {
+			rts.SendDataID(agent, it.to, it.tag, it.size, it.payload)
+			cb.putItem(it)
 		}
+		cb.putSlice(items)
 	})
 }
 
@@ -105,8 +149,14 @@ func (cb *Combiner) flush(c, dc int) {
 	buf := &cb.bufs[c][dc]
 	items := buf.items
 	bytes := buf.bytes
-	*buf = combineBuf{gen: buf.gen + 1}
+	buf.items = nil
+	buf.bytes = 0
+	buf.timer = false
+	buf.gen++
 	if len(items) == 0 {
+		if items != nil {
+			cb.putSlice(items)
+		}
 		return
 	}
 	cb.sys.RTS.Cast(cb.agent(c), cb.agent(dc), "scat:"+cb.name, bytes, items)
@@ -116,13 +166,19 @@ func (cb *Combiner) flush(c, dc int) {
 // intercluster traffic when the destination is in a remote cluster.
 // Same-cluster messages bypass the combiner.
 func (cb *Combiner) Send(w *Worker, to cluster.NodeID, tag orca.Tag, size int, payload any) {
+	cb.SendID(w, to, cb.sys.RTS.InternTag(tag), size, payload)
+}
+
+// SendID is Send for a pre-interned tag: the zero-allocation fast path.
+func (cb *Combiner) SendID(w *Worker, to cluster.NodeID, tag orca.TagID, size int, payload any) {
 	topo := cb.sys.Topo
 	if topo.SameCluster(w.Node, to) {
-		w.Send(to, tag, size, payload)
+		w.SendID(to, tag, size, payload)
 		return
 	}
-	cb.sys.RTS.Cast(w.Node, cb.agent(topo.ClusterOf(w.Node)), "comb:"+cb.name, size,
-		&combineItem{to: to, tag: tag, size: size, payload: payload})
+	it := cb.getItem()
+	it.to, it.tag, it.size, it.payload = to, tag, size, payload
+	cb.sys.RTS.Cast(w.Node, cb.agent(topo.ClusterOf(w.Node)), "comb:"+cb.name, size, it)
 }
 
 // FlushAll forces out every pending buffer (used at phase boundaries so no

@@ -25,10 +25,15 @@ type CombineFunc func(acc, value any) any
 // aggregate to the target when all have arrived. The target therefore
 // receives one tagged message per remote cluster plus one per local
 // contributor.
+// Contribution and round records are pooled: coordinators recycle them as
+// rounds are folded and forwarded, so sustained reduction traffic allocates
+// nothing beyond what the application's combine function allocates.
 type ClusterReducer struct {
 	sys     *System
 	name    string
 	combine CombineFunc
+	conPool []*reduceContribution
+	rndPool []*roundState
 }
 
 // reduceContribution travels from a contributor to its local coordinator.
@@ -38,6 +43,40 @@ type reduceContribution struct {
 	value  any
 	expect int // local contributors for this (target, tag) round
 	size   int // aggregate wire size when forwarded
+}
+
+// roundState accumulates one (target, tag) round at one coordinator.
+type roundState struct {
+	acc  any
+	seen int
+}
+
+func (cr *ClusterReducer) getCon() *reduceContribution {
+	if k := len(cr.conPool); k > 0 {
+		con := cr.conPool[k-1]
+		cr.conPool = cr.conPool[:k-1]
+		return con
+	}
+	return new(reduceContribution)
+}
+
+func (cr *ClusterReducer) putCon(con *reduceContribution) {
+	con.value = nil
+	cr.conPool = append(cr.conPool, con)
+}
+
+func (cr *ClusterReducer) getRound() *roundState {
+	if k := len(cr.rndPool); k > 0 {
+		st := cr.rndPool[k-1]
+		cr.rndPool = cr.rndPool[:k-1]
+		return st
+	}
+	return new(roundState)
+}
+
+func (cr *ClusterReducer) putRound(st *roundState) {
+	st.acc, st.seen = nil, 0
+	cr.rndPool = append(cr.rndPool, st)
 }
 
 // NewClusterReducer installs one event-context coordinator per (cluster,
@@ -69,26 +108,26 @@ func (cr *ClusterReducer) service(target cluster.NodeID) string {
 
 // install registers the accumulate-and-forward handler at the coordinator.
 func (cr *ClusterReducer) install(coord cluster.NodeID, svc string) {
-	type roundState struct {
-		acc  any
-		seen int
-	}
 	rounds := make(map[orca.Tag]*roundState)
 	rts := cr.sys.RTS
 	rts.HandleService(coord, svc, func(req *orca.Request) {
 		con := req.Payload.(*reduceContribution)
 		st, ok := rounds[con.tag]
 		if !ok {
-			st = &roundState{}
+			st = cr.getRound()
 			rounds[con.tag] = st
 		}
 		st.acc = cr.combine(st.acc, con.value)
 		st.seen++
-		if st.seen < con.expect {
+		target, tag, size, done := con.target, con.tag, con.size, st.seen >= con.expect
+		cr.putCon(con)
+		if !done {
 			return
 		}
-		delete(rounds, con.tag)
-		rts.SendData(coord, con.target, con.tag, con.size, st.acc)
+		delete(rounds, tag)
+		acc := st.acc
+		cr.putRound(st)
+		rts.SendData(coord, target, tag, size, acc)
 	})
 }
 
@@ -103,8 +142,9 @@ func (cr *ClusterReducer) Put(w *Worker, target cluster.NodeID, tag orca.Tag, si
 		return
 	}
 	coord := cr.coordinator(topo.ClusterOf(w.Node), target)
-	cr.sys.RTS.Cast(w.Node, coord, cr.service(target), size,
-		&reduceContribution{target: target, tag: tag, value: value, expect: expectLocal, size: size})
+	con := cr.getCon()
+	con.target, con.tag, con.value, con.expect, con.size = target, tag, value, expectLocal, size
+	cr.sys.RTS.Cast(w.Node, coord, cr.service(target), size, con)
 }
 
 // ExpectedMessages reports how many tagged messages the target will receive

@@ -94,6 +94,19 @@ func (w *Worker) Recv(tag orca.Tag) any { return w.Sys.RTS.RecvData(w.P, w.Node,
 // TryRecv returns a queued tagged message without blocking.
 func (w *Worker) TryRecv(tag orca.Tag) (any, bool) { return w.Sys.RTS.TryRecvData(w.Node, tag) }
 
+// SendID, RecvID and TryRecvID are the pre-interned-tag variants of
+// Send/Recv/TryRecv: the zero-allocation fast path for per-iteration
+// exchanges (intern the tag once with Sys.RTS.InternTag, then send by ID).
+func (w *Worker) SendID(to cluster.NodeID, id orca.TagID, size int, payload any) {
+	w.Sys.RTS.SendDataID(w.Node, to, id, size, payload)
+}
+
+// RecvID blocks until a message with the interned tag arrives.
+func (w *Worker) RecvID(id orca.TagID) any { return w.Sys.RTS.RecvDataID(w.P, w.Node, id) }
+
+// TryRecvID returns a queued message for the interned tag without blocking.
+func (w *Worker) TryRecvID(id orca.TagID) (any, bool) { return w.Sys.RTS.TryRecvDataID(w.Node, id) }
+
 // SpawnWorkers starts one worker process per compute node running body.
 func (s *System) SpawnWorkers(name string, body func(w *Worker)) {
 	for i := 0; i < s.Topo.Compute(); i++ {

@@ -128,7 +128,8 @@ type Network struct {
 	nclusters int
 	stats     Stats
 	tap       Tap
-	pool      []*delivery // free list of delivery records
+	pool      []*delivery   // free list of delivery records
+	wanPool   []*wanTransit // free list of two-stage WAN forwarding records
 
 	// Flattened topology tables: the send path answers "which cluster",
 	// "is it a gateway" and "who are the local members" with one array
@@ -306,14 +307,83 @@ func (n *Network) sendLAN(m Msg) {
 	n.deliverAt(end+n.lanDelay, m)
 }
 
+// wanTransit is a recyclable two-stage WAN forwarding record. Like the
+// delivery record, both stage closures are bound once when the record is
+// created and records are pooled, so steady intercluster traffic schedules
+// its gateway hops without allocating per message.
+type wanTransit struct {
+	n      *Network
+	m      Msg
+	cs, cd int
+	fn1    func() // bound to (*wanTransit).localGW once
+	fn2    func() // bound to (*wanTransit).remoteGW once
+}
+
+// localGW is stage 2 of a WAN send: the local gateway's forwarding stage,
+// then the WAN pipe (a FIFO resource per directed cluster pair).
+func (t *wanTransit) localGW() {
+	n := t.n
+	now := n.e.Now()
+	if n.par.GatewayCost > 0 {
+		// The gateway's protocol stack forwards one message at a time.
+		gwLocal := n.nodes[n.gateways[t.cs]]
+		if gwLocal.gwFree < now {
+			gwLocal.gwFree = now
+		}
+		gwLocal.gwFree += n.par.GatewayCost
+		now = gwLocal.gwFree
+	}
+	p := &n.pipes[t.cs*n.nclusters+t.cd]
+	if wait := p.free - now; wait > p.maxWait {
+		p.maxWait = wait
+	}
+	start := now
+	if p.free > start {
+		start = p.free
+	}
+	// Sample WAN quality at the instant transmission actually begins:
+	// a message queued behind earlier traffic departs at p.free, and a
+	// time-varying profile (congestion wave) must apply there, not at
+	// the instant the message joined the queue.
+	lat, bw := n.wanQuality(start)
+	xmit := bwTime(t.m.Size, bw)
+	depart := start + xmit
+	p.free = depart
+	p.busy += xmit
+	p.bytes += int64(t.m.Size)
+	p.msgs++
+	n.e.At(depart+lat+n.wanDelay, t.fn2)
+}
+
+// remoteGW is stage 3: remote gateway forwarding, then Fast Ethernet to the
+// destination node (skipped when the destination is the gateway). The record
+// recycles itself here; delivery continues through a pooled delivery record.
+func (t *wanTransit) remoteGW() {
+	n, m, cd := t.n, t.m, t.cd
+	t.m = Msg{} // drop the payload reference while pooled
+	n.wanPool = append(n.wanPool, t)
+	if n.isGW[m.To] {
+		n.deliver(m)
+		return
+	}
+	now := n.e.Now()
+	gwRemote := n.nodes[n.gateways[cd]]
+	if n.par.GatewayCost > 0 {
+		if gwRemote.gwFree < now {
+			gwRemote.gwFree = now
+		}
+		gwRemote.gwFree += n.par.GatewayCost
+		now = gwRemote.gwFree
+	}
+	end := serialize(&gwRemote.nicFree, now, m.Size, n.par.FEBandwidth)
+	n.deliverAt(end+n.feDelay, m)
+}
+
 // sendWAN routes an intercluster message through both gateways and the WAN
 // pipe for the directed cluster pair.
 func (n *Network) sendWAN(m Msg) {
 	n.stats.count(scopeInter, m.Kind, m.Size)
 	now := n.e.Now()
-	cs, cd := n.clusterOf[m.From], n.clusterOf[m.To]
-	gwLocal := n.nodes[n.gateways[cs]]
-	gwRemote := n.nodes[n.gateways[cd]]
 
 	// Leg 1: node → local gateway over Fast Ethernet (skipped when the
 	// sender is the gateway itself, e.g. forwarded protocol traffic).
@@ -326,58 +396,18 @@ func (n *Network) sendWAN(m Msg) {
 		atLocalGW = end + n.feDelay
 	}
 
-	// Leg 2: the local gateway's forwarding stage, then the WAN pipe (a
-	// FIFO resource per directed cluster pair).
-	n.e.At(atLocalGW, func() {
-		now := n.e.Now()
-		if n.par.GatewayCost > 0 {
-			// The gateway's protocol stack forwards one message at a time.
-			if gwLocal.gwFree < now {
-				gwLocal.gwFree = now
-			}
-			gwLocal.gwFree += n.par.GatewayCost
-			now = gwLocal.gwFree
-		}
-		p := &n.pipes[cs*n.nclusters+cd]
-		if wait := p.free - now; wait > p.maxWait {
-			p.maxWait = wait
-		}
-		start := now
-		if p.free > start {
-			start = p.free
-		}
-		// Sample WAN quality at the instant transmission actually begins:
-		// a message queued behind earlier traffic departs at p.free, and a
-		// time-varying profile (congestion wave) must apply there, not at
-		// the instant the message joined the queue.
-		lat, bw := n.wanQuality(start)
-		xmit := bwTime(m.Size, bw)
-		depart := start + xmit
-		p.free = depart
-		p.busy += xmit
-		p.bytes += int64(m.Size)
-		p.msgs++
-		atRemoteGW := depart + lat + n.wanDelay
-
-		// Leg 3: remote gateway forwarding, then Fast Ethernet to the
-		// destination node (skipped when the destination is the gateway).
-		n.e.At(atRemoteGW, func() {
-			if n.isGW[m.To] {
-				n.deliver(m)
-				return
-			}
-			t := n.e.Now()
-			if n.par.GatewayCost > 0 {
-				if gwRemote.gwFree < t {
-					gwRemote.gwFree = t
-				}
-				gwRemote.gwFree += n.par.GatewayCost
-				t = gwRemote.gwFree
-			}
-			end := serialize(&gwRemote.nicFree, t, m.Size, n.par.FEBandwidth)
-			n.deliverAt(end+n.feDelay, m)
-		})
-	})
+	var t *wanTransit
+	if k := len(n.wanPool); k > 0 {
+		t = n.wanPool[k-1]
+		n.wanPool = n.wanPool[:k-1]
+	} else {
+		t = &wanTransit{n: n}
+		t.fn1 = t.localGW
+		t.fn2 = t.remoteGW
+	}
+	t.m = m
+	t.cs, t.cd = n.clusterOf[m.From], n.clusterOf[m.To]
+	n.e.At(atLocalGW, t.fn1)
 }
 
 // wanQuality evaluates the WAN latency and bandwidth in effect at time at.

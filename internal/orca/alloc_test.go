@@ -1,0 +1,112 @@
+//go:build !race
+
+// Alloc-regression tests for the flattened data path: the steady-state cost
+// of the core messaging operations, in allocations per operation, measured
+// with testing.AllocsPerRun and pinned to zero. A change that reintroduces
+// per-message allocation (tag construction, record churn, payload boxing)
+// fails here long before it shows up in the benchmarks.
+//
+// The file is excluded under the race detector: instrumentation inflates
+// allocation counts and these budgets are meaningless there.
+package orca
+
+import (
+	"testing"
+
+	"albatross/internal/cluster"
+	"albatross/internal/sim"
+)
+
+// drive builds a one-operation-per-kick harness: body runs in a daemon
+// process, performing one operation each time the returned step function is
+// called. Each step enqueues one kick and drains the engine, so everything
+// the operation schedules (transits, deliveries, acknowledgements, token
+// hops) is charged to that step.
+func drive(e *sim.Engine, name string, body func(p *sim.Proc)) (step func()) {
+	kick := sim.NewMailbox(e, name)
+	e.Go(name, func(p *sim.Proc) {
+		p.SetDaemon(true)
+		for {
+			kick.Get(p)
+			body(p)
+		}
+	})
+	var tok any = "kick"
+	return func() {
+		kick.Put(tok)
+		if err := e.Run(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// allocBudget runs step under AllocsPerRun after warming every free list and
+// checks the steady-state allocation count against the budget.
+func allocBudget(t *testing.T, name string, step func(), budget float64) {
+	t.Helper()
+	for i := 0; i < 16; i++ {
+		step() // warm pools, mailbox rings, and goroutine stacks
+	}
+	if got := testing.AllocsPerRun(100, step); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.0f", name, got, budget)
+	}
+}
+
+// TestAllocSendRecvData pins the tagged point-to-point path at zero: an
+// interned tag, a pooled message record recycled at delivery, and a
+// pre-boxed payload make SendData/RecvData allocation-free.
+func TestAllocSendRecvData(t *testing.T) {
+	e, _, rts := build(1, 2, nil)
+	id := rts.InternTag(Tag{Op: "alloc-p2p"})
+	var payload any = "payload"
+	rx := drive(e, "alloc-rx", func(p *sim.Proc) {
+		if got := rts.RecvDataID(p, 1, id); got != payload {
+			t.Fatal("wrong payload")
+		}
+	})
+	step := func() {
+		rts.SendDataID(0, 1, id, 64, payload)
+		rx()
+	}
+	allocBudget(t, "SendData/RecvData", step, 0)
+}
+
+// TestAllocRPCRoundTrip pins a full remote invocation — request, dispatch,
+// reply, caller wake — at zero steady-state allocations.
+func TestAllocRPCRoundTrip(t *testing.T) {
+	e, _, rts := build(1, 2, nil)
+	obj := rts.NewObject("c", 0, &counter{})
+	op := Op{Name: "inc", ArgBytes: 8, ResBytes: 8,
+		Apply: func(s any) any { c := s.(*counter); c.n++; return nil }}
+	step := drive(e, "alloc-rpc", func(p *sim.Proc) {
+		obj.Invoke(p, 1, op)
+	})
+	allocBudget(t, "RPC round trip", step, 0)
+}
+
+// TestAllocBroadcast pins one totally-ordered replicated update at zero for
+// each sequencer protocol: the pendingBcast record is the wire payload end
+// to end, submit/grant/token records come from free lists, and the ordering
+// queues reuse their capacity.
+func TestAllocBroadcast(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Sequencer
+	}{
+		{"central", func() Sequencer { return NewCentralSequencer(0) }},
+		{"rotating", func() Sequencer { return NewRotatingSequencer() }},
+		{"migrating", func() Sequencer { return NewMigratingSequencer() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, _, rts := build(2, 2, tc.mk())
+			obj := rts.NewReplicated("c", func(n cluster.NodeID) any { return &counter{} })
+			op := Op{Name: "inc", ArgBytes: 8, ResBytes: 8,
+				Apply: func(s any) any { c := s.(*counter); c.n++; return nil }}
+			step := drive(e, "alloc-bcast", func(p *sim.Proc) {
+				obj.Invoke(p, 1, op)
+			})
+			allocBudget(t, tc.name+" broadcast", step, 0)
+		})
+	}
+}

@@ -10,18 +10,44 @@ import (
 
 // Tag names a point-to-point message stream between application processes,
 // like a (communicator, tag) pair in message-passing systems. A and B are
-// free application fields (e.g. iteration number, sender rank).
+// free application fields (e.g. phase number, sender rank).
 type Tag struct {
 	Op   string
 	A, B int
 }
 
-// mailbox returns (creating on demand) the queue for tag at this node.
-func (nd *nodeRTS) mailbox(e *sim.Engine, t Tag) *sim.Mailbox {
-	mb, ok := nd.data[t]
+// TagID is the dense interned identifier of a Tag. Hot paths intern a tag
+// once (InternTag) and then send/receive by ID: per-node mailbox lookup is
+// a slice index, with no map probe or name formatting per message.
+type TagID int32
+
+// InternTag returns the dense ID for tag, assigning the next one on first
+// use. The ID is valid for the lifetime of the runtime.
+func (r *RTS) InternTag(t Tag) TagID {
+	id, ok := r.tagIDs[t]
 	if !ok {
-		mb = sim.NewMailbox(e, fmt.Sprintf("data %v@%d", t, nd.id))
-		nd.data[t] = mb
+		id = TagID(len(r.tags))
+		r.tagIDs[t] = id
+		r.tags = append(r.tags, t)
+	}
+	return id
+}
+
+// dataMailbox returns (creating on demand) the queue for an interned tag at
+// a node. Mailboxes share the static name "data" unless SetDebugNames
+// enabled per-tag naming.
+func (r *RTS) dataMailbox(nd *nodeRTS, id TagID) *sim.Mailbox {
+	if int(id) >= len(nd.data) {
+		nd.data = append(nd.data, make([]*sim.Mailbox, int(id)+1-len(nd.data))...)
+	}
+	mb := nd.data[id]
+	if mb == nil {
+		name := "data"
+		if r.debugNames {
+			name = fmt.Sprintf("data %v@%d", r.tags[id], nd.id)
+		}
+		mb = sim.NewMailbox(r.e, name)
+		nd.data[id] = mb
 	}
 	return mb
 }
@@ -31,28 +57,46 @@ func (nd *nodeRTS) mailbox(e *sim.Engine, t Tag) *sim.Mailbox {
 // low-level Orca RTS send primitive, used by the C re-implementations of
 // SOR and by RA's message combining).
 func (r *RTS) SendData(from, to cluster.NodeID, tag Tag, size int, payload any) {
+	r.SendDataID(from, to, r.InternTag(tag), size, payload)
+}
+
+// SendDataID is SendData for a pre-interned tag: the zero-allocation fast
+// path for per-iteration exchanges.
+func (r *RTS) SendDataID(from, to cluster.NodeID, id TagID, size int, payload any) {
 	r.ops.DataMsgs++
 	r.ops.DataBytes += int64(size)
+	d := r.getDataMsg()
+	d.id, d.payload = id, payload
 	r.net.Send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,
 		Size:    size + HeaderBytes,
-		Payload: &dataMsg{tag: tag, payload: payload},
+		Payload: d,
 	})
 }
 
 // RecvData blocks process p (running at node at) until a message with the
 // given tag arrives, and returns its payload.
 func (r *RTS) RecvData(p *sim.Proc, at cluster.NodeID, tag Tag) any {
-	return r.nodes[at].mailbox(r.e, tag).Get(p)
+	return r.RecvDataID(p, at, r.InternTag(tag))
+}
+
+// RecvDataID is RecvData for a pre-interned tag.
+func (r *RTS) RecvDataID(p *sim.Proc, at cluster.NodeID, id TagID) any {
+	return r.dataMailbox(r.nodes[at], id).Get(p)
 }
 
 // TryRecvData returns the oldest queued payload for tag without blocking;
 // ok is false if none is queued.
 func (r *RTS) TryRecvData(at cluster.NodeID, tag Tag) (payload any, ok bool) {
-	return r.nodes[at].mailbox(r.e, tag).TryGet()
+	return r.TryRecvDataID(at, r.InternTag(tag))
+}
+
+// TryRecvDataID is TryRecvData for a pre-interned tag.
+func (r *RTS) TryRecvDataID(at cluster.NodeID, id TagID) (payload any, ok bool) {
+	return r.dataMailbox(r.nodes[at], id).TryGet()
 }
 
 // PendingData reports how many messages are queued for tag at the node.
 func (r *RTS) PendingData(at cluster.NodeID, tag Tag) int {
-	return r.nodes[at].mailbox(r.e, tag).Len()
+	return r.dataMailbox(r.nodes[at], r.InternTag(tag)).Len()
 }

@@ -38,12 +38,45 @@ type Object struct {
 	applied func(at cluster.NodeID, op Op, result any)
 }
 
-// pendingBcast is a replicated write travelling through the sequencer.
+// pendingBcast is a replicated write travelling through the sequencer. It is
+// the wire record for its whole lifecycle — submit, ordering, distribution
+// and per-node delivery — and is reference-counted: one reference per
+// compute node's apply plus one for the writer consuming the result, so the
+// record (and its pooled done future) recycles exactly when the last node
+// has applied it and the writer has resumed.
 type pendingBcast struct {
-	obj  *Object
-	op   Op
-	from cluster.NodeID
-	done *sim.Future
+	obj     *Object
+	op      Op
+	from    cluster.NodeID
+	orderer cluster.NodeID
+	seq     uint64
+	size    int // op.ArgBytes + HeaderBytes, the wire size everywhere
+	refs    int32
+	done    *sim.Future
+	fn      func() // bound once: runs distributeNow for this record
+}
+
+// getBcast pops (or creates) a broadcast record with its done future armed.
+func (r *RTS) getBcast(futName string) *pendingBcast {
+	if k := len(r.bcastPool); k > 0 {
+		b := r.bcastPool[k-1]
+		r.bcastPool = r.bcastPool[:k-1]
+		b.done.Reset(futName)
+		return b
+	}
+	b := &pendingBcast{done: sim.NewFuture(r.e, futName)}
+	b.fn = func() { r.distributeNow(b) }
+	return b
+}
+
+// releaseBcast drops one reference, recycling the record at zero.
+func (r *RTS) releaseBcast(b *pendingBcast) {
+	if b.refs--; b.refs > 0 {
+		return
+	}
+	b.obj = nil
+	b.op = Op{} // drop the closure reference while pooled
+	r.bcastPool = append(r.bcastPool, b)
 }
 
 // NewObject creates a non-replicated shared object stored at owner, with
@@ -128,12 +161,14 @@ func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
 	}
 	r.ops.Bcasts++
 	r.ops.BcastBytes += int64(op.ArgBytes)
-	b := &pendingBcast{
-		obj: o, op: op, from: from,
-		done: sim.NewFuture(r.e, o.futName),
-	}
+	b := r.getBcast(o.futName)
+	b.obj, b.op, b.from = o, op, from
+	b.size = op.ArgBytes + HeaderBytes
+	b.refs = int32(r.topo.Compute()) + 1
 	r.seqr.Submit(r, from, b)
-	return b.done.Await(p)
+	res := b.done.Await(p)
+	r.releaseBcast(b) // the writer's own reference, after consuming res
+	return res
 }
 
 // rpc performs a blocking remote invocation on a non-replicated object.
@@ -141,23 +176,28 @@ func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
 	r.ops.RPCs++
 	r.ops.RPCBytes += int64(op.ArgBytes + op.ResBytes)
 	nd := r.nodes[from]
-	id := nd.nextCall
-	nd.nextCall++
-	f := sim.NewFuture(r.e, o.futName)
-	nd.calls[id] = f
+	f := r.getFuture(o.futName)
+	id := nd.newCall(f)
+	q := r.getReq()
+	q.callID, q.objID, q.op = id, o.id, op
 	r.net.Send(netsim.Msg{
 		From: from, To: o.owner, Kind: netsim.KindRPCReq,
 		Size:    op.ArgBytes + HeaderBytes,
-		Payload: &rpcReq{callID: id, objID: o.id, op: op},
+		Payload: q,
 	})
-	return f.Await(p)
+	res := f.Await(p)
+	r.putFuture(f)
+	return res
 }
 
 // asyncDeliver is an unordered replicated update in flight (the asynchronous
-// broadcast of Section 4.7's proposed ACP optimization).
+// broadcast of Section 4.7's proposed ACP optimization). One record serves
+// one cluster's delivery fan-out (refs = cluster size); the gateway relays
+// the record itself, so no separate relay wrapper exists.
 type asyncDeliver struct {
-	obj *Object
-	op  Op
+	obj  *Object
+	op   Op
+	refs int32
 }
 
 // AsyncUpdate applies a write to a replicated object using asynchronous,
@@ -176,25 +216,25 @@ func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
 	size := op.ArgBytes + HeaderBytes
 	// Local cluster: hardware multicast (includes the sender's own copy,
 	// applied on delivery like any other member's).
-	r.net.BcastLocal(from, netsim.KindBcast, size, &asyncDeliver{obj: o, op: op})
-	// Remote clusters: one WAN message per cluster, relayed by gateways.
 	fc := r.topo.ClusterOf(from)
+	local := r.getAsync()
+	local.obj, local.op = o, op
+	local.refs = int32(r.topo.Size(fc))
+	r.net.BcastLocal(from, netsim.KindBcast, size, local)
+	// Remote clusters: one WAN message per cluster; the gateway re-broadcasts
+	// the record into its cluster.
 	for c := 0; c < r.topo.Clusters; c++ {
 		if c == fc {
 			continue
 		}
+		a := r.getAsync()
+		a.obj, a.op = o, op
+		a.refs = int32(r.topo.Size(c))
 		r.net.Send(netsim.Msg{
 			From: from, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
 			Size:    size,
-			Payload: &relayAsync{obj: o, op: op, size: size},
+			Payload: a,
 		})
 	}
 	return nil
-}
-
-// relayAsync asks a gateway to re-broadcast an unordered update locally.
-type relayAsync struct {
-	obj  *Object
-	op   Op
-	size int
 }

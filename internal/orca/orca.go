@@ -12,6 +12,13 @@
 // the lower-level primitives the paper's optimized C programs use: raw
 // tagged point-to-point messages and application-level request/reply
 // services.
+//
+// The data path is flattened for steady-state zero allocation: tags are
+// interned to dense IDs, every protocol record (dataMsg, pendingBcast,
+// submit, RPC request/reply, service request, async update) lives on a free
+// list and is recycled at delivery, and reply futures are pooled. See
+// DESIGN.md §5b for why recycling at delivery is safe under the engine's
+// deterministic (time, seq) dispatch order.
 package orca
 
 import (
@@ -37,30 +44,78 @@ type RTS struct {
 	objects []*Object
 	seqr    Sequencer
 
-	// seqBusy is each sequencer node's ordering-work horizon.
-	seqBusy map[cluster.NodeID]time.Duration
+	// seqBusy is each sequencer node's ordering-work horizon, indexed by
+	// node ID (only compute nodes ever order, but Total() is small).
+	seqBusy []time.Duration
+
+	// Tag interning: every distinct Tag gets a dense TagID; per-node
+	// mailbox lookup is then a slice index instead of a map probe.
+	tagIDs map[Tag]TagID
+	tags   []Tag // TagID → Tag, for debug naming
+
+	// debugNames controls whether data mailboxes get per-tag names (useful
+	// in deadlock reports and traces, costly to format on every miss).
+	debugNames bool
 
 	// callNames caches the "call <service>" future names so the blocking
 	// Call path formats nothing per request.
 	callNames map[string]string
+
+	// Free lists for the protocol records of the steady-state data path.
+	// Records are recycled at delivery (or, for pendingBcast, when the last
+	// reference drops), so sustained messaging allocates nothing.
+	dataPool   []*dataMsg
+	bcastPool  []*pendingBcast
+	submitPool []*submitMsg
+	reqPool    []*rpcReq
+	repPool    []*rpcRep
+	svcPool    []*serviceReq
+	asyncPool  []*asyncDeliver
+	futPool    []*sim.Future
 
 	ops OpStats
 }
 
 // nodeRTS is the per-compute-node runtime state.
 type nodeRTS struct {
-	id       cluster.NodeID
-	calls    map[uint64]*sim.Future // outstanding RPC/request replies
-	nextCall uint64
-	services map[string]*sim.Mailbox   // registered application services
-	handlers map[string]func(*Request) // event-context service handlers
-	data     map[Tag]*sim.Mailbox      // raw tagged message queues
+	id        cluster.NodeID
+	calls     []*sim.Future // outstanding RPC/request replies, by slot
+	freeCalls []uint64      // recycled call slots (call IDs are slot indices)
+	services  map[string]*sim.Mailbox   // registered application services
+	handlers  map[string]func(*Request) // event-context service handlers
+	data      []*sim.Mailbox            // raw tagged message queues, by TagID
 
 	// Totally-ordered delivery state: updates apply in global sequence
 	// order (one order across all replicated objects, as in Orca's single
-	// logical sequencer); out-of-order arrivals are buffered.
-	nextSeq  uint64
-	heldBack map[uint64]*pendingBcast
+	// logical sequencer); out-of-order arrivals are buffered in a small
+	// reorder window. held[i] holds the update with sequence nextSeq+1+i
+	// (seq == nextSeq applies immediately and is never stored).
+	nextSeq uint64
+	held    []*pendingBcast
+}
+
+// newCall allocates a call slot for an outstanding reply, recycling slot
+// indices so the table stays dense however many calls a run makes.
+func (nd *nodeRTS) newCall(f *sim.Future) uint64 {
+	if k := len(nd.freeCalls); k > 0 {
+		id := nd.freeCalls[k-1]
+		nd.freeCalls = nd.freeCalls[:k-1]
+		nd.calls[id] = f
+		return id
+	}
+	nd.calls = append(nd.calls, f)
+	return uint64(len(nd.calls) - 1)
+}
+
+// takeCall resolves a call slot back to its future and frees the slot.
+func (nd *nodeRTS) takeCall(id uint64) *sim.Future {
+	if id >= uint64(len(nd.calls)) || nd.calls[id] == nil {
+		panic(fmt.Sprintf("orca: stray reply %d at node %d", id, nd.id))
+	}
+	f := nd.calls[id]
+	nd.calls[id] = nil
+	nd.freeCalls = append(nd.freeCalls, id)
+	return f
 }
 
 // OpStats counts logical runtime operations (as opposed to the physical
@@ -81,20 +136,19 @@ type OpStats struct {
 func New(net *netsim.Network, seqr Sequencer) *RTS {
 	topo := net.Topology()
 	r := &RTS{
-		e:    net.Engine(),
-		net:  net,
-		topo: topo,
+		e:       net.Engine(),
+		net:     net,
+		topo:    topo,
+		seqBusy: make([]time.Duration, topo.Total()),
+		tagIDs:  make(map[Tag]TagID),
 	}
 	r.nodes = make([]*nodeRTS, topo.Compute())
 	for i := range r.nodes {
 		id := cluster.NodeID(i)
 		r.nodes[i] = &nodeRTS{
 			id:       id,
-			calls:    make(map[uint64]*sim.Future),
 			services: make(map[string]*sim.Mailbox),
 			handlers: make(map[string]func(*Request)),
-			data:     make(map[Tag]*sim.Mailbox),
-			heldBack: make(map[uint64]*pendingBcast),
 		}
 		net.SetHandler(id, r.dispatchFor(id))
 	}
@@ -137,6 +191,12 @@ func (r *RTS) Ops() OpStats { return r.ops }
 // Sequencer returns the totally-ordered broadcast protocol in use.
 func (r *RTS) Sequencer() Sequencer { return r.seqr }
 
+// SetDebugNames enables per-tag data-mailbox naming ("data {sor 0 3}@5"
+// instead of "data"), for readable deadlock reports and traces. Off by
+// default: the name is formatted on every mailbox miss, which is pure
+// overhead when nothing reads it. Enable before the run starts.
+func (r *RTS) SetDebugNames(on bool) { r.debugNames = on }
+
 // message payloads (internal protocol)
 
 type rpcReq struct {
@@ -150,19 +210,6 @@ type rpcRep struct {
 	result any
 }
 
-type bcastDeliver struct {
-	seq uint64
-	b   *pendingBcast
-}
-
-// relayBcast asks a remote gateway to re-broadcast an ordered update into
-// its own cluster.
-type relayBcast struct {
-	seq  uint64
-	b    *pendingBcast
-	size int
-}
-
 type serviceReq struct {
 	callID  uint64
 	from    cluster.NodeID
@@ -171,9 +218,72 @@ type serviceReq struct {
 }
 
 type dataMsg struct {
-	tag     Tag
+	id      TagID
 	payload any
 }
+
+// record free-list accessors: pop a recycled record or allocate the first
+// few. Every get* has a matching recycle site in the dispatch path.
+
+func (r *RTS) getDataMsg() *dataMsg {
+	if k := len(r.dataPool); k > 0 {
+		d := r.dataPool[k-1]
+		r.dataPool = r.dataPool[:k-1]
+		return d
+	}
+	return new(dataMsg)
+}
+
+func (r *RTS) getReq() *rpcReq {
+	if k := len(r.reqPool); k > 0 {
+		q := r.reqPool[k-1]
+		r.reqPool = r.reqPool[:k-1]
+		return q
+	}
+	return new(rpcReq)
+}
+
+func (r *RTS) getRep() *rpcRep {
+	if k := len(r.repPool); k > 0 {
+		q := r.repPool[k-1]
+		r.repPool = r.repPool[:k-1]
+		return q
+	}
+	return new(rpcRep)
+}
+
+func (r *RTS) getSvc() *serviceReq {
+	if k := len(r.svcPool); k > 0 {
+		q := r.svcPool[k-1]
+		r.svcPool = r.svcPool[:k-1]
+		return q
+	}
+	return new(serviceReq)
+}
+
+func (r *RTS) getAsync() *asyncDeliver {
+	if k := len(r.asyncPool); k > 0 {
+		a := r.asyncPool[k-1]
+		r.asyncPool = r.asyncPool[:k-1]
+		return a
+	}
+	return new(asyncDeliver)
+}
+
+// getFuture pools the one-shot reply futures of RPCs and blocking calls:
+// the caller must return the future with putFuture once Await has consumed
+// the value.
+func (r *RTS) getFuture(name string) *sim.Future {
+	if k := len(r.futPool); k > 0 {
+		f := r.futPool[k-1]
+		r.futPool = r.futPool[:k-1]
+		f.Reset(name)
+		return f
+	}
+	return sim.NewFuture(r.e, name)
+}
+
+func (r *RTS) putFuture(f *sim.Future) { r.futPool = append(r.futPool, f) }
 
 // dispatchFor returns the network delivery handler of a compute node.
 func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
@@ -183,36 +293,53 @@ func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
 		case *rpcReq:
 			obj := r.objects[pl.objID]
 			res := pl.op.Apply(obj.state)
+			size := pl.op.ResBytes + HeaderBytes
+			callID := pl.callID
+			pl.op = Op{} // drop the closure reference while pooled
+			r.reqPool = append(r.reqPool, pl)
+			rep := r.getRep()
+			rep.callID, rep.result = callID, res
 			r.net.Send(netsim.Msg{
 				From: id, To: m.From, Kind: netsim.KindRPCRep,
-				Size:    pl.op.ResBytes + HeaderBytes,
-				Payload: &rpcRep{callID: pl.callID, result: res},
+				Size:    size,
+				Payload: rep,
 			})
 		case *rpcRep:
-			f, ok := nd.calls[pl.callID]
-			if !ok {
-				panic(fmt.Sprintf("orca: stray reply %d at node %d", pl.callID, id))
-			}
-			delete(nd.calls, pl.callID)
-			f.Set(pl.result)
-		case *bcastDeliver:
-			r.applyOrdered(id, pl.seq, pl.b)
+			f := nd.takeCall(pl.callID)
+			res := pl.result
+			pl.result = nil
+			r.repPool = append(r.repPool, pl)
+			f.Set(res)
+		case *pendingBcast:
+			r.applyOrdered(id, pl)
 		case *asyncDeliver:
 			res := pl.op.Apply(pl.obj.replicas[id])
 			if pl.obj.applied != nil {
 				pl.obj.applied(id, pl.op, res)
 			}
+			if pl.refs--; pl.refs == 0 {
+				pl.obj = nil
+				pl.op = Op{}
+				r.asyncPool = append(r.asyncPool, pl)
+			}
 		case *serviceReq:
 			req := &Request{rts: r, ID: pl.callID, From: pl.from, To: id, Payload: pl.payload}
-			if fn, ok := nd.handlers[pl.service]; ok {
+			svc := pl.service
+			pl.payload = nil
+			pl.service = ""
+			r.svcPool = append(r.svcPool, pl)
+			if fn, ok := nd.handlers[svc]; ok {
 				fn(req)
-			} else if mb, ok := nd.services[pl.service]; ok {
+			} else if mb, ok := nd.services[svc]; ok {
 				mb.Put(req)
 			} else {
-				panic(fmt.Sprintf("orca: no service %q at node %d", pl.service, id))
+				panic(fmt.Sprintf("orca: no service %q at node %d", svc, id))
 			}
 		case *dataMsg:
-			nd.mailbox(r.e, pl.tag).Put(pl.payload)
+			tid, payload := pl.id, pl.payload
+			pl.payload = nil
+			r.dataPool = append(r.dataPool, pl)
+			r.dataMailbox(nd, tid).Put(payload)
 		case seqProtoMsg:
 			pl.deliver(r)
 		default:
@@ -222,14 +349,16 @@ func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
 }
 
 // gatewayDispatch handles protocol traffic addressed to gateways: broadcast
-// relays and sequencer control messages.
+// relays and sequencer control messages. Ordered and unordered updates
+// travel as their own records (no relay wrapper): the gateway re-broadcasts
+// the very record it received into its cluster.
 func (r *RTS) gatewayDispatch(m netsim.Msg) {
 	switch pl := m.Payload.(type) {
-	case *relayBcast:
+	case *pendingBcast:
 		// Re-broadcast into the local cluster using hardware multicast.
-		r.net.BcastLocal(m.To, netsim.KindBcast, pl.size, &bcastDeliver{seq: pl.seq, b: pl.b})
-	case *relayAsync:
-		r.net.BcastLocal(m.To, netsim.KindBcast, pl.size, &asyncDeliver{obj: pl.obj, op: pl.op})
+		r.net.BcastLocal(m.To, netsim.KindBcast, m.Size, pl)
+	case *asyncDeliver:
+		r.net.BcastLocal(m.To, netsim.KindBcast, m.Size, pl)
 	case seqProtoMsg:
 		pl.deliver(r)
 	default:
@@ -248,54 +377,73 @@ type seqProtoMsg interface{ deliver(r *RTS) }
 // a single central sequencer caps broadcast throughput system-wide; the
 // per-cluster distributed sequencer spreads that work over the clusters.
 func (r *RTS) distribute(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
-	if r.seqBusy == nil {
-		r.seqBusy = make(map[cluster.NodeID]time.Duration)
-	}
 	start := r.e.Now()
 	if busy := r.seqBusy[orderer]; busy > start {
 		start = busy
 	}
 	start += r.net.Params().OrderCost
 	r.seqBusy[orderer] = start
-	r.e.At(start, func() { r.distributeNow(orderer, seq, b) })
+	b.orderer, b.seq = orderer, seq
+	r.e.At(start, b.fn)
 }
 
-func (r *RTS) distributeNow(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
-	size := b.op.ArgBytes + HeaderBytes
-	r.net.BcastLocal(orderer, netsim.KindBcast, size, &bcastDeliver{seq: seq, b: b})
-	oc := r.topo.ClusterOf(orderer)
+func (r *RTS) distributeNow(b *pendingBcast) {
+	r.net.BcastLocal(b.orderer, netsim.KindBcast, b.size, b)
+	oc := r.topo.ClusterOf(b.orderer)
 	for c := 0; c < r.topo.Clusters; c++ {
 		if c == oc {
 			continue
 		}
 		r.net.Send(netsim.Msg{
-			From: orderer, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
-			Size:    size,
-			Payload: &relayBcast{seq: seq, b: b, size: size},
+			From: b.orderer, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
+			Size:    b.size,
+			Payload: b,
 		})
 	}
 }
 
-// applyOrdered applies ordered update seq at node id, buffering
-// out-of-order arrivals so every node applies the same total order.
-func (r *RTS) applyOrdered(id cluster.NodeID, seq uint64, b *pendingBcast) {
+// applyOrdered applies ordered update b at node id, buffering out-of-order
+// arrivals in the node's reorder window so every node applies the same
+// total order.
+func (r *RTS) applyOrdered(id cluster.NodeID, b *pendingBcast) {
 	nd := r.nodes[id]
-	nd.heldBack[seq] = b
+	if off := int(b.seq - nd.nextSeq); off > 0 {
+		for len(nd.held) < off {
+			nd.held = append(nd.held, nil)
+		}
+		nd.held[off-1] = b
+		return
+	}
+	nb := b
 	for {
-		nb, ok := nd.heldBack[nd.nextSeq]
-		if !ok {
+		r.applyNow(id, nd, nb)
+		// applyNow advanced nextSeq, so the whole window shifts down one
+		// slot — even when the head slot is an unfilled gap.
+		if len(nd.held) == 0 {
 			return
 		}
-		delete(nd.heldBack, nd.nextSeq)
-		nd.nextSeq++
-		res := nb.op.Apply(nb.obj.replicas[id])
-		if nb.obj.applied != nil {
-			nb.obj.applied(id, nb.op, res)
-		}
-		if nb.from == id {
-			// Writer semantics: the invocation returns (and unblocks)
-			// when the writer's own copy has been updated.
-			nb.done.Set(res)
+		nb = nd.held[0]
+		k := copy(nd.held, nd.held[1:])
+		nd.held[k] = nil
+		nd.held = nd.held[:k]
+		if nb == nil {
+			return
 		}
 	}
+}
+
+// applyNow applies one in-order update at a node and drops the node's
+// reference to it.
+func (r *RTS) applyNow(id cluster.NodeID, nd *nodeRTS, nb *pendingBcast) {
+	nd.nextSeq++
+	res := nb.op.Apply(nb.obj.replicas[id])
+	if nb.obj.applied != nil {
+		nb.obj.applied(id, nb.op, res)
+	}
+	if nb.from == id {
+		// Writer semantics: the invocation returns (and unblocks)
+		// when the writer's own copy has been updated.
+		nb.done.Set(res)
+	}
+	r.releaseBcast(nb)
 }

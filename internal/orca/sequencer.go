@@ -24,6 +24,10 @@ type Sequencer interface {
 	Name() string
 	// Submit hands an update to the protocol at the writer's node.
 	Submit(r *RTS, from cluster.NodeID, b *pendingBcast)
+	// arrive handles a submission that has reached cluster c's sequencer
+	// node (the receive side of Submit's forwarding message). Having it on
+	// the interface lets one pooled submit record serve every protocol.
+	arrive(r *RTS, c int, b *pendingBcast)
 	// attach binds the protocol to a runtime at construction time.
 	attach(r *RTS)
 }
@@ -34,6 +38,57 @@ func seqNode(topo cluster.Topology, c int) cluster.NodeID { return topo.Node(c, 
 
 // tokenHopBytes is the wire size of sequencer control messages.
 const tokenHopBytes = 16 + HeaderBytes
+
+// submitMsg forwards an update to its cluster's sequencer node. Records are
+// pooled on the RTS and recycled at delivery.
+type submitMsg struct {
+	s Sequencer
+	c int
+	b *pendingBcast
+}
+
+func (m *submitMsg) deliver(r *RTS) {
+	s, c, b := m.s, m.c, m.b
+	m.s, m.b = nil, nil
+	r.submitPool = append(r.submitPool, m)
+	s.arrive(r, c, b)
+}
+
+// sendSubmit ships b from the writer's node to cluster c's sequencer node.
+func (r *RTS) sendSubmit(s Sequencer, from, to cluster.NodeID, c int, b *pendingBcast) {
+	var m *submitMsg
+	if k := len(r.submitPool); k > 0 {
+		m = r.submitPool[k-1]
+		r.submitPool = r.submitPool[:k-1]
+	} else {
+		m = new(submitMsg)
+	}
+	m.s, m.c, m.b = s, c, b
+	r.net.Send(netsim.Msg{
+		From: from, To: to, Kind: netsim.KindBcast,
+		Size:    b.size,
+		Payload: m,
+	})
+}
+
+// drainQueue orders and distributes every queued update of cluster c,
+// keeping the queue's capacity for the next burst.
+func drainQueue(r *RTS, queues [][]*pendingBcast, c int, next *uint64) {
+	q := queues[c]
+	if len(q) == 0 {
+		return
+	}
+	// distribute only schedules events; nothing re-enters the queue while
+	// this loop runs, so reusing the backing array is safe.
+	queues[c] = q[:0]
+	orderer := seqNode(r.topo, c)
+	for i, b := range q {
+		seq := *next
+		*next++
+		r.distribute(orderer, seq, b)
+		q[i] = nil
+	}
+}
 
 // CentralSequencer
 
@@ -58,25 +113,16 @@ func (s *CentralSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast) 
 		s.order(r, b)
 		return
 	}
-	r.net.Send(netsim.Msg{
-		From: from, To: s.node, Kind: netsim.KindBcast,
-		Size:    b.op.ArgBytes + HeaderBytes,
-		Payload: centralSubmit{s: s, b: b},
-	})
+	r.sendSubmit(s, from, s.node, 0, b)
 }
+
+func (s *CentralSequencer) arrive(r *RTS, c int, b *pendingBcast) { s.order(r, b) }
 
 func (s *CentralSequencer) order(r *RTS, b *pendingBcast) {
 	seq := s.next
 	s.next++
 	r.distribute(s.node, seq, b)
 }
-
-type centralSubmit struct {
-	s *CentralSequencer
-	b *pendingBcast
-}
-
-func (m centralSubmit) deliver(r *RTS) { m.s.order(r, m.b) }
 
 // RotatingSequencer
 
@@ -93,6 +139,7 @@ type RotatingSequencer struct {
 	moving   bool // token is in flight
 	turnUsed bool // the holder has already broadcast during this visit
 	queues   [][]*pendingBcast
+	tok      *rotatingToken // the single token record (one token in flight)
 }
 
 // NewRotatingSequencer creates the distributed per-cluster sequencer.
@@ -102,6 +149,7 @@ func (s *RotatingSequencer) Name() string { return "rotating" }
 
 func (s *RotatingSequencer) attach(r *RTS) {
 	s.queues = make([][]*pendingBcast, r.topo.Clusters)
+	s.tok = &rotatingToken{s: s}
 }
 
 // Submit sends the update to the sender's cluster sequencer, which queues it
@@ -110,25 +158,13 @@ func (s *RotatingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast)
 	c := r.topo.ClusterOf(from)
 	sn := seqNode(r.topo, c)
 	if from == sn {
-		s.enqueue(r, c, b)
+		s.arrive(r, c, b)
 		return
 	}
-	r.net.Send(netsim.Msg{
-		From: from, To: sn, Kind: netsim.KindBcast,
-		Size:    b.op.ArgBytes + HeaderBytes,
-		Payload: rotatingSubmit{s: s, c: c, b: b},
-	})
+	r.sendSubmit(s, from, sn, c, b)
 }
 
-type rotatingSubmit struct {
-	s *RotatingSequencer
-	c int
-	b *pendingBcast
-}
-
-func (m rotatingSubmit) deliver(r *RTS) { m.s.enqueue(r, m.c, m.b) }
-
-func (s *RotatingSequencer) enqueue(r *RTS, c int, b *pendingBcast) {
+func (s *RotatingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
 	s.queues[c] = append(s.queues[c], b)
 	if s.moving {
 		return // the token will reach this cluster on its rotation
@@ -145,16 +181,7 @@ func (s *RotatingSequencer) enqueue(r *RTS, c int, b *pendingBcast) {
 }
 
 // drain orders and distributes every queued update of cluster c.
-func (s *RotatingSequencer) drain(r *RTS, c int) {
-	q := s.queues[c]
-	s.queues[c] = nil
-	orderer := seqNode(r.topo, c)
-	for _, b := range q {
-		seq := s.next
-		s.next++
-		r.distribute(orderer, seq, b)
-	}
-}
+func (s *RotatingSequencer) drain(r *RTS, c int) { drainQueue(r, s.queues, c, &s.next) }
 
 func (s *RotatingSequencer) anyPending() bool {
 	for _, q := range s.queues {
@@ -181,10 +208,11 @@ func (s *RotatingSequencer) advance(r *RTS) {
 		s.drain(r, nextC)
 		return
 	}
+	s.tok.c = nextC
 	r.net.Send(netsim.Msg{
 		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, nextC),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
-		Payload: rotatingToken{s: s, c: nextC},
+		Payload: s.tok,
 	})
 }
 
@@ -193,7 +221,7 @@ type rotatingToken struct {
 	c int
 }
 
-func (m rotatingToken) deliver(r *RTS) {
+func (m *rotatingToken) deliver(r *RTS) {
 	s := m.s
 	s.holder = m.c
 	s.moving = false
@@ -216,6 +244,8 @@ type MigratingSequencer struct {
 	requests  []int  // FIFO of clusters waiting for the sequencer
 	requested []bool // per-cluster: migration already requested
 	queues    [][]*pendingBcast
+	reqMsgs   []migratingRequest // per-cluster request records (≤1 in flight each)
+	tok       *migratingToken    // the single hand-over record
 }
 
 // NewMigratingSequencer creates a migrating sequencer, initially hosted by
@@ -227,6 +257,11 @@ func (s *MigratingSequencer) Name() string { return "migrating" }
 func (s *MigratingSequencer) attach(r *RTS) {
 	s.queues = make([][]*pendingBcast, r.topo.Clusters)
 	s.requested = make([]bool, r.topo.Clusters)
+	s.reqMsgs = make([]migratingRequest, r.topo.Clusters)
+	for c := range s.reqMsgs {
+		s.reqMsgs[c] = migratingRequest{s: s, c: c}
+	}
+	s.tok = &migratingToken{s: s}
 }
 
 // Submit sends the update to the sender's cluster sequencer node; if the
@@ -236,26 +271,14 @@ func (s *MigratingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast
 	c := r.topo.ClusterOf(from)
 	sn := seqNode(r.topo, c)
 	if from == sn {
-		s.arriveLocal(r, c, b)
+		s.arrive(r, c, b)
 		return
 	}
-	r.net.Send(netsim.Msg{
-		From: from, To: sn, Kind: netsim.KindBcast,
-		Size:    b.op.ArgBytes + HeaderBytes,
-		Payload: migratingSubmit{s: s, c: c, b: b},
-	})
+	r.sendSubmit(s, from, sn, c, b)
 }
 
-type migratingSubmit struct {
-	s *MigratingSequencer
-	c int
-	b *pendingBcast
-}
-
-func (m migratingSubmit) deliver(r *RTS) { m.s.arriveLocal(r, m.c, m.b) }
-
-// arriveLocal handles an update that has reached its cluster sequencer node.
-func (s *MigratingSequencer) arriveLocal(r *RTS, c int, b *pendingBcast) {
+// arrive handles an update that has reached its cluster sequencer node.
+func (s *MigratingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
 	if s.holder == c && !s.inFlight {
 		seq := s.next
 		s.next++
@@ -270,7 +293,7 @@ func (s *MigratingSequencer) arriveLocal(r *RTS, c int, b *pendingBcast) {
 		r.net.Send(netsim.Msg{
 			From: seqNode(r.topo, c), To: seqNode(r.topo, s.holder),
 			Kind: netsim.KindControl, Size: tokenHopBytes,
-			Payload: migratingRequest{s: s, c: c},
+			Payload: &s.reqMsgs[c],
 		})
 	}
 }
@@ -281,7 +304,7 @@ type migratingRequest struct {
 	c int
 }
 
-func (m migratingRequest) deliver(r *RTS) { m.s.handleRequest(r, m.c) }
+func (m *migratingRequest) deliver(r *RTS) { m.s.handleRequest(r, m.c) }
 
 func (s *MigratingSequencer) handleRequest(r *RTS, c int) {
 	if s.inFlight {
@@ -301,10 +324,11 @@ func (s *MigratingSequencer) handleRequest(r *RTS, c int) {
 // sendToken hands the sequencer from the current holder to cluster c.
 func (s *MigratingSequencer) sendToken(r *RTS, c int) {
 	s.inFlight = true
+	s.tok.c = c
 	r.net.Send(netsim.Msg{
 		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, c),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
-		Payload: migratingToken{s: s, c: c},
+		Payload: s.tok,
 	})
 }
 
@@ -313,7 +337,7 @@ type migratingToken struct {
 	c int
 }
 
-func (m migratingToken) deliver(r *RTS) {
+func (m *migratingToken) deliver(r *RTS) {
 	s := m.s
 	s.holder = m.c
 	s.inFlight = false
@@ -323,7 +347,8 @@ func (m migratingToken) deliver(r *RTS) {
 	// by the token being here, then hand the token to the first remote one.
 	for len(s.requests) > 0 {
 		next := s.requests[0]
-		s.requests = s.requests[1:]
+		k := copy(s.requests, s.requests[1:])
+		s.requests = s.requests[:k]
 		if next == s.holder {
 			s.requested[next] = false
 			s.drain(r, next)
@@ -334,13 +359,4 @@ func (m migratingToken) deliver(r *RTS) {
 	}
 }
 
-func (s *MigratingSequencer) drain(r *RTS, c int) {
-	q := s.queues[c]
-	s.queues[c] = nil
-	orderer := seqNode(r.topo, c)
-	for _, b := range q {
-		seq := s.next
-		s.next++
-		r.distribute(orderer, seq, b)
-	}
-}
+func (s *MigratingSequencer) drain(r *RTS, c int) { drainQueue(r, s.queues, c, &s.next) }

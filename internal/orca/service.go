@@ -28,10 +28,13 @@ func (q *Request) Reply(resBytes int, result any) {
 	if q.ID == noReply {
 		panic("orca: Reply to a Cast request")
 	}
-	q.rts.net.Send(netsim.Msg{
+	r := q.rts
+	rep := r.getRep()
+	rep.callID, rep.result = q.ID, result
+	r.net.Send(netsim.Msg{
 		From: q.To, To: q.From, Kind: netsim.KindRPCRep,
 		Size:    resBytes + HeaderBytes,
-		Payload: &rpcRep{callID: q.ID, result: result},
+		Payload: rep,
 	})
 }
 
@@ -69,10 +72,12 @@ func (r *RTS) HandleService(at cluster.NodeID, name string, fn func(*Request)) {
 // continues immediately and no reply is expected.
 func (r *RTS) Cast(from, to cluster.NodeID, name string, argBytes int, payload any) {
 	r.ops.Requests++
+	q := r.getSvc()
+	q.callID, q.from, q.service, q.payload = noReply, from, name, payload
 	r.net.Send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,
 		Size:    argBytes + HeaderBytes,
-		Payload: &serviceReq{callID: noReply, from: from, service: name, payload: payload},
+		Payload: q,
 	})
 }
 
@@ -103,14 +108,16 @@ func (r *RTS) callFutName(name string) string {
 func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes int, payload any) any {
 	r.ops.Requests++
 	nd := r.nodes[from]
-	id := nd.nextCall
-	nd.nextCall++
-	f := sim.NewFuture(r.e, r.callFutName(name))
-	nd.calls[id] = f
+	f := r.getFuture(r.callFutName(name))
+	id := nd.newCall(f)
+	q := r.getSvc()
+	q.callID, q.from, q.service, q.payload = id, from, name, payload
 	r.net.Send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindRPCReq,
 		Size:    argBytes + HeaderBytes,
-		Payload: &serviceReq{callID: id, from: from, service: name, payload: payload},
+		Payload: q,
 	})
-	return f.Await(p)
+	res := f.Await(p)
+	r.putFuture(f)
+	return res
 }

@@ -152,10 +152,26 @@ func (f *Future) Set(v any) {
 	}
 	f.done = true
 	f.val = v
-	for _, w := range f.waiters {
+	for i, w := range f.waiters {
 		f.e.wake(w)
+		f.waiters[i] = nil
 	}
-	f.waiters = nil
+	f.waiters = f.waiters[:0]
+}
+
+// Reset re-arms a resolved future for reuse under a new name, so hot paths
+// can pool futures instead of allocating one per call. The caller must have
+// consumed the value already: the future must be resolved and waiter-free.
+func (f *Future) Reset(name string) {
+	if !f.done {
+		panic("sim: Future.Reset of unresolved " + f.name)
+	}
+	if len(f.waiters) != 0 {
+		panic("sim: Future.Reset with waiters on " + f.name)
+	}
+	f.name = name
+	f.done = false
+	f.val = nil
 }
 
 // Await blocks the calling process until the future resolves and returns the
@@ -169,13 +185,54 @@ func (f *Future) Await(p *Proc) any {
 	return f.val
 }
 
+// fifo is a power-of-two circular buffer: the same shape as the engine's
+// ready ring. Unlike an append/reslice slice queue it reuses its backing
+// array forever, so a steady put/get cycle allocates nothing.
+type fifo[T any] struct {
+	buf  []T // len is zero or a power of two
+	head int // index of the oldest element
+	n    int // queued count
+}
+
+func (f *fifo[T]) len() int { return f.n }
+
+func (f *fifo[T]) push(v T) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = v
+	f.n++
+}
+
+func (f *fifo[T]) pop() T {
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero // drop the reference
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return v
+}
+
+func (f *fifo[T]) grow() {
+	size := 2 * len(f.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf = buf
+	f.head = 0
+}
+
 // Mailbox is an unbounded FIFO queue of values with blocking receive.
 // Multiple receivers are served in arrival order.
 type Mailbox struct {
 	e       *Engine
 	name    string
-	q       []any
-	waiters []*Proc
+	q       fifo[any]
+	waiters fifo[*Proc]
 }
 
 // NewMailbox creates an empty mailbox.
@@ -184,41 +241,35 @@ func NewMailbox(e *Engine, name string) *Mailbox {
 }
 
 // Len reports the number of queued values.
-func (m *Mailbox) Len() int { return len(m.q) }
+func (m *Mailbox) Len() int { return m.q.len() }
 
 // Waiting reports the number of processes blocked in Get.
-func (m *Mailbox) Waiting() int { return len(m.waiters) }
+func (m *Mailbox) Waiting() int { return m.waiters.len() }
 
 // Put enqueues v, waking the longest-waiting receiver if any. It never
 // blocks and may be called from event callbacks or process context.
 func (m *Mailbox) Put(v any) {
-	m.q = append(m.q, v)
-	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.e.wake(w)
+	m.q.push(v)
+	if m.waiters.len() > 0 {
+		m.e.wake(m.waiters.pop())
 	}
 }
 
 // Get dequeues the oldest value, blocking the process until one arrives.
 func (m *Mailbox) Get(p *Proc) any {
-	for len(m.q) == 0 {
-		m.waiters = append(m.waiters, p)
+	for m.q.len() == 0 {
+		m.waiters.push(p)
 		p.park("mailbox ", m.name)
 	}
-	v := m.q[0]
-	m.q = m.q[1:]
-	return v
+	return m.q.pop()
 }
 
 // TryGet dequeues the oldest value without blocking; ok is false if empty.
 func (m *Mailbox) TryGet() (v any, ok bool) {
-	if len(m.q) == 0 {
+	if m.q.len() == 0 {
 		return nil, false
 	}
-	v = m.q[0]
-	m.q = m.q[1:]
-	return v, true
+	return m.q.pop(), true
 }
 
 // Barrier lets n processes rendezvous repeatedly. Each Arrive blocks until
@@ -245,10 +296,11 @@ func (b *Barrier) Arrive(p *Proc) {
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
-		for _, w := range b.waiters {
+		for i, w := range b.waiters {
 			b.e.wake(w)
+			b.waiters[i] = nil
 		}
-		b.waiters = nil
+		b.waiters = b.waiters[:0]
 		return
 	}
 	b.waiters = append(b.waiters, p)
@@ -260,7 +312,7 @@ type Semaphore struct {
 	e       *Engine
 	name    string
 	count   int
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewSemaphore creates a semaphore with the given initial count.
@@ -271,7 +323,7 @@ func NewSemaphore(e *Engine, name string, initial int) *Semaphore {
 // Acquire decrements the count, blocking while it is zero.
 func (s *Semaphore) Acquire(p *Proc) {
 	for s.count == 0 {
-		s.waiters = append(s.waiters, p)
+		s.waiters.push(p)
 		p.park("semaphore ", s.name)
 	}
 	s.count--
@@ -280,9 +332,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 // Release increments the count and wakes one waiter if any.
 func (s *Semaphore) Release() {
 	s.count++
-	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		s.e.wake(w)
+	if s.waiters.len() > 0 {
+		s.e.wake(s.waiters.pop())
 	}
 }

@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Runs the hot-path engine benchmarks and regenerates BENCH_engine.json at
-# the repository root. The JSON keeps two sections:
+# Runs the hot-path engine benchmarks and regenerates BENCH_engine.json and
+# BENCH_apps.json at the repository root. BENCH_engine.json keeps two
+# sections:
 #
 #   baseline — the numbers measured on the container/heap engine before the
 #              ready-ring rebuild (fixed; the reference for the speedup gate)
 #   current  — the numbers from this run
+#
+# BENCH_apps.json holds the end-to-end numbers for all eight applications of
+# the paper's suite (2x8 wide-area, original variant).
 #
 # Usage:
 #   scripts/bench.sh              # full run (benchtime 1s)
@@ -14,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="BENCH_engine.json"
+APPS_OUT="BENCH_apps.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -63,4 +68,37 @@ END {
 	printf "}\n"
 }' "$RAW" > "$OUT"
 
-echo "wrote $OUT"
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkEndToEnd/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkEndToEnd/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op")           ns[name] = $i
+		if ($(i + 1) == "B/op")            bytes[name] = $i
+		if ($(i + 1) == "allocs/op")       allocs[name] = $i
+		if ($(i + 1) == "simsec/wallsec")  simsec[name] = $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"note\": \"end-to-end application benchmarks (2x8 wide-area, original variant); regenerate with scripts/bench.sh\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"apps\": {\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {", name
+		sep = ""
+		if (name in simsec) { printf "%s\"simsec_per_wallsec\": %s", sep, simsec[name]; sep = ", " }
+		if (name in ns)     { printf "%s\"ns_per_op\": %s", sep, ns[name]; sep = ", " }
+		if (name in bytes)  { printf "%s\"bytes_per_op\": %s", sep, bytes[name]; sep = ", " }
+		if (name in allocs) { printf "%s\"allocs_per_op\": %s", sep, allocs[name]; sep = ", " }
+		printf "}"
+		printf (i < n) ? ",\n" : "\n"
+	}
+	printf "  }\n"
+	printf "}\n"
+}' "$RAW" > "$APPS_OUT"
+
+echo "wrote $OUT and $APPS_OUT"
