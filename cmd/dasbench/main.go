@@ -34,6 +34,8 @@ func main() {
 		listFlag     = flag.Bool("list", false, "list available experiments")
 		plotFlag     = flag.Bool("plot", true, "render ASCII charts for speedup figures")
 		timelineFlag = flag.String("timeline", "", "show a message-activity timeline for one application on 4x15 instead of running experiments")
+		chaosFlag    = flag.Bool("chaos", false, "run the fault-injection chaos sweep (loss rate x outage duration) instead of the paper experiments")
+		quickFlag    = flag.Bool("quick", false, "with -chaos: trim the sweep to the smoke-test scenarios")
 		csvFlag      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		parallelFlag = flag.Int("parallel", 0, "simulation runs to execute concurrently (0 = GOMAXPROCS); output is identical at any setting")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -88,6 +90,13 @@ func main() {
 		}
 		return
 	}
+	if *chaosFlag {
+		if err := runChaos(*quickFlag, *csvFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var selected []harness.Experiment
 	if *expFlag == "all" {
@@ -129,6 +138,39 @@ func main() {
 		fmt.Printf("(%s took %.1fs wall clock; all results verified against sequential references)\n\n",
 			e.ID, time.Since(start).Seconds())
 	}
+}
+
+// runChaos renders the fault-injection degradation sweep, then a chaos
+// timeline of one representative run so the injected faults (distinct glyph
+// ramp) can be read against the traffic they perturb.
+func runChaos(quick bool, csvDir string) error {
+	start := time.Now()
+	rep, err := harness.ChaosReport(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if csvDir != "" {
+		path := filepath.Join(csvDir, "chaos.csv")
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(csv written to %s)\n", path)
+	}
+	tl, err := harness.ChaosTimeline("SOR", false, harness.ChaosSpec{
+		Loss: 0.01, Outage: 2 * time.Second,
+	}, 72)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(tl)
+	fmt.Printf("(chaos took %.1fs wall clock; all runs verified against sequential references)\n",
+		time.Since(start).Seconds())
+	return nil
 }
 
 // showTimeline runs one application on the 4x15 platform in both variants,

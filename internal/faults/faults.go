@@ -1,0 +1,305 @@
+// Package faults builds deterministic wide-area fault injectors for the
+// simulated network. A Plan declares what can go wrong — per-directed-pair
+// drop/duplicate/reorder probabilities, scheduled link outages, WAN quality
+// degradation windows, and gateway crash windows — and an Injector executes
+// the plan as a netsim.FaultPolicy.
+//
+// Determinism is the point: the injector draws every probabilistic verdict
+// from one splitmix64 stream seeded by Plan.Seed, and the engine consults it
+// in its deterministic event order, so the same (seed, plan, workload) loses
+// the exact same messages at the exact same virtual instants on every run.
+// Scheduled faults (outages, degradations, crashes) are pure functions of
+// virtual time and consume no randomness at all.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/netsim"
+	"albatross/internal/rng"
+)
+
+// PairProbs are per-message fault probabilities for one directed cluster
+// pair. Each message entering the WAN draws one uniform variate; the three
+// probabilities partition [0,1), so their sum must not exceed 1.
+type PairProbs struct {
+	Drop      float64 // message silently lost at the sending gateway
+	Duplicate float64 // message transmitted twice
+	Reorder   float64 // message delayed by Plan.ReorderDelay (overtaken by later traffic)
+}
+
+func (p PairProbs) sum() float64 { return p.Drop + p.Duplicate + p.Reorder }
+
+// Outage is a full loss window on one directed WAN link: every message
+// entering the pipe From→To within [Start, Start+Duration) is dropped.
+// From or To may be Any to cover every link touching the other side
+// (Any→Any is a total WAN blackout).
+type Outage struct {
+	From, To int
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Any is a wildcard cluster index for Outage endpoints.
+const Any = -1
+
+// Degradation scales WAN quality over [Start, Start+Duration): latency is
+// multiplied by LatScale and bandwidth by BWScale. Overlapping windows
+// compose multiplicatively.
+type Degradation struct {
+	Start    time.Duration
+	Duration time.Duration
+	LatScale float64 // must be >= 0
+	BWScale  float64 // must be > 0
+}
+
+// GatewayCrash takes one cluster's gateway down for [Start, Start+Duration):
+// every intercluster message that would traverse it — outbound or inbound —
+// is lost. The gateway restarts (fault-free) at Start+Duration.
+type GatewayCrash struct {
+	Cluster  int
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Plan is a complete declarative fault schedule for one run.
+type Plan struct {
+	// Seed drives the probabilistic verdicts. Two runs with equal seeds,
+	// plans and workloads observe identical fault sequences.
+	Seed uint64
+
+	// Default applies to every directed cluster pair without an explicit
+	// entry in Pairs.
+	Default PairProbs
+
+	// Pairs overrides Default for specific directed pairs, keyed
+	// [from cluster, to cluster].
+	Pairs map[[2]int]PairProbs
+
+	// ReorderDelay is the extra arrival delay a reordered message suffers.
+	// Required (positive) when any Reorder probability is set.
+	ReorderDelay time.Duration
+
+	Outages      []Outage
+	Degradations []Degradation
+	Crashes      []GatewayCrash
+}
+
+// Validate rejects plans whose execution would be meaningless or corrupting:
+// probabilities outside [0,1] or summing past 1, non-positive degradation
+// scales, negative windows, or reordering without a delay.
+func (pl Plan) Validate() error {
+	check := func(what string, p PairProbs) error {
+		for _, v := range []struct {
+			name string
+			p    float64
+		}{{"drop", p.Drop}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder}} {
+			if !(v.p >= 0 && v.p <= 1) {
+				return fmt.Errorf("faults: %s %s probability %g outside [0, 1]", what, v.name, v.p)
+			}
+		}
+		if p.sum() > 1 {
+			return fmt.Errorf("faults: %s probabilities sum to %g > 1", what, p.sum())
+		}
+		if p.Reorder > 0 && pl.ReorderDelay <= 0 {
+			return fmt.Errorf("faults: %s has reorder probability %g but plan's ReorderDelay is %v", what, p.Reorder, pl.ReorderDelay)
+		}
+		return nil
+	}
+	if err := check("default", pl.Default); err != nil {
+		return err
+	}
+	for pair, p := range pl.Pairs {
+		if err := check(fmt.Sprintf("pair %d->%d", pair[0], pair[1]), p); err != nil {
+			return err
+		}
+		if pair[0] < 0 || pair[1] < 0 {
+			return fmt.Errorf("faults: pair %d->%d has a negative cluster index", pair[0], pair[1])
+		}
+	}
+	for _, o := range pl.Outages {
+		if o.Duration < 0 || o.Start < 0 {
+			return fmt.Errorf("faults: outage %d->%d has negative window [%v, +%v]", o.From, o.To, o.Start, o.Duration)
+		}
+		if o.From < Any || o.To < Any {
+			return fmt.Errorf("faults: outage %d->%d has an invalid cluster index", o.From, o.To)
+		}
+	}
+	for _, d := range pl.Degradations {
+		if d.Duration < 0 || d.Start < 0 {
+			return fmt.Errorf("faults: degradation has negative window [%v, +%v]", d.Start, d.Duration)
+		}
+		if !(d.LatScale >= 0) || !(d.BWScale > 0) {
+			return fmt.Errorf("faults: degradation scales (latency %g, bandwidth %g) invalid; latency must be >= 0 and bandwidth > 0", d.LatScale, d.BWScale)
+		}
+	}
+	for _, c := range pl.Crashes {
+		if c.Duration < 0 || c.Start < 0 {
+			return fmt.Errorf("faults: gateway crash of cluster %d has negative window [%v, +%v]", c.Cluster, c.Start, c.Duration)
+		}
+		if c.Cluster < 0 {
+			return fmt.Errorf("faults: gateway crash has negative cluster index %d", c.Cluster)
+		}
+	}
+	return nil
+}
+
+// EventKind classifies an injected fault occurrence.
+type EventKind uint8
+
+const (
+	// EventDrop is a probabilistic message loss.
+	EventDrop EventKind = iota
+	// EventDuplicate is a probabilistic message duplication.
+	EventDuplicate
+	// EventReorder is a probabilistic reorder delay.
+	EventReorder
+	// EventOutage is a loss to a scheduled link outage.
+	EventOutage
+	// EventCrash is a loss to a crashed gateway.
+	EventCrash
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{"drop", "duplicate", "reorder", "outage", "crash"}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "invalid"
+}
+
+// Event records one injected fault, for tracing. From/To are cluster
+// indices; To is -1 for gateway crashes (the loss is at one gateway).
+type Event struct {
+	At       time.Duration
+	Kind     EventKind
+	From, To int
+}
+
+// Counters tallies what the injector actually did over a run.
+type Counters struct {
+	Inspected   uint64 // WAN messages ruled on
+	Drops       uint64 // probabilistic losses
+	Duplicates  uint64
+	Reorders    uint64
+	OutageDrops uint64 // losses to scheduled link outages
+	CrashDrops  uint64 // losses to crashed gateways (either side)
+}
+
+// Injector executes a Plan as a netsim.FaultPolicy.
+type Injector struct {
+	plan     Plan
+	state    uint64 // splitmix64 decision stream
+	counters Counters
+
+	// onEvent, if set, observes every injected fault as it happens. It runs
+	// on the simulation's send path and must be cheap and side-effect-pure
+	// with respect to the simulation (tracing only).
+	onEvent func(Event)
+}
+
+// NewInjector validates the plan and builds its injector.
+func NewInjector(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan, state: plan.Seed}, nil
+}
+
+// MustInjector is NewInjector for statically-known-good plans.
+func MustInjector(plan Plan) *Injector {
+	in, err := NewInjector(plan)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// OnEvent installs a fault observer (nil removes it).
+func (in *Injector) OnEvent(fn func(Event)) { in.onEvent = fn }
+
+// Counters returns the tallies so far.
+func (in *Injector) Counters() Counters { return in.counters }
+
+// roll draws the next uniform variate in [0, 1) from the decision stream.
+func (in *Injector) roll() float64 {
+	return float64(rng.SplitMix64(&in.state)>>11) / (1 << 53)
+}
+
+func (in *Injector) emit(at time.Duration, k EventKind, from, to int) {
+	if in.onEvent != nil {
+		in.onEvent(Event{At: at, Kind: k, From: from, To: to})
+	}
+}
+
+func inWindow(at, start, dur time.Duration) bool {
+	return at >= start && at < start+dur
+}
+
+// WANTransit implements netsim.FaultPolicy. Scheduled outages take
+// precedence and consume no randomness; otherwise one variate partitions
+// into drop / duplicate / reorder / deliver.
+func (in *Injector) WANTransit(at time.Duration, cs, cd int, m netsim.Msg) (netsim.FaultAction, time.Duration) {
+	in.counters.Inspected++
+	for _, o := range in.plan.Outages {
+		if (o.From == Any || o.From == cs) && (o.To == Any || o.To == cd) && inWindow(at, o.Start, o.Duration) {
+			in.counters.OutageDrops++
+			in.emit(at, EventOutage, cs, cd)
+			return netsim.FaultDrop, 0
+		}
+	}
+	p, ok := in.plan.Pairs[[2]int{cs, cd}]
+	if !ok {
+		p = in.plan.Default
+	}
+	if p.sum() == 0 {
+		return netsim.FaultDeliver, 0
+	}
+	u := in.roll()
+	switch {
+	case u < p.Drop:
+		in.counters.Drops++
+		in.emit(at, EventDrop, cs, cd)
+		return netsim.FaultDrop, 0
+	case u < p.Drop+p.Duplicate:
+		in.counters.Duplicates++
+		in.emit(at, EventDuplicate, cs, cd)
+		return netsim.FaultDuplicate, 0
+	case u < p.Drop+p.Duplicate+p.Reorder:
+		in.counters.Reorders++
+		in.emit(at, EventReorder, cs, cd)
+		return netsim.FaultDeliver, in.plan.ReorderDelay
+	}
+	return netsim.FaultDeliver, 0
+}
+
+// WANQuality implements netsim.FaultPolicy: active degradation windows
+// compose multiplicatively.
+func (in *Injector) WANQuality(at time.Duration) (float64, float64) {
+	lat, bw := 1.0, 1.0
+	for _, d := range in.plan.Degradations {
+		if inWindow(at, d.Start, d.Duration) {
+			lat *= d.LatScale
+			bw *= d.BWScale
+		}
+	}
+	return lat, bw
+}
+
+// GatewayDown implements netsim.FaultPolicy. Each true answer is one lost
+// message, tallied as a crash drop.
+func (in *Injector) GatewayDown(at time.Duration, c int, m netsim.Msg) bool {
+	for _, cr := range in.plan.Crashes {
+		if cr.Cluster == c && inWindow(at, cr.Start, cr.Duration) {
+			in.counters.CrashDrops++
+			in.emit(at, EventCrash, c, -1)
+			return true
+		}
+	}
+	return false
+}
+
+var _ netsim.FaultPolicy = (*Injector)(nil)

@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" for valid
+	}{
+		{"empty", Plan{}, ""},
+		{"good probs", Plan{Default: PairProbs{Drop: 0.1, Duplicate: 0.2, Reorder: 0.3}, ReorderDelay: time.Millisecond}, ""},
+		{"negative prob", Plan{Default: PairProbs{Drop: -0.1}}, "outside [0, 1]"},
+		{"prob over one", Plan{Default: PairProbs{Duplicate: 1.5}}, "outside [0, 1]"},
+		{"sum over one", Plan{Default: PairProbs{Drop: 0.6, Duplicate: 0.6}}, "sum to"},
+		{"reorder without delay", Plan{Default: PairProbs{Reorder: 0.1}}, "ReorderDelay"},
+		{"bad pair", Plan{Pairs: map[[2]int]PairProbs{{0, 1}: {Drop: 2}}}, "pair 0->1"},
+		{"negative pair index", Plan{Pairs: map[[2]int]PairProbs{{-2, 1}: {}}}, "negative cluster index"},
+		{"negative outage", Plan{Outages: []Outage{{From: 0, To: 1, Start: -time.Second}}}, "negative window"},
+		{"bad outage endpoint", Plan{Outages: []Outage{{From: -2, To: 1}}}, "invalid cluster index"},
+		{"wildcard outage ok", Plan{Outages: []Outage{{From: Any, To: Any, Duration: time.Second}}}, ""},
+		{"zero bw degradation", Plan{Degradations: []Degradation{{Duration: time.Second, LatScale: 1, BWScale: 0}}}, "degradation scales"},
+		{"negative crash", Plan{Crashes: []GatewayCrash{{Cluster: 1, Duration: -time.Second}}}, "negative window"},
+		{"negative crash cluster", Plan{Crashes: []GatewayCrash{{Cluster: -1, Duration: time.Second}}}, "negative cluster index"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid plan rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerdictStreamDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:         42,
+		Default:      PairProbs{Drop: 0.2, Duplicate: 0.1, Reorder: 0.1},
+		ReorderDelay: time.Millisecond,
+	}
+	sequence := func() []netsim.FaultAction {
+		in := MustInjector(plan)
+		var out []netsim.FaultAction
+		for i := 0; i < 500; i++ {
+			a, _ := in.WANTransit(time.Duration(i)*time.Millisecond, 0, 1, netsim.Msg{})
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across identical injectors: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProbabilisticRates(t *testing.T) {
+	in := MustInjector(Plan{
+		Seed:         7,
+		Default:      PairProbs{Drop: 0.3, Duplicate: 0.1, Reorder: 0.05},
+		ReorderDelay: time.Millisecond,
+	})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.WANTransit(time.Duration(i), 0, 1, netsim.Msg{})
+	}
+	c := in.Counters()
+	if c.Inspected != n {
+		t.Fatalf("inspected %d, want %d", c.Inspected, n)
+	}
+	within := func(name string, got uint64, p float64) {
+		t.Helper()
+		f := float64(got) / n
+		if f < p*0.85 || f > p*1.15 {
+			t.Fatalf("%s rate %.4f, want ~%.2f", name, f, p)
+		}
+	}
+	within("drop", c.Drops, 0.3)
+	within("duplicate", c.Duplicates, 0.1)
+	within("reorder", c.Reorders, 0.05)
+}
+
+func TestPairOverrides(t *testing.T) {
+	in := MustInjector(Plan{
+		Default: PairProbs{Drop: 1},
+		Pairs:   map[[2]int]PairProbs{{1, 0}: {}}, // reverse direction perfect
+	})
+	if a, _ := in.WANTransit(0, 0, 1, netsim.Msg{}); a != netsim.FaultDrop {
+		t.Fatalf("default pair verdict %v, want drop", a)
+	}
+	if a, _ := in.WANTransit(0, 1, 0, netsim.Msg{}); a != netsim.FaultDeliver {
+		t.Fatalf("override pair verdict %v, want deliver", a)
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	in := MustInjector(Plan{
+		Outages: []Outage{{From: 0, To: 1, Start: time.Second, Duration: 2 * time.Second}},
+	})
+	verdict := func(at time.Duration, cs, cd int) netsim.FaultAction {
+		a, _ := in.WANTransit(at, cs, cd, netsim.Msg{})
+		return a
+	}
+	if verdict(999*time.Millisecond, 0, 1) != netsim.FaultDeliver {
+		t.Fatal("dropped before the outage window")
+	}
+	if verdict(time.Second, 0, 1) != netsim.FaultDrop {
+		t.Fatal("delivered at outage start")
+	}
+	if verdict(2999*time.Millisecond, 0, 1) != netsim.FaultDrop {
+		t.Fatal("delivered just before outage end")
+	}
+	if verdict(3*time.Second, 0, 1) != netsim.FaultDeliver {
+		t.Fatal("dropped at outage end (window is half-open)")
+	}
+	if verdict(2*time.Second, 1, 0) != netsim.FaultDeliver {
+		t.Fatal("outage leaked to the reverse direction")
+	}
+	if got := in.Counters().OutageDrops; got != 2 {
+		t.Fatalf("outage drops %d, want 2", got)
+	}
+}
+
+func TestWildcardOutage(t *testing.T) {
+	in := MustInjector(Plan{
+		Outages: []Outage{{From: Any, To: 2, Duration: time.Second}},
+	})
+	if a, _ := in.WANTransit(0, 7, 2, netsim.Msg{}); a != netsim.FaultDrop {
+		t.Fatal("wildcard From did not match")
+	}
+	if a, _ := in.WANTransit(0, 2, 7, netsim.Msg{}); a != netsim.FaultDeliver {
+		t.Fatal("wildcard outage matched the wrong direction")
+	}
+}
+
+func TestDegradationWindowsCompose(t *testing.T) {
+	in := MustInjector(Plan{
+		Degradations: []Degradation{
+			{Start: 0, Duration: 10 * time.Second, LatScale: 2, BWScale: 0.5},
+			{Start: 5 * time.Second, Duration: 10 * time.Second, LatScale: 3, BWScale: 0.5},
+		},
+	})
+	if ls, bs := in.WANQuality(time.Second); ls != 2 || bs != 0.5 {
+		t.Fatalf("first window scales (%g, %g)", ls, bs)
+	}
+	if ls, bs := in.WANQuality(7 * time.Second); ls != 6 || bs != 0.25 {
+		t.Fatalf("overlap scales (%g, %g), want multiplicative (6, 0.25)", ls, bs)
+	}
+	if ls, bs := in.WANQuality(20 * time.Second); ls != 1 || bs != 1 {
+		t.Fatalf("outside windows scales (%g, %g), want (1, 1)", ls, bs)
+	}
+}
+
+func TestGatewayCrashWindow(t *testing.T) {
+	in := MustInjector(Plan{
+		Crashes: []GatewayCrash{{Cluster: 1, Start: time.Second, Duration: time.Second}},
+	})
+	if in.GatewayDown(0, 1, netsim.Msg{}) {
+		t.Fatal("down before crash")
+	}
+	if !in.GatewayDown(1500*time.Millisecond, 1, netsim.Msg{}) {
+		t.Fatal("up during crash")
+	}
+	if in.GatewayDown(1500*time.Millisecond, 0, netsim.Msg{}) {
+		t.Fatal("crash leaked to another cluster")
+	}
+	if in.GatewayDown(2*time.Second, 1, netsim.Msg{}) {
+		t.Fatal("down after restart")
+	}
+	if got := in.Counters().CrashDrops; got != 1 {
+		t.Fatalf("crash drops %d, want 1", got)
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	in := MustInjector(Plan{
+		Default: PairProbs{Drop: 1},
+		Crashes: []GatewayCrash{{Cluster: 0, Start: 0, Duration: time.Second}},
+	})
+	var events []Event
+	in.OnEvent(func(e Event) { events = append(events, e) })
+	in.GatewayDown(time.Millisecond, 0, netsim.Msg{})
+	in.WANTransit(2*time.Second, 0, 1, netsim.Msg{})
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Kind != EventCrash || events[0].To != -1 || events[0].At != time.Millisecond {
+		t.Fatalf("crash event %+v", events[0])
+	}
+	if events[1].Kind != EventDrop || events[1].From != 0 || events[1].To != 1 {
+		t.Fatalf("drop event %+v", events[1])
+	}
+	if EventOutage.String() != "outage" || EventKind(99).String() != "invalid" {
+		t.Fatal("EventKind.String broken")
+	}
+}
+
+// TestNetworkRunDeterminism drives a real network under a lossy plan and
+// checks three runs agree on elapsed virtual time, dispatched events, and
+// fault tallies — the acceptance property for the whole fault subsystem.
+func TestNetworkRunDeterminism(t *testing.T) {
+	run := func() (time.Duration, uint64, Counters) {
+		e := sim.NewEngine()
+		n := netsim.New(e, cluster.Topology{Clusters: 3, NodesPerCluster: 3}, cluster.DASParams())
+		in := MustInjector(Plan{
+			Seed:         99,
+			Default:      PairProbs{Drop: 0.1, Duplicate: 0.05, Reorder: 0.05},
+			ReorderDelay: 5 * time.Millisecond,
+			Crashes:      []GatewayCrash{{Cluster: 1, Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond}},
+		})
+		n.SetFaultPolicy(in)
+		for i := 0; i < 300; i++ {
+			from := cluster.NodeID(i % 9)
+			to := cluster.NodeID((i * 7) % 9)
+			n.Send(netsim.Msg{From: from, To: to, Kind: netsim.KindData, Size: 100 + i})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed, dispatched := e.Now(), e.Dispatched()
+		e.Shutdown()
+		return elapsed, dispatched, in.Counters()
+	}
+	e1, d1, c1 := run()
+	for i := 0; i < 2; i++ {
+		e2, d2, c2 := run()
+		if e1 != e2 || d1 != d2 || c1 != c2 {
+			t.Fatalf("run %d diverged: (%v, %d, %+v) vs (%v, %d, %+v)", i+2, e1, d1, c1, e2, d2, c2)
+		}
+	}
+	if c1.Drops == 0 || c1.Duplicates == 0 || c1.CrashDrops == 0 {
+		t.Fatalf("plan injected nothing interesting: %+v", c1)
+	}
+}

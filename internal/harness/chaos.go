@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/netsim"
+	"albatross/internal/orca"
+	"albatross/internal/trace"
+)
+
+// The chaos experiments exercise the whole fault stack end-to-end: a seeded
+// faults.Injector flips WAN messages at the netsim layer, the orca
+// reliability layer retries and deduplicates until every application-level
+// exchange completes, and the sim watchdog bounds runs that cannot recover.
+// Every application must finish verified-correct under loss and outages —
+// degradation shows up only as inflated virtual elapsed time.
+
+// ChaosSpec describes one fault scenario of the chaos sweep.
+type ChaosSpec struct {
+	// Seed selects the injector's decision stream. Zero picks a fixed
+	// default so unseeded runs stay reproducible.
+	Seed uint64
+	// Loss is the per-message WAN drop probability (applied to every
+	// directed cluster pair).
+	Loss float64
+	// Outage, when positive, crashes cluster 1's gateway for this long
+	// starting at chaosOutageStart; traffic into and out of the cluster
+	// is black-holed until it restarts.
+	Outage time.Duration
+}
+
+// chaosSeed is the default fault seed of the chaos experiments.
+const chaosSeed = 0xda5
+
+// chaosOutageStart places the gateway crash early enough to hit every
+// application's communication phase (the shortest 4x4 run lasts ~50ms, the
+// typical one upwards of 400ms).
+const chaosOutageStart = 100 * time.Millisecond
+
+// chaosDeadline aborts chaos runs that fail to recover instead of letting
+// them simulate unbounded retries. Fault-free 4x4 runs finish in under 4
+// seconds of virtual time, so two minutes is pure backstop.
+const chaosDeadline = 2 * time.Minute
+
+// chaosPlan builds the fault plan of one scenario.
+func chaosPlan(spec ChaosSpec) faults.Plan {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = chaosSeed
+	}
+	pl := faults.Plan{
+		Seed:    seed,
+		Default: faults.PairProbs{Drop: spec.Loss},
+	}
+	if spec.Outage > 0 {
+		pl.Crashes = append(pl.Crashes, faults.GatewayCrash{
+			Cluster: 1, Start: chaosOutageStart, Duration: spec.Outage,
+		})
+	}
+	return pl
+}
+
+// ChaosResult is one chaos run's outcome: the usual metrics plus the fault
+// and recovery tallies.
+type ChaosResult struct {
+	Metrics core.Metrics
+	Rel     orca.RelStats
+	Faults  faults.Counters
+}
+
+// ChaosRun executes one application under the fault scenario and verifies
+// its result. The reliability layer is always enabled — including in the
+// fault-free baseline — so elapsed-time ratios within a sweep isolate the
+// cost of faults from the (constant) cost of reliable channels. Senders
+// retry without bound; a scenario the protocol cannot survive is caught by
+// the virtual-time deadline.
+func ChaosRun(app AppSpec, clusters, perCluster int, optimized bool, spec ChaosSpec) (ChaosResult, error) {
+	var res ChaosResult
+	in, err := faults.NewInjector(chaosPlan(spec))
+	if err != nil {
+		return res, fmt.Errorf("chaos %s: %w", app.Name, err)
+	}
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(optimized)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, perCluster),
+		Params:    Params,
+		Sequencer: seqr,
+	})
+	sys.Net.SetFaultPolicy(in)
+	sys.RTS.EnableReliability(orca.RelConfig{})
+	sys.Engine.SetDeadline(chaosDeadline)
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	res.Metrics, res.Rel, res.Faults = m, sys.RTS.RelStats(), in.Counters()
+	tag := fmt.Sprintf("%s %dx%d opt=%v loss=%g outage=%v",
+		app.Name, clusters, perCluster, optimized, spec.Loss, spec.Outage)
+	if err != nil {
+		return res, fmt.Errorf("chaos %s: %w", tag, err)
+	}
+	if err := verify(); err != nil {
+		return res, fmt.Errorf("chaos %s: %w", tag, err)
+	}
+	return res, nil
+}
+
+// ChaosTimeline runs one application under the fault scenario with a
+// message tap and fault-event hook attached, and returns the rendered
+// timeline: traffic series in the standard glyph ramp, fault series (drops,
+// outage/crash losses, duplicates) in the distinct fault ramp, so injected
+// chaos is visually separable from the traffic it perturbs.
+func ChaosTimeline(appName string, optimized bool, spec ChaosSpec, width int) (string, error) {
+	app, err := AppByName(appName)
+	if err != nil {
+		return "", err
+	}
+	in, err := faults.NewInjector(chaosPlan(spec))
+	if err != nil {
+		return "", err
+	}
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(optimized)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(4, 4),
+		Params:    Params,
+		Sequencer: seqr,
+	})
+	tl := trace.New(time.Millisecond)
+	sys.Net.SetTap(func(at time.Duration, m netsim.Msg, inter bool) {
+		scope := "intra"
+		if inter {
+			scope = "inter"
+		}
+		tl.Add(at, scope+"/"+m.Kind.String(), 1)
+	})
+	in.OnEvent(func(ev faults.Event) {
+		tl.Add(ev.At, trace.FaultSeriesPrefix+ev.Kind.String(), 1)
+	})
+	sys.Net.SetFaultPolicy(in)
+	sys.RTS.EnableReliability(orca.RelConfig{})
+	sys.Engine.SetDeadline(chaosDeadline)
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		return "", err
+	}
+	if err := verify(); err != nil {
+		return "", err
+	}
+	variant := "original"
+	if optimized {
+		variant = "optimized"
+	}
+	return fmt.Sprintf("%s %s on 4x4, loss %.1f%%, %v outage (%.3fs virtual)\n%s",
+		appName, variant, spec.Loss*100, spec.Outage, m.Seconds(), tl.Render(width)), nil
+}
+
+// chaosVariant is one column of the degradation table.
+type chaosVariant struct {
+	appName   string
+	optimized bool
+}
+
+func (v chaosVariant) label() string {
+	if v.optimized {
+		return v.appName + " opt"
+	}
+	return v.appName + " orig"
+}
+
+// ChaosReport sweeps loss rate x outage duration for SOR and ASP (original
+// and optimized) on the 4x4 platform and renders the degradation table:
+// each cell is the run's virtual elapsed time and its slowdown over the
+// fault-free baseline of the same column. quick trims the sweep to the
+// smoke-test scenarios.
+func ChaosReport(quick bool) (*Report, error) {
+	losses := []float64{0, 0.005, 0.01, 0.02}
+	outages := []time.Duration{0, 2 * time.Second}
+	if quick {
+		losses = []float64{0, 0.01}
+	}
+	variants := []chaosVariant{
+		{"SOR", false}, {"SOR", true},
+		{"ASP", false}, {"ASP", true},
+	}
+
+	type scenario struct {
+		name string
+		spec ChaosSpec
+	}
+	var scenarios []scenario
+	for _, out := range outages {
+		for _, loss := range losses {
+			name := fmt.Sprintf("loss %.1f%%", loss*100)
+			if out > 0 {
+				name += fmt.Sprintf(" + %v outage", out)
+			}
+			scenarios = append(scenarios, scenario{name, ChaosSpec{Loss: loss, Outage: out}})
+		}
+	}
+
+	headers := []string{"scenario"}
+	for _, v := range variants {
+		headers = append(headers, v.label())
+	}
+	t := &Table{
+		ID:      "chaos",
+		Title:   "Virtual elapsed time (and slowdown vs fault-free) on 4x4 under WAN faults",
+		Headers: headers,
+	}
+
+	// Collect-then-render: all runs go through the scheduler, then rows
+	// are formatted sequentially so output is identical at any parallelism.
+	elapsed := make([][]time.Duration, len(scenarios))
+	var retransmits, drops uint64
+	var tasks []func() error
+	for i, sc := range scenarios {
+		elapsed[i] = make([]time.Duration, len(variants))
+		for j, v := range variants {
+			i, j, sc, v := i, j, sc, v
+			tasks = append(tasks, func() error {
+				app, err := AppByName(v.appName)
+				if err != nil {
+					return err
+				}
+				res, err := ChaosRun(app, 4, 4, v.optimized, sc.spec)
+				if err != nil {
+					return err
+				}
+				elapsed[i][j] = res.Metrics.Elapsed
+				return nil
+			})
+		}
+	}
+	if err := scheduler().Do(tasks...); err != nil {
+		return nil, err
+	}
+	// The totals rendered in the notes come from one representative rerun
+	// of the harshest scenario (cheap: a single 4x4 run).
+	worst := scenarios[len(scenarios)-1]
+	if app, err := AppByName("SOR"); err == nil {
+		if res, err := ChaosRun(app, 4, 4, false, worst.spec); err == nil {
+			retransmits, drops = res.Rel.Retransmits, res.Faults.Drops+res.Faults.CrashDrops
+		}
+	}
+	for i, sc := range scenarios {
+		row := []string{sc.name}
+		for j := range variants {
+			base := elapsed[0][j] // loss 0, no outage
+			cell := fmt.Sprintf("%.3fs", elapsed[i][j].Seconds())
+			if base > 0 {
+				cell += fmt.Sprintf(" (x%.2f)", float64(elapsed[i][j])/float64(base))
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return &Report{
+		ID:     "chaos",
+		Title:  "Fault injection and recovery: degradation under WAN loss and gateway outages",
+		Tables: []*Table{t},
+		Notes: []string{
+			fmt.Sprintf("fault seed %#x; outage crashes cluster 1's gateway at %v; all runs verified correct",
+				uint64(chaosSeed), chaosOutageStart),
+			fmt.Sprintf("harshest scenario (SOR orig, %s): %d WAN messages lost, %d envelope retransmissions",
+				worst.name, drops, retransmits),
+		},
+	}, nil
+}

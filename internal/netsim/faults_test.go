@@ -1,0 +1,251 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"albatross/internal/sim"
+)
+
+// testPolicy is a FaultPolicy built from optional closures; nil fields
+// behave like the perfect network.
+type testPolicy struct {
+	transit func(at time.Duration, cs, cd int, m Msg) (FaultAction, time.Duration)
+	quality func(at time.Duration) (float64, float64)
+	gwDown  func(at time.Duration, c int, m Msg) bool
+}
+
+func (p *testPolicy) WANTransit(at time.Duration, cs, cd int, m Msg) (FaultAction, time.Duration) {
+	if p.transit == nil {
+		return FaultDeliver, 0
+	}
+	return p.transit(at, cs, cd, m)
+}
+
+func (p *testPolicy) WANQuality(at time.Duration) (float64, float64) {
+	if p.quality == nil {
+		return 1, 1
+	}
+	return p.quality(at)
+}
+
+func (p *testPolicy) GatewayDown(at time.Duration, c int, m Msg) bool {
+	if p.gwDown == nil {
+		return false
+	}
+	return p.gwDown(at, c, m)
+}
+
+func TestFaultDropLosesMessage(t *testing.T) {
+	e, n := build(2, 2)
+	n.SetFaultPolicy(&testPolicy{
+		transit: func(time.Duration, int, int, Msg) (FaultAction, time.Duration) {
+			return FaultDrop, 0
+		},
+	})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	n.Send(Msg{From: 0, To: 1, Kind: KindData, Size: 1000}) // LAN: never faulted
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Inbox(2).Len(); got != 0 {
+		t.Fatalf("dropped WAN message delivered (%d in inbox)", got)
+	}
+	if got := n.Inbox(1).Len(); got != 1 {
+		t.Fatalf("LAN message faulted (%d in inbox, want 1)", got)
+	}
+}
+
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	// An always-duplicate policy must deliver exactly two copies: the
+	// duplicate is exempt from further verdicts, so it cannot cascade.
+	e, n := build(2, 2)
+	n.SetFaultPolicy(&testPolicy{
+		transit: func(time.Duration, int, int, Msg) (FaultAction, time.Duration) {
+			return FaultDuplicate, 0
+		},
+	})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Inbox(2).Len(); got != 2 {
+		t.Fatalf("duplicated message delivered %d times, want 2", got)
+	}
+	// Both copies paid for pipe bandwidth.
+	reps := n.PipeReports()
+	if len(reps) != 1 || reps[0].Msgs != 2 || reps[0].Bytes != 2000 {
+		t.Fatalf("pipe reports %+v, want one pipe with 2 msgs / 2000 bytes", reps)
+	}
+}
+
+func TestFaultGatewayCrashDropsBothSides(t *testing.T) {
+	// A crashed local gateway loses the message before the WAN; a crashed
+	// remote gateway loses it after the WAN transit.
+	for _, down := range []int{0, 1} {
+		e, n := build(2, 2)
+		n.SetFaultPolicy(&testPolicy{
+			gwDown: func(_ time.Duration, c int, _ Msg) bool { return c == down },
+		})
+		n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Inbox(2).Len(); got != 0 {
+			t.Fatalf("message survived crashed gateway of cluster %d", down)
+		}
+		reps := n.PipeReports()
+		if down == 0 && len(reps) != 0 {
+			t.Fatalf("local-gateway crash still used the WAN pipe: %+v", reps)
+		}
+		if down == 1 && (len(reps) != 1 || reps[0].Msgs != 1) {
+			t.Fatalf("remote-gateway crash should lose after transit: %+v", reps)
+		}
+	}
+}
+
+func TestFaultReorderDelay(t *testing.T) {
+	// Delaying the first message past the second's arrival reorders them.
+	e, n := build(2, 2)
+	first := true
+	n.SetFaultPolicy(&testPolicy{
+		transit: func(time.Duration, int, int, Msg) (FaultAction, time.Duration) {
+			if first {
+				first = false
+				return FaultDeliver, 50 * time.Millisecond
+			}
+			return FaultDeliver, 0
+		},
+	})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 100, Payload: "a"})
+	n.Send(Msg{From: 1, To: 2, Kind: KindData, Size: 100, Payload: "b"})
+	var order []string
+	e.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			order = append(order, n.Inbox(2).Get(p).(Msg).Payload.(string))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "b" || order[1] != "a" {
+		t.Fatalf("reorder delay did not reorder: %v", order)
+	}
+}
+
+func TestFaultQualityComposesWithProfile(t *testing.T) {
+	deliver := func(configure func(*Network)) time.Duration {
+		e, n := build(2, 2)
+		configure(n)
+		n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+		var at time.Duration
+		e.Go("r", func(p *sim.Proc) {
+			n.Inbox(2).Get(p)
+			at = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	base := deliver(func(*Network) {})
+	// 3x latency, half bandwidth via the fault policy alone: +2ms latency,
+	// +1ms serialization (same arithmetic as the WANProfile test).
+	faultOnly := deliver(func(n *Network) {
+		n.SetFaultPolicy(&testPolicy{
+			quality: func(time.Duration) (float64, float64) { return 3, 0.5 },
+		})
+	})
+	if want := base + 3*time.Millisecond; faultOnly != want {
+		t.Fatalf("fault quality: %v, want %v", faultOnly, want)
+	}
+	// Profile 2x latency composed with fault 1.5x latency = 3x total.
+	composed := deliver(func(n *Network) {
+		n.SetWANProfile(func(time.Duration) (float64, float64) { return 2, 1 })
+		n.SetFaultPolicy(&testPolicy{
+			quality: func(time.Duration) (float64, float64) { return 1.5, 0.5 },
+		})
+	})
+	if composed != faultOnly {
+		t.Fatalf("composed quality %v, want %v", composed, faultOnly)
+	}
+}
+
+// TestNoopFaultPolicyIsTransparent pins the guarantee that a policy ruling
+// FaultDeliver with nominal quality gives bit-identical timing to no policy.
+func TestNoopFaultPolicyIsTransparent(t *testing.T) {
+	run := func(install bool) (time.Duration, uint64) {
+		e, n := build(2, 2)
+		if install {
+			n.SetFaultPolicy(&testPolicy{})
+		}
+		n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+		n.Send(Msg{From: 1, To: 3, Kind: KindData, Size: 500})
+		var last time.Duration
+		e.Go("r", func(p *sim.Proc) {
+			n.Inbox(2).Get(p)
+			last = p.Now()
+		})
+		e.Go("r2", func(p *sim.Proc) {
+			n.Inbox(3).Get(p)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, e.Dispatched()
+	}
+	bareAt, bareEvents := run(false)
+	noopAt, noopEvents := run(true)
+	if bareAt != noopAt || bareEvents != noopEvents {
+		t.Fatalf("no-op policy changed the run: %v/%d events vs %v/%d",
+			bareAt, bareEvents, noopAt, noopEvents)
+	}
+}
+
+func TestWANQualityValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(*Network)
+		source  string
+	}{
+		{"profile negative latency", func(n *Network) {
+			n.SetWANProfile(func(time.Duration) (float64, float64) { return -1, 1 })
+		}, "WANProfile"},
+		{"profile zero bandwidth", func(n *Network) {
+			n.SetWANProfile(func(time.Duration) (float64, float64) { return 1, 0 })
+		}, "WANProfile"},
+		{"profile NaN", func(n *Network) {
+			nan := 0.0
+			nan /= nan
+			bad := nan // silence constant-folding; NaN must be rejected
+			n.SetWANProfile(func(time.Duration) (float64, float64) { return bad, 1 })
+		}, "WANProfile"},
+		{"policy negative bandwidth", func(n *Network) {
+			n.SetFaultPolicy(&testPolicy{
+				quality: func(time.Duration) (float64, float64) { return 1, -2 },
+			})
+		}, "FaultPolicy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, n := build(2, 2)
+			tc.install(n)
+			n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("invalid WAN quality sample not rejected")
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, tc.source) || !strings.Contains(msg, "invalid WAN scales") {
+					t.Fatalf("panic %v does not name the source %q", r, tc.source)
+				}
+			}()
+			_ = e.Run()
+		})
+	}
+}

@@ -151,7 +151,54 @@ type Network struct {
 	// time (e.g. to model congestion waves). It must be a pure function of
 	// its argument so runs stay deterministic.
 	wanProfile WANProfile
+
+	// fault, if set, injects wide-area faults (drops, duplicates, reorder
+	// delays, outages, gateway crashes, quality degradation). The hooks
+	// cost one nil check when no policy is installed.
+	fault FaultPolicy
 }
+
+// FaultAction is a FaultPolicy's verdict on one WAN transmission.
+type FaultAction uint8
+
+const (
+	// FaultDeliver lets the message pass unharmed.
+	FaultDeliver FaultAction = iota
+	// FaultDrop loses the message at the sending gateway.
+	FaultDrop
+	// FaultDuplicate transmits the message twice. Both copies pay for pipe
+	// bandwidth; the duplicate copy is exempt from further verdicts (so
+	// duplication cannot cascade) but still subject to gateway crashes.
+	FaultDuplicate
+)
+
+// FaultPolicy injects deterministic wide-area faults into the network. The
+// network consults it only on the intercluster path; intracluster (LAN)
+// traffic is never faulted, matching the paper's premise that the wide-area
+// links are the unreliable resource. Implementations must be pure functions
+// of virtual time plus their own deterministic state: the engine calls them
+// in its deterministic event order, so a seeded policy reproduces the exact
+// same fault sequence on every run.
+type FaultPolicy interface {
+	// WANTransit rules on one message entering the WAN pipe cs→cd at
+	// virtual time at. delay (used only when the verdict delivers) is
+	// added to the message's arrival at the remote gateway, modelling
+	// reordering against traffic that departs later.
+	WANTransit(at time.Duration, cs, cd int, m Msg) (a FaultAction, delay time.Duration)
+	// WANQuality returns multiplicative (latency, bandwidth) scales in
+	// effect at time at. The latency scale must be non-negative and the
+	// bandwidth scale positive; the scales compose with any WANProfile.
+	WANQuality(at time.Duration) (latScale, bwScale float64)
+	// GatewayDown reports whether cluster c's gateway is crashed at time
+	// at. m is the message about to traverse the gateway, so the policy
+	// can account for the drop it induces by answering true.
+	GatewayDown(at time.Duration, c int, m Msg) bool
+}
+
+// SetFaultPolicy installs the fault injector (nil removes it, restoring the
+// perfect network). Install it before the run starts: switching policies
+// mid-run leaves in-flight messages ruled by the old policy.
+func (n *Network) SetFaultPolicy(p FaultPolicy) { n.fault = p }
 
 // WANProfile maps a virtual instant to multiplicative (latency, bandwidth)
 // scales for the wide-area links. Both scales must be positive.
@@ -315,8 +362,45 @@ type wanTransit struct {
 	n      *Network
 	m      Msg
 	cs, cd int
-	fn1    func() // bound to (*wanTransit).localGW once
-	fn2    func() // bound to (*wanTransit).remoteGW once
+	extra  time.Duration // fault-injected reorder delay, added to arrival
+	dup    bool          // this transit is an injected duplicate copy
+	fn1    func()        // bound to (*wanTransit).localGW once
+	fn2    func()        // bound to (*wanTransit).remoteGW once
+}
+
+// release returns the record to the pool with its fault state cleared.
+func (t *wanTransit) release() {
+	t.m = Msg{} // drop the payload reference while pooled
+	t.extra = 0
+	t.dup = false
+	t.n.wanPool = append(t.n.wanPool, t)
+}
+
+// faulted applies the installed fault policy at the local gateway. It
+// reports true when the message was consumed (lost to a crashed gateway or
+// dropped by the policy), in which case the record has been released.
+func (t *wanTransit) faulted(now time.Duration) bool {
+	n := t.n
+	if n.fault.GatewayDown(now, t.cs, t.m) {
+		// The local gateway is crashed: the message never reaches the WAN.
+		t.release()
+		return true
+	}
+	act, delay := n.fault.WANTransit(now, t.cs, t.cd, t.m)
+	switch act {
+	case FaultDrop:
+		t.release()
+		return true
+	case FaultDuplicate:
+		// Schedule a second transit of the same message. It enters the
+		// pipe right behind this copy and is marked dup so the policy is
+		// not consulted again (no duplicate cascades).
+		d := n.getTransit()
+		d.m, d.cs, d.cd, d.dup = t.m, t.cs, t.cd, true
+		n.e.At(now, d.fn1)
+	}
+	t.extra = delay
+	return false
 }
 
 // localGW is stage 2 of a WAN send: the local gateway's forwarding stage,
@@ -324,6 +408,9 @@ type wanTransit struct {
 func (t *wanTransit) localGW() {
 	n := t.n
 	now := n.e.Now()
+	if n.fault != nil && !t.dup && t.faulted(now) {
+		return
+	}
 	if n.par.GatewayCost > 0 {
 		// The gateway's protocol stack forwards one message at a time.
 		gwLocal := n.nodes[n.gateways[t.cs]]
@@ -352,7 +439,7 @@ func (t *wanTransit) localGW() {
 	p.busy += xmit
 	p.bytes += int64(t.m.Size)
 	p.msgs++
-	n.e.At(depart+lat+n.wanDelay, t.fn2)
+	n.e.At(depart+lat+n.wanDelay+t.extra, t.fn2)
 }
 
 // remoteGW is stage 3: remote gateway forwarding, then Fast Ethernet to the
@@ -360,8 +447,12 @@ func (t *wanTransit) localGW() {
 // recycles itself here; delivery continues through a pooled delivery record.
 func (t *wanTransit) remoteGW() {
 	n, m, cd := t.n, t.m, t.cd
-	t.m = Msg{} // drop the payload reference while pooled
-	n.wanPool = append(n.wanPool, t)
+	t.release()
+	if n.fault != nil && n.fault.GatewayDown(n.e.Now(), cd, m) {
+		// The remote gateway is crashed: the message crossed the WAN but is
+		// lost at the receiving side. Duplicates are subject to this too.
+		return
+	}
 	if n.isGW[m.To] {
 		n.deliver(m)
 		return
@@ -396,27 +487,53 @@ func (n *Network) sendWAN(m Msg) {
 		atLocalGW = end + n.feDelay
 	}
 
-	var t *wanTransit
-	if k := len(n.wanPool); k > 0 {
-		t = n.wanPool[k-1]
-		n.wanPool = n.wanPool[:k-1]
-	} else {
-		t = &wanTransit{n: n}
-		t.fn1 = t.localGW
-		t.fn2 = t.remoteGW
-	}
+	t := n.getTransit()
 	t.m = m
 	t.cs, t.cd = n.clusterOf[m.From], n.clusterOf[m.To]
 	n.e.At(atLocalGW, t.fn1)
 }
 
-// wanQuality evaluates the WAN latency and bandwidth in effect at time at.
-func (n *Network) wanQuality(at time.Duration) (time.Duration, float64) {
-	if n.wanProfile == nil {
-		return n.par.WANLatency, n.par.WANBandwidth
+// getTransit pops a pooled wanTransit record (or creates one with its stage
+// closures bound). Fault state is cleared at release, so a pooled record is
+// ready to reuse as-is.
+func (n *Network) getTransit() *wanTransit {
+	if k := len(n.wanPool); k > 0 {
+		t := n.wanPool[k-1]
+		n.wanPool = n.wanPool[:k-1]
+		return t
 	}
-	ls, bs := n.wanProfile(at)
-	return time.Duration(float64(n.par.WANLatency) * ls), n.par.WANBandwidth * bs
+	t := &wanTransit{n: n}
+	t.fn1 = t.localGW
+	t.fn2 = t.remoteGW
+	return t
+}
+
+// wanQuality evaluates the WAN latency and bandwidth in effect at time at,
+// composing the static parameters with the installed WANProfile and fault
+// policy. Samples are validated: a negative latency scale or non-positive
+// bandwidth scale would silently corrupt serialize's arithmetic (negative or
+// infinite transmission times), so bad samples panic with the source named.
+func (n *Network) wanQuality(at time.Duration) (time.Duration, float64) {
+	lat, bw := n.par.WANLatency, n.par.WANBandwidth
+	if n.wanProfile != nil {
+		ls, bs := n.wanProfile(at)
+		checkWANScales("WANProfile", at, ls, bs)
+		lat, bw = time.Duration(float64(lat)*ls), bw*bs
+	}
+	if n.fault != nil {
+		ls, bs := n.fault.WANQuality(at)
+		checkWANScales("FaultPolicy", at, ls, bs)
+		lat, bw = time.Duration(float64(lat)*ls), bw*bs
+	}
+	return lat, bw
+}
+
+// checkWANScales rejects WAN quality samples that would corrupt transmission
+// arithmetic. NaN fails both comparisons' complements, so it is caught too.
+func checkWANScales(src string, at time.Duration, ls, bs float64) {
+	if !(ls >= 0) || !(bs > 0) {
+		panic(fmt.Sprintf("netsim: %s returned invalid WAN scales (latency %g, bandwidth %g) at %v; latency scale must be >= 0 and bandwidth scale > 0", src, ls, bs, at))
+	}
 }
 
 // PipeReport describes the load on one directed WAN link over a run.

@@ -67,7 +67,7 @@ func (r *RTS) SendDataID(from, to cluster.NodeID, id TagID, size int, payload an
 	r.ops.DataBytes += int64(size)
 	d := r.getDataMsg()
 	d.id, d.payload = id, payload
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,
 		Size:    size + HeaderBytes,
 		Payload: d,

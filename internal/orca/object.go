@@ -1,6 +1,8 @@
 package orca
 
 import (
+	"fmt"
+
 	"albatross/internal/cluster"
 	"albatross/internal/netsim"
 	"albatross/internal/sim"
@@ -100,11 +102,25 @@ func (r *RTS) NewReplicated(name string, init func(node cluster.NodeID) any) *Ob
 	return o
 }
 
+// misuse panics with a consistent message for API calls that do not apply to
+// the object's kind, naming the right call when there is an equivalent.
+func (o *Object) misuse(op, hint string) {
+	kind := "non-replicated"
+	if o.replicated {
+		kind = "replicated"
+	}
+	msg := fmt.Sprintf("orca: %s on %s object %q", op, kind, o.name)
+	if hint != "" {
+		msg += "; use " + hint
+	}
+	panic(msg)
+}
+
 // OnApplied registers a callback observing every ordered update applied at
 // any node. Replicated objects only.
 func (o *Object) OnApplied(fn func(at cluster.NodeID, op Op, result any)) {
 	if !o.replicated {
-		panic("orca: OnApplied on non-replicated object " + o.name)
+		o.misuse("OnApplied", "")
 	}
 	o.applied = fn
 }
@@ -115,7 +131,7 @@ func (o *Object) Name() string { return o.name }
 // Owner returns the owner node of a non-replicated object.
 func (o *Object) Owner() cluster.NodeID {
 	if o.replicated {
-		panic("orca: Owner of replicated object " + o.name)
+		o.misuse("Owner", "")
 	}
 	return o.owner
 }
@@ -124,7 +140,7 @@ func (o *Object) Owner() cluster.NodeID {
 // and owner-local reads the application accounts for itself.
 func (o *Object) State() any {
 	if o.replicated {
-		panic("orca: State of replicated object " + o.name + "; use Replica")
+		o.misuse("State", "Replica")
 	}
 	return o.state
 }
@@ -133,7 +149,7 @@ func (o *Object) State() any {
 // local reads that the application accounts for itself.
 func (o *Object) Replica(id cluster.NodeID) any {
 	if !o.replicated {
-		panic("orca: Replica of non-replicated object " + o.name)
+		o.misuse("Replica", "State")
 	}
 	return o.replicas[id]
 }
@@ -180,7 +196,7 @@ func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
 	id := nd.newCall(f)
 	q := r.getReq()
 	q.callID, q.objID, q.op = id, o.id, op
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: from, To: o.owner, Kind: netsim.KindRPCReq,
 		Size:    op.ArgBytes + HeaderBytes,
 		Payload: q,
@@ -208,7 +224,7 @@ type asyncDeliver struct {
 // domain pruning) — exactly the condition the paper states.
 func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
 	if !o.replicated {
-		panic("orca: AsyncUpdate on non-replicated object " + o.name)
+		o.misuse("AsyncUpdate", "")
 	}
 	r := o.rts
 	r.ops.Bcasts++
@@ -230,7 +246,7 @@ func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
 		a := r.getAsync()
 		a.obj, a.op = o, op
 		a.refs = int32(r.topo.Size(c))
-		r.net.Send(netsim.Msg{
+		r.send(netsim.Msg{
 			From: from, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
 			Size:    size,
 			Payload: a,

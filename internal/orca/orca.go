@@ -44,6 +44,11 @@ type RTS struct {
 	objects []*Object
 	seqr    Sequencer
 
+	// rel, when non-nil, interposes sequenced retransmitting channels on
+	// intercluster sends (see rel.go). Nil in the default perfect-network
+	// configuration: the data path then pays one nil check per send.
+	rel *relLayer
+
 	// seqBusy is each sequencer node's ordering-work horizon, indexed by
 	// node ID (only compute nodes ever order, but Total() is small).
 	seqBusy []time.Duration
@@ -79,8 +84,8 @@ type RTS struct {
 // nodeRTS is the per-compute-node runtime state.
 type nodeRTS struct {
 	id        cluster.NodeID
-	calls     []*sim.Future // outstanding RPC/request replies, by slot
-	freeCalls []uint64      // recycled call slots (call IDs are slot indices)
+	calls     []*sim.Future             // outstanding RPC/request replies, by slot
+	freeCalls []uint64                  // recycled call slots (call IDs are slot indices)
 	services  map[string]*sim.Mailbox   // registered application services
 	handlers  map[string]func(*Request) // event-context service handlers
 	data      []*sim.Mailbox            // raw tagged message queues, by TagID
@@ -288,63 +293,72 @@ func (r *RTS) putFuture(f *sim.Future) { r.futPool = append(r.futPool, f) }
 // dispatchFor returns the network delivery handler of a compute node.
 func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
 	nd := r.nodes[id]
-	return func(m netsim.Msg) {
-		switch pl := m.Payload.(type) {
-		case *rpcReq:
-			obj := r.objects[pl.objID]
-			res := pl.op.Apply(obj.state)
-			size := pl.op.ResBytes + HeaderBytes
-			callID := pl.callID
-			pl.op = Op{} // drop the closure reference while pooled
-			r.reqPool = append(r.reqPool, pl)
-			rep := r.getRep()
-			rep.callID, rep.result = callID, res
-			r.net.Send(netsim.Msg{
-				From: id, To: m.From, Kind: netsim.KindRPCRep,
-				Size:    size,
-				Payload: rep,
-			})
-		case *rpcRep:
-			f := nd.takeCall(pl.callID)
-			res := pl.result
-			pl.result = nil
-			r.repPool = append(r.repPool, pl)
-			f.Set(res)
-		case *pendingBcast:
-			r.applyOrdered(id, pl)
-		case *asyncDeliver:
-			res := pl.op.Apply(pl.obj.replicas[id])
-			if pl.obj.applied != nil {
-				pl.obj.applied(id, pl.op, res)
-			}
-			if pl.refs--; pl.refs == 0 {
-				pl.obj = nil
-				pl.op = Op{}
-				r.asyncPool = append(r.asyncPool, pl)
-			}
-		case *serviceReq:
-			req := &Request{rts: r, ID: pl.callID, From: pl.from, To: id, Payload: pl.payload}
-			svc := pl.service
-			pl.payload = nil
-			pl.service = ""
-			r.svcPool = append(r.svcPool, pl)
-			if fn, ok := nd.handlers[svc]; ok {
-				fn(req)
-			} else if mb, ok := nd.services[svc]; ok {
-				mb.Put(req)
-			} else {
-				panic(fmt.Sprintf("orca: no service %q at node %d", svc, id))
-			}
-		case *dataMsg:
-			tid, payload := pl.id, pl.payload
-			pl.payload = nil
-			r.dataPool = append(r.dataPool, pl)
-			r.dataMailbox(nd, tid).Put(payload)
-		case seqProtoMsg:
-			pl.deliver(r)
-		default:
-			panic(fmt.Sprintf("orca: unknown payload %T at node %d", m.Payload, id))
+	return func(m netsim.Msg) { r.dispatchPayload(id, nd, m) }
+}
+
+// dispatchPayload consumes one delivered message at a compute node. It is
+// called by the node's network handler and, for messages that travelled in a
+// reliable envelope, by the reliability layer after unwrapping.
+func (r *RTS) dispatchPayload(id cluster.NodeID, nd *nodeRTS, m netsim.Msg) {
+	switch pl := m.Payload.(type) {
+	case *rpcReq:
+		obj := r.objects[pl.objID]
+		res := pl.op.Apply(obj.state)
+		size := pl.op.ResBytes + HeaderBytes
+		callID := pl.callID
+		pl.op = Op{} // drop the closure reference while pooled
+		r.reqPool = append(r.reqPool, pl)
+		rep := r.getRep()
+		rep.callID, rep.result = callID, res
+		r.send(netsim.Msg{
+			From: id, To: m.From, Kind: netsim.KindRPCRep,
+			Size:    size,
+			Payload: rep,
+		})
+	case *rpcRep:
+		f := nd.takeCall(pl.callID)
+		res := pl.result
+		pl.result = nil
+		r.repPool = append(r.repPool, pl)
+		f.Set(res)
+	case *pendingBcast:
+		r.applyOrdered(id, pl)
+	case *asyncDeliver:
+		res := pl.op.Apply(pl.obj.replicas[id])
+		if pl.obj.applied != nil {
+			pl.obj.applied(id, pl.op, res)
 		}
+		if pl.refs--; pl.refs == 0 {
+			pl.obj = nil
+			pl.op = Op{}
+			r.asyncPool = append(r.asyncPool, pl)
+		}
+	case *serviceReq:
+		req := &Request{rts: r, ID: pl.callID, From: pl.from, To: id, Payload: pl.payload}
+		svc := pl.service
+		pl.payload = nil
+		pl.service = ""
+		r.svcPool = append(r.svcPool, pl)
+		if fn, ok := nd.handlers[svc]; ok {
+			fn(req)
+		} else if mb, ok := nd.services[svc]; ok {
+			mb.Put(req)
+		} else {
+			panic(fmt.Sprintf("orca: no service %q at node %d", svc, id))
+		}
+	case *dataMsg:
+		tid, payload := pl.id, pl.payload
+		pl.payload = nil
+		r.dataPool = append(r.dataPool, pl)
+		r.dataMailbox(nd, tid).Put(payload)
+	case *relEnvelope:
+		r.rel.onEnvelope(pl)
+	case *relAck:
+		r.rel.onAck(pl)
+	case seqProtoMsg:
+		pl.deliver(r)
+	default:
+		panic(fmt.Sprintf("orca: unknown payload %T at node %d", m.Payload, id))
 	}
 }
 
@@ -359,6 +373,10 @@ func (r *RTS) gatewayDispatch(m netsim.Msg) {
 		r.net.BcastLocal(m.To, netsim.KindBcast, m.Size, pl)
 	case *asyncDeliver:
 		r.net.BcastLocal(m.To, netsim.KindBcast, m.Size, pl)
+	case *relEnvelope:
+		r.rel.onEnvelope(pl)
+	case *relAck:
+		r.rel.onAck(pl)
 	case seqProtoMsg:
 		pl.deliver(r)
 	default:
@@ -394,7 +412,7 @@ func (r *RTS) distributeNow(b *pendingBcast) {
 		if c == oc {
 			continue
 		}
-		r.net.Send(netsim.Msg{
+		r.send(netsim.Msg{
 			From: b.orderer, To: r.topo.Gateway(c), Kind: netsim.KindBcast,
 			Size:    b.size,
 			Payload: b,

@@ -1,0 +1,447 @@
+package orca
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/netsim"
+)
+
+// Reliability layer: sequenced, retransmitting channels over the lossy WAN.
+//
+// With a fault policy installed the network may drop, duplicate or reorder
+// intercluster messages. EnableReliability interposes a per-directed-node-pair
+// reliable channel on every intercluster protocol send: messages travel in
+// sequence-numbered envelopes, the receiver suppresses duplicates and restores
+// send order, and the sender keeps a bounded window on the wire — new
+// envelopes transmit ack-clocked as cumulative acknowledgements slide the
+// window, and a virtual-time timer with exponential backoff retransmits the
+// window when acknowledgements stop.
+//
+// This one mechanism yields all the recovery guarantees the runtime needs:
+//
+//   - RPC timeout/retry: requests and replies are wrapped like everything
+//     else, so a lost request or reply is retransmitted until acknowledged.
+//   - At-most-once execution: the receiver's duplicate suppression is a
+//     generalized reply cache — a retransmitted request whose original was
+//     executed is recognized by sequence number and never re-dispatched, so
+//     non-idempotent operations execute exactly once.
+//   - Sequencer token-loss recovery: token and migration-request control
+//     messages cross the WAN through the same channels, so a lost token is
+//     detected by its sender's timer and retransmitted (bounded by
+//     MaxAttempts when set).
+//
+// Record pooling stays sound under retransmission because recycling happens
+// only when a record is dispatched, and the channel dispatches each
+// envelope's inner record at most once: a retransmitted copy whose original
+// was delivered is dropped by sequence number before its (possibly recycled
+// and reused) inner record is ever touched.
+//
+// Intracluster traffic is never faulted and bypasses the layer entirely.
+// With reliability off (the default), every send costs one extra nil check.
+
+// relHeaderBytes is the wire overhead of a reliable envelope (sequence
+// number), added to the wrapped message's size.
+const relHeaderBytes = 8
+
+// relAckBytes is the wire size of a cumulative acknowledgement.
+const relAckBytes = 8 + HeaderBytes
+
+// relWindow is the channel's transmission window: at most this many
+// unacknowledged envelopes are ever on the wire. Later envelopes wait in the
+// queue and are transmitted ack-clocked, as acknowledgements slide the
+// window. The window is what makes recovery stable: a sender that dumped its
+// whole backlog on every timeout would flood the WAN pipe faster than it
+// drains, delivery latency would diverge, and no acknowledgement would ever
+// return in time to stop the retransmissions (congestion collapse — observed
+// with RA's fire-hose of asynchronous batches after a gateway outage). With
+// the window, a channel's worst-case timeout load is window × envelope size
+// per backed-off RTO, safely under the paper's WAN bandwidth, while healthy
+// channels transmit at wire speed paced by their own acks.
+const relWindow = 16
+
+// RelConfig parameterizes the reliability layer.
+type RelConfig struct {
+	// RTO is the initial retransmit timeout. Zero means 10ms of virtual
+	// time (several WAN round trips on the paper's platform).
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff. Zero means 32×RTO.
+	MaxRTO time.Duration
+	// MaxAttempts bounds transmissions per envelope (first send plus
+	// retransmits). Zero means retry forever. When a sender exhausts its
+	// attempts it gives up: the run then stalls and the engine's watchdog
+	// reports the parked processes.
+	MaxAttempts int
+}
+
+func (c RelConfig) withDefaults() RelConfig {
+	if c.RTO <= 0 {
+		c.RTO = 10 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 32 * c.RTO
+	}
+	return c
+}
+
+// RelStats tallies the reliability layer's work over a run.
+type RelStats struct {
+	Wrapped     uint64 // intercluster messages sent through reliable channels
+	Retransmits uint64 // envelopes retransmitted by timers
+	DupDropped  uint64 // received envelopes suppressed as duplicates
+	OutOfOrder  uint64 // received envelopes buffered to restore send order
+	Acks        uint64 // acknowledgements received
+	GiveUps     uint64 // senders that exhausted MaxAttempts
+}
+
+// pairKey identifies one directed reliable channel.
+type pairKey struct {
+	from, to cluster.NodeID
+}
+
+// relEnvelope is the wire wrapper of one reliable message. Envelopes are
+// never pooled: a fault-duplicated copy may surface long after delivery, and
+// it must still carry its original sequence number to be recognized and
+// dropped.
+type relEnvelope struct {
+	from, to cluster.NodeID
+	seq      uint64
+	kind     netsim.Kind
+	size     int // inner wire size, without the envelope header
+	inner    any
+}
+
+// relAck is a cumulative acknowledgement: every envelope of channel
+// (from, to) with seq < upTo has been received. Acks travel raw (not
+// reliable themselves): a lost ack is recovered when the retransmitted
+// envelope provokes a fresh one.
+type relAck struct {
+	from, to cluster.NodeID // the data direction being acknowledged
+	upTo     uint64
+}
+
+// relLayer is the runtime's reliability state: one sender per outgoing and
+// one receiver per incoming directed channel, created on first use.
+type relLayer struct {
+	r     *RTS
+	cfg   RelConfig
+	stats RelStats
+	send  map[pairKey]*relSender
+	recv  map[pairKey]*relReceiver
+}
+
+// EnableReliability interposes reliable channels on all intercluster
+// protocol traffic. Call it once, before the run starts: channels number
+// messages from the first send, so enabling mid-run would present unknown
+// sequence numbers to the receivers.
+func (r *RTS) EnableReliability(cfg RelConfig) {
+	if r.rel != nil {
+		panic("orca: EnableReliability called twice")
+	}
+	if r.e.Now() != 0 {
+		panic("orca: EnableReliability after the run started")
+	}
+	r.rel = &relLayer{
+		r:    r,
+		cfg:  cfg.withDefaults(),
+		send: make(map[pairKey]*relSender),
+		recv: make(map[pairKey]*relReceiver),
+	}
+}
+
+// RelStats returns the reliability tallies so far (zero value when
+// reliability is disabled).
+func (r *RTS) RelStats() RelStats {
+	if r.rel == nil {
+		return RelStats{}
+	}
+	return r.rel.stats
+}
+
+// send routes one protocol message: intercluster sends go through the
+// reliability layer when it is enabled, everything else straight to the
+// network.
+func (r *RTS) send(m netsim.Msg) {
+	if r.rel != nil && r.topo.ClusterOf(m.From) != r.topo.ClusterOf(m.To) {
+		r.rel.sendReliable(m)
+		return
+	}
+	r.net.Send(m)
+}
+
+// relSender is the sending end of one directed channel.
+type relSender struct {
+	l       *relLayer
+	key     pairKey
+	nextSeq uint64
+	queue   []*relEnvelope // sent but unacknowledged, in sequence order
+
+	rto      time.Duration // current backoff value
+	deadline time.Duration // virtual instant the current wait expires
+	pending  bool          // a timer event is scheduled
+	attempts int           // retransmit rounds since the last ack progress
+	gaveUp   bool
+	timerFn  func() // bound once to onTimer
+}
+
+func (l *relLayer) sender(key pairKey) *relSender {
+	s := l.send[key]
+	if s == nil {
+		s = &relSender{l: l, key: key, rto: l.cfg.RTO}
+		s.timerFn = s.onTimer
+		l.send[key] = s
+	}
+	return s
+}
+
+func (l *relLayer) sendReliable(m netsim.Msg) {
+	s := l.sender(pairKey{m.From, m.To})
+	env := &relEnvelope{
+		from: m.From, to: m.To,
+		seq:  s.nextSeq,
+		kind: m.Kind, size: m.Size,
+		inner: m.Payload,
+	}
+	s.nextSeq++
+	l.stats.Wrapped++
+	if s.gaveUp {
+		// The channel is dead; queue for the post-mortem but send nothing.
+		s.queue = append(s.queue, env)
+		return
+	}
+	s.queue = append(s.queue, env)
+	if len(s.queue) <= relWindow {
+		l.transmit(env)
+	}
+	if len(s.queue) == 1 {
+		s.arm()
+	}
+}
+
+// transmit puts one envelope on the wire.
+func (l *relLayer) transmit(env *relEnvelope) {
+	l.r.net.Send(netsim.Msg{
+		From: env.from, To: env.to, Kind: env.kind,
+		Size:    env.size + relHeaderBytes,
+		Payload: env,
+	})
+}
+
+// arm starts (or extends) the retransmit wait. At most one timer event is
+// outstanding per sender; a timer firing before the current deadline
+// reschedules itself lazily.
+func (s *relSender) arm() {
+	now := s.l.r.e.Now()
+	s.deadline = now + s.rto
+	if !s.pending {
+		s.pending = true
+		s.l.r.e.At(s.deadline, s.timerFn)
+	}
+}
+
+func (s *relSender) onTimer() {
+	s.pending = false
+	if len(s.queue) == 0 || s.gaveUp {
+		// Nothing outstanding: do not rearm, so an idle channel's timer
+		// lapses and inflates the run's virtual end time by at most one
+		// backoff interval past the last traffic.
+		return
+	}
+	now := s.l.r.e.Now()
+	if now < s.deadline {
+		// Ack progress pushed the deadline out while this event was in
+		// flight; sleep again until the real deadline.
+		s.pending = true
+		s.l.r.e.At(s.deadline, s.timerFn)
+		return
+	}
+	// Timeout. The first one after progress usually means one lost
+	// envelope: the receiver holds everything behind the gap, so resending
+	// the head alone restores the whole window (the cumulative ack jumps).
+	// A repeat timeout means the damage is wider — an outage swallowed the
+	// window — so resend all of it.
+	cfg := s.l.cfg
+	s.attempts++
+	if cfg.MaxAttempts > 0 && s.attempts >= cfg.MaxAttempts {
+		s.gaveUp = true
+		s.l.stats.GiveUps++
+		return
+	}
+	n := 1
+	if s.attempts > 1 {
+		n = len(s.queue)
+		if n > relWindow {
+			n = relWindow
+		}
+	}
+	for _, env := range s.queue[:n] {
+		s.l.stats.Retransmits++
+		s.l.transmit(env)
+	}
+	if s.rto *= 2; s.rto > cfg.MaxRTO {
+		s.rto = cfg.MaxRTO
+	}
+	s.arm()
+}
+
+// onAck handles a cumulative acknowledgement at the sending node.
+func (l *relLayer) onAck(a *relAck) {
+	l.stats.Acks++
+	s := l.send[pairKey{a.from, a.to}]
+	if s == nil {
+		return // ack for a channel we never opened (cannot happen in practice)
+	}
+	drop := 0
+	for drop < len(s.queue) && s.queue[drop].seq < a.upTo {
+		s.queue[drop] = nil
+		drop++
+	}
+	if drop == 0 {
+		return // stale duplicate ack, no progress
+	}
+	k := copy(s.queue, s.queue[drop:])
+	for i := k; i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:k]
+	// Ack-clocked transmission: the ack slid the window forward by drop
+	// positions, so the envelopes newly inside it go on the wire now (their
+	// first transmission — everything at an index below relWindow has
+	// already been sent).
+	lo, hi := relWindow-drop, len(s.queue)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > relWindow {
+		hi = relWindow
+	}
+	for i := lo; i < hi; i++ {
+		l.transmit(s.queue[i])
+	}
+	// Progress halves the backoff rather than resetting it: under heavy
+	// load the gap between progress acks is queueing delay, not loss, and
+	// an RTO snapped back to its floor would fire spuriously every
+	// interval, resending a window the receiver already has. Halving lets
+	// the timeout float near the observed ack gap and decay to the floor
+	// only as the congestion does.
+	if s.rto /= 2; s.rto < l.cfg.RTO {
+		s.rto = l.cfg.RTO
+	}
+	s.attempts = 0
+	if len(s.queue) > 0 {
+		s.arm()
+	}
+}
+
+// relReceiver is the receiving end of one directed channel.
+type relReceiver struct {
+	l    *relLayer
+	key  pairKey
+	next uint64         // lowest sequence number not yet delivered
+	held []*relEnvelope // out-of-order buffer, sorted by seq, no duplicates
+}
+
+func (l *relLayer) receiver(key pairKey) *relReceiver {
+	rc := l.recv[key]
+	if rc == nil {
+		rc = &relReceiver{l: l, key: key}
+		l.recv[key] = rc
+	}
+	return rc
+}
+
+// onEnvelope handles one arriving envelope at the receiving node.
+func (l *relLayer) onEnvelope(env *relEnvelope) {
+	rc := l.receiver(pairKey{env.from, env.to})
+	switch {
+	case env.seq < rc.next:
+		// Duplicate (retransmit or fault duplication) of a delivered
+		// envelope. Re-ack so the sender stops retransmitting even when the
+		// original ack was lost.
+		l.stats.DupDropped++
+		rc.sendAck()
+		return
+	case env.seq > rc.next:
+		// Early arrival: hold it to restore send order. FIFO channels only
+		// reach here under fault reordering or a retransmit racing a held
+		// predecessor, so the buffer stays tiny.
+		if !rc.hold(env) {
+			l.stats.DupDropped++
+			return // duplicate of an already-held envelope
+		}
+		l.stats.OutOfOrder++
+		rc.sendAck()
+		return
+	}
+	// In order: deliver, then drain any held successors.
+	rc.next++
+	l.deliverInner(env)
+	for len(rc.held) > 0 && rc.held[0].seq == rc.next {
+		h := rc.held[0]
+		k := copy(rc.held, rc.held[1:])
+		rc.held[k] = nil
+		rc.held = rc.held[:k]
+		rc.next++
+		l.deliverInner(h)
+	}
+	rc.sendAck()
+}
+
+// hold inserts env into the sorted out-of-order buffer; false if a copy of
+// this sequence number is already held.
+func (rc *relReceiver) hold(env *relEnvelope) bool {
+	i := 0
+	for i < len(rc.held) && rc.held[i].seq < env.seq {
+		i++
+	}
+	if i < len(rc.held) && rc.held[i].seq == env.seq {
+		return false
+	}
+	rc.held = append(rc.held, nil)
+	copy(rc.held[i+1:], rc.held[i:])
+	rc.held[i] = env
+	return true
+}
+
+// sendAck reports cumulative progress back to the sender, raw (unreliable):
+// a lost ack is recovered by the retransmit → re-ack cycle.
+func (rc *relReceiver) sendAck() {
+	a := &relAck{from: rc.key.from, to: rc.key.to, upTo: rc.next}
+	rc.l.r.net.Send(netsim.Msg{
+		From: rc.key.to, To: rc.key.from, Kind: netsim.KindControl,
+		Size:    relAckBytes,
+		Payload: a,
+	})
+}
+
+// deliverInner dispatches a delivered envelope's wrapped message exactly as
+// the network would have delivered the unwrapped original.
+func (l *relLayer) deliverInner(env *relEnvelope) {
+	r := l.r
+	m := netsim.Msg{From: env.from, To: env.to, Kind: env.kind, Size: env.size, Payload: env.inner}
+	if int(env.to) >= len(r.nodes) {
+		// Gateways sit above the compute-node range; their traffic routes
+		// through the relay dispatcher.
+		r.gatewayDispatch(m)
+		return
+	}
+	r.dispatchPayload(env.to, r.nodes[env.to], m)
+}
+
+// StalledChannels describes the channels whose senders have given up, for
+// post-mortem diagnosis after a DeadlockError.
+func (r *RTS) StalledChannels() []string {
+	if r.rel == nil {
+		return nil
+	}
+	var out []string
+	for key, s := range r.rel.send {
+		if s.gaveUp {
+			out = append(out, fmt.Sprintf("%d->%d (%d unacked)", key.from, key.to, len(s.queue)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,326 @@
+package orca
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/faults"
+	"albatross/internal/netsim"
+	"albatross/internal/sim"
+)
+
+// buildFaulty builds a multi-cluster runtime with a seeded fault injector
+// and the reliability layer enabled.
+func buildFaulty(t *testing.T, clusters, npc int, seqr Sequencer, plan faults.Plan, cfg RelConfig) (*sim.Engine, *netsim.Network, *RTS, *faults.Injector) {
+	t.Helper()
+	e, net, rts := build(clusters, npc, seqr)
+	in, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetFaultPolicy(in)
+	rts.EnableReliability(cfg)
+	return e, net, rts, in
+}
+
+func TestRPCAtMostOnceUnderDrop(t *testing.T) {
+	// Cross-cluster RPCs over a 20% lossy WAN: every call must return the
+	// right answer, and every operation must execute exactly once even
+	// though requests and replies are retransmitted.
+	plan := faults.Plan{Seed: 11, Default: faults.PairProbs{Drop: 0.2}}
+	e, _, rts, in := buildFaulty(t, 2, 2, nil, plan, RelConfig{})
+	executions := 0
+	countingInc := Op{Name: "inc", ArgBytes: 8, ResBytes: 8,
+		Apply: func(s any) any { c := s.(*counter); executions++; c.n++; return c.n }}
+	obj := rts.NewObject("c", 0, &counter{})
+	const calls = 60
+	var results []int
+	e.Go("caller", func(p *sim.Proc) {
+		for i := 0; i < calls; i++ {
+			// Node 2 lives in cluster 1; the object's owner in cluster 0.
+			results = append(results, obj.Invoke(p, 2, countingInc).(int))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if executions != calls {
+		t.Fatalf("operation executed %d times for %d calls (at-most-once violated)", executions, calls)
+	}
+	for i, res := range results {
+		if res != i+1 {
+			t.Fatalf("call %d returned %d, want %d", i, res, i+1)
+		}
+	}
+	if c := in.Counters(); c.Drops == 0 {
+		t.Fatal("plan injected no drops; test proved nothing")
+	}
+	if s := rts.RelStats(); s.Retransmits == 0 || s.DupDropped == 0 {
+		t.Fatalf("expected retransmits and duplicate suppressions, got %+v", s)
+	}
+}
+
+func TestDataInOrderUnderReorderAndDuplication(t *testing.T) {
+	// Tagged data across the WAN under reordering and duplication: the
+	// receiver must see exactly the sent stream, in send order.
+	plan := faults.Plan{
+		Seed:         5,
+		Default:      faults.PairProbs{Duplicate: 0.15, Reorder: 0.15},
+		ReorderDelay: 20 * time.Millisecond,
+	}
+	e, _, rts, in := buildFaulty(t, 2, 2, nil, plan, RelConfig{})
+	tag := Tag{Op: "stream"}
+	const k = 80
+	for i := 0; i < k; i++ {
+		rts.SendData(0, 3, tag, 64, i)
+	}
+	var got []int
+	e.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < k; i++ {
+			got = append(got, rts.RecvData(p, 3, tag).(int))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d carried payload %d: order or integrity lost", i, v)
+		}
+	}
+	c := in.Counters()
+	if c.Duplicates == 0 || c.Reorders == 0 {
+		t.Fatalf("plan injected nothing: %+v", c)
+	}
+	if s := rts.RelStats(); s.DupDropped == 0 {
+		t.Fatalf("no duplicates suppressed: %+v", s)
+	}
+}
+
+func TestReplicatedWritesSurviveTokenLoss(t *testing.T) {
+	// The rotating sequencer's token crosses the WAN as a control message;
+	// under loss the reliability layer must detect and retransmit it, or the
+	// whole broadcast protocol wedges.
+	plan := faults.Plan{Seed: 23, Default: faults.PairProbs{Drop: 0.25}}
+	e, _, rts, _ := buildFaulty(t, 3, 2, NewRotatingSequencer(), plan, RelConfig{})
+	obj := rts.NewReplicated("c", func(cluster.NodeID) any { return &counter{} })
+	const writes = 5
+	for c := 0; c < 3; c++ {
+		node := cluster.NodeID(c * 2)
+		e.Go("writer", func(p *sim.Proc) {
+			for i := 0; i < writes; i++ {
+				obj.Invoke(p, node, incOp(1))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica must have applied all 15 writes in the same total order.
+	for id := 0; id < 6; id++ {
+		if n := obj.Replica(cluster.NodeID(id)).(*counter).n; n != 3*writes {
+			t.Fatalf("replica %d has %d, want %d", id, n, 3*writes)
+		}
+	}
+}
+
+func TestGiveUpStallsWithDiagnosis(t *testing.T) {
+	// A channel that exhausts MaxAttempts on a fully dead link stops
+	// retransmitting; the run stalls and the engine names the parked proc,
+	// while StalledChannels identifies the dead channel.
+	plan := faults.Plan{Default: faults.PairProbs{Drop: 1}}
+	e, _, rts, _ := buildFaulty(t, 2, 2, nil, plan, RelConfig{MaxAttempts: 3})
+	obj := rts.NewObject("c", 0, &counter{})
+	e.Go("caller", func(p *sim.Proc) {
+		obj.Invoke(p, 2, incOp(1))
+	})
+	err := e.Run()
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("run returned %v, want DeadlockError", err)
+	}
+	if len(dl.Parked) != 1 || !strings.Contains(dl.Parked[0], "caller") {
+		t.Fatalf("deadlock report %q does not name the stuck caller", dl.Parked)
+	}
+	if s := rts.RelStats(); s.GiveUps == 0 {
+		t.Fatalf("no give-up recorded: %+v", s)
+	}
+	stalled := rts.StalledChannels()
+	if len(stalled) != 1 || !strings.Contains(stalled[0], "2->0") {
+		t.Fatalf("stalled channels %v, want the 2->0 request channel", stalled)
+	}
+}
+
+func TestStallWithoutReliability(t *testing.T) {
+	// The acceptance scenario: drops with retries disabled yield a
+	// DeadlockError naming the parked procs instead of a hang.
+	e, net, rts := build(2, 2, nil)
+	net.SetFaultPolicy(faults.MustInjector(faults.Plan{Default: faults.PairProbs{Drop: 1}}))
+	obj := rts.NewObject("c", 0, &counter{})
+	e.Go("victim", func(p *sim.Proc) {
+		obj.Invoke(p, 2, incOp(1))
+	})
+	err := e.Run()
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("run returned %v, want DeadlockError", err)
+	}
+	if len(dl.Parked) != 1 || !strings.Contains(dl.Parked[0], "victim") {
+		t.Fatalf("deadlock report %q does not name the victim", dl.Parked)
+	}
+}
+
+func TestFutureReuseUnderRetry(t *testing.T) {
+	// Pooled reply futures are Reset and reused across calls; under heavy
+	// retransmission each future must still fire exactly once per call.
+	// Sequential blocking calls force the pool to recycle one future while
+	// retransmits of earlier (already-answered) requests are still in
+	// flight.
+	plan := faults.Plan{Seed: 31, Default: faults.PairProbs{Drop: 0.3, Duplicate: 0.1}}
+	e, _, rts, _ := buildFaulty(t, 2, 2, nil, plan, RelConfig{RTO: 5 * time.Millisecond})
+	rts.HandleService(0, "echo", func(q *Request) {
+		q.Reply(8, q.Payload)
+	})
+	const calls = 50
+	e.Go("caller", func(p *sim.Proc) {
+		for i := 0; i < calls; i++ {
+			if got := rts.Call(p, 2, 0, "echo", 8, i); got.(int) != i {
+				t.Errorf("call %d echoed %v", i, got)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelDeterminism(t *testing.T) {
+	// Same plan, same seed, same workload: three runs must agree exactly on
+	// virtual elapsed time, dispatched events and reliability tallies.
+	run := func() (time.Duration, uint64, RelStats) {
+		plan := faults.Plan{
+			Seed:         77,
+			Default:      faults.PairProbs{Drop: 0.15, Duplicate: 0.05, Reorder: 0.05},
+			ReorderDelay: 10 * time.Millisecond,
+		}
+		e, _, rts, _ := buildFaulty(t, 2, 2, nil, plan, RelConfig{})
+		obj := rts.NewObject("c", 0, &counter{})
+		e.Go("caller", func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				obj.Invoke(p, 2, incOp(1))
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		elapsed, dispatched, stats := e.Now(), e.Dispatched(), rts.RelStats()
+		e.Shutdown()
+		return elapsed, dispatched, stats
+	}
+	e1, d1, s1 := run()
+	for i := 0; i < 2; i++ {
+		e2, d2, s2 := run()
+		if e1 != e2 || d1 != d2 || s1 != s2 {
+			t.Fatalf("diverged: (%v, %d, %+v) vs (%v, %d, %+v)", e1, d1, s1, e2, d2, s2)
+		}
+	}
+}
+
+func TestEnableReliabilityGuards(t *testing.T) {
+	_, _, rts := build(2, 2, nil)
+	rts.EnableReliability(RelConfig{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double EnableReliability not rejected")
+			}
+		}()
+		rts.EnableReliability(RelConfig{})
+	}()
+	if s := rts.RelStats(); s != (RelStats{}) {
+		t.Fatalf("fresh layer has non-zero stats %+v", s)
+	}
+	// A disabled runtime reports zero stats and no stalled channels.
+	_, _, bare := build(2, 2, nil)
+	if bare.RelStats() != (RelStats{}) || bare.StalledChannels() != nil {
+		t.Fatal("disabled reliability reports state")
+	}
+}
+
+// TestStopShutdownDuringFaultedDelivery stops engines mid-run while
+// fault-injected deliveries, retransmit timers and reorder delays are still
+// in flight, with several such systems running on concurrent goroutines the
+// way the harness scheduler runs them. Under -race this checks the teardown
+// path against the reliability layer's timer events; without it, that every
+// proc is released and no goroutine leaks.
+func TestStopShutdownDuringFaultedDelivery(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				plan := faults.Plan{
+					Seed:         seed + uint64(i),
+					Default:      faults.PairProbs{Drop: 0.3, Duplicate: 0.1, Reorder: 0.1},
+					ReorderDelay: 50 * time.Millisecond,
+				}
+				e, _, rts, _ := buildFaulty(t, 2, 2, nil, plan, RelConfig{RTO: 5 * time.Millisecond})
+				obj := rts.NewObject("c", 0, &counter{})
+				e.Go("caller", func(p *sim.Proc) {
+					for k := 0; k < 50; k++ {
+						obj.Invoke(p, 2, incOp(1))
+					}
+				})
+				// Stop mid-run: unacked envelopes, armed timers and delayed
+				// duplicates are all still pending at this instant.
+				e.After(30*time.Millisecond, func() { e.Stop() })
+				if err := e.Run(); err != nil {
+					t.Error(err)
+					return
+				}
+				e.Shutdown()
+				if e.Live() != 0 {
+					t.Errorf("%d procs live after Shutdown", e.Live())
+					return
+				}
+			}
+		}(uint64(g) * 1000)
+	}
+	wg.Wait()
+}
+
+func TestObjectMisusePanics(t *testing.T) {
+	_, _, rts := build(1, 2, nil)
+	plain := rts.NewObject("plain", 0, &counter{})
+	repl := rts.NewReplicated("repl", func(cluster.NodeID) any { return &counter{} })
+	cases := []struct {
+		name string
+		fn   func()
+		want string
+	}{
+		{"OnApplied", func() { plain.OnApplied(nil) }, `orca: OnApplied on non-replicated object "plain"`},
+		{"Owner", func() { repl.Owner() }, `orca: Owner on replicated object "repl"`},
+		{"State", func() { repl.State() }, `orca: State on replicated object "repl"; use Replica`},
+		{"Replica", func() { plain.Replica(0) }, `orca: Replica on non-replicated object "plain"; use State`},
+		{"AsyncUpdate", func() { plain.AsyncUpdate(0, incOp(1)) }, `orca: AsyncUpdate on non-replicated object "plain"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("misuse not rejected")
+				}
+				if msg, ok := r.(string); !ok || msg != tc.want {
+					t.Fatalf("panic %v, want %q", r, tc.want)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

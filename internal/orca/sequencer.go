@@ -64,7 +64,7 @@ func (r *RTS) sendSubmit(s Sequencer, from, to cluster.NodeID, c int, b *pending
 		m = new(submitMsg)
 	}
 	m.s, m.c, m.b = s, c, b
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindBcast,
 		Size:    b.size,
 		Payload: m,
@@ -209,7 +209,7 @@ func (s *RotatingSequencer) advance(r *RTS) {
 		return
 	}
 	s.tok.c = nextC
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, nextC),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
 		Payload: s.tok,
@@ -290,7 +290,7 @@ func (s *MigratingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
 		// Send a migration request from our sequencer node to the
 		// current holder's sequencer node (one WAN hop).
 		s.requested[c] = true
-		r.net.Send(netsim.Msg{
+		r.send(netsim.Msg{
 			From: seqNode(r.topo, c), To: seqNode(r.topo, s.holder),
 			Kind: netsim.KindControl, Size: tokenHopBytes,
 			Payload: &s.reqMsgs[c],
@@ -325,7 +325,7 @@ func (s *MigratingSequencer) handleRequest(r *RTS, c int) {
 func (s *MigratingSequencer) sendToken(r *RTS, c int) {
 	s.inFlight = true
 	s.tok.c = c
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, c),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
 		Payload: s.tok,

@@ -31,7 +31,7 @@ func (q *Request) Reply(resBytes int, result any) {
 	r := q.rts
 	rep := r.getRep()
 	rep.callID, rep.result = q.ID, result
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: q.To, To: q.From, Kind: netsim.KindRPCRep,
 		Size:    resBytes + HeaderBytes,
 		Payload: rep,
@@ -74,7 +74,7 @@ func (r *RTS) Cast(from, to cluster.NodeID, name string, argBytes int, payload a
 	r.ops.Requests++
 	q := r.getSvc()
 	q.callID, q.from, q.service, q.payload = noReply, from, name, payload
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,
 		Size:    argBytes + HeaderBytes,
 		Payload: q,
@@ -112,7 +112,7 @@ func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes i
 	id := nd.newCall(f)
 	q := r.getSvc()
 	q.callID, q.from, q.service, q.payload = id, from, name, payload
-	r.net.Send(netsim.Msg{
+	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindRPCReq,
 		Size:    argBytes + HeaderBytes,
 		Payload: q,

@@ -32,12 +32,14 @@ import (
 // Engine owns the virtual clock and the pending-event queues.
 // Create one with NewEngine, spawn processes with Go, then call Run.
 type Engine struct {
-	now  time.Duration
-	heap []event   // future events: 4-ary min-heap on (at, seq)
+	now   time.Duration
+	heap  []event   // future events: 4-ary min-heap on (at, seq)
 	ready readyRing // events due at the current instant, FIFO
-	seq  uint64    // schedule-order tiebreak, monotonic across both queues
+	seq   uint64    // schedule-order tiebreak, monotonic across both queues
 
 	dispatched uint64 // events executed so far (observability/testing)
+
+	deadline time.Duration // virtual-time abort limit; 0 = none
 
 	ctl   chan procSignal // processes signal the engine here when parking/exiting
 	procs []*Proc
@@ -182,6 +184,18 @@ func (e *Engine) Now() time.Duration { return e.now }
 // determinism tests).
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
+// SetDeadline makes Run abort with a *DeadlineError the moment virtual time
+// would advance past d, instead of simulating a runaway (or livelocked-in-
+// virtual-time) run to completion. Zero disables the deadline. Events
+// scheduled exactly at d still execute. An aborted engine is finished:
+// callers should Shutdown it, as after any other run.
+func (e *Engine) SetDeadline(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative deadline")
+	}
+	e.deadline = d
+}
+
 // At schedules fn to run at absolute virtual time t. Events scheduled for a
 // time in the past run at the current time. Callbacks execute in the engine
 // context: they must not block, but they may resume processes (via Future,
@@ -298,6 +312,18 @@ func (e *Engine) Run() error {
 		}
 		ev := e.heapPop()
 		if ev.at > e.now {
+			if e.deadline > 0 && ev.at > e.deadline {
+				// The run is about to outlive its deadline. Abort before
+				// executing the event; the engine is finished (the popped
+				// event is discarded) and should be Shutdown by the caller.
+				return &DeadlineError{
+					Deadline:   e.deadline,
+					Next:       ev.at,
+					Parked:     e.parkedReport(),
+					Dispatched: e.dispatched,
+					Live:       e.live,
+				}
+			}
 			e.now = ev.at
 		}
 		e.dispatched++
@@ -310,17 +336,28 @@ func (e *Engine) Run() error {
 		e.Shutdown()
 		return nil
 	}
+	if parked := e.parkedReport(); len(parked) > 0 {
+		return &DeadlockError{
+			Time:       e.now,
+			Parked:     parked,
+			Dispatched: e.dispatched,
+			Live:       e.live,
+		}
+	}
+	return nil
+}
+
+// parkedReport collects the sorted park strings ("name on primitive
+// instance") of every non-daemon process still blocked.
+func (e *Engine) parkedReport() []string {
 	var parked []string
 	for _, p := range e.procs {
 		if p.state == procParked && !p.daemon {
 			parked = append(parked, p.waitReport())
 		}
 	}
-	if len(parked) > 0 {
-		sort.Strings(parked)
-		return &DeadlockError{Time: e.now, Parked: parked}
-	}
-	return nil
+	sort.Strings(parked)
+	return parked
 }
 
 // Stop makes Run return after the current event completes. Useful for
@@ -372,12 +409,38 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 func (e *Engine) Live() int { return e.live }
 
 // DeadlockError reports processes that were still blocked when the event
-// queue drained.
+// queue drained. It names every parked non-daemon process together with the
+// primitive it blocks on, plus enough run state (events dispatched, live
+// process count) to diagnose how far the run got before stalling.
 type DeadlockError struct {
-	Time   time.Duration
-	Parked []string
+	Time       time.Duration
+	Parked     []string // sorted "name on primitive instance" park strings
+	Dispatched uint64   // events executed before the stall
+	Live       int      // processes spawned but not yet exited
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at %v; parked: %s", d.Time, strings.Join(d.Parked, ", "))
+	return fmt.Sprintf("sim: deadlock at %v after %d events (%d procs live); parked: %s",
+		d.Time, d.Dispatched, d.Live, strings.Join(d.Parked, ", "))
+}
+
+// DeadlineError reports a run aborted by SetDeadline: the next pending event
+// lay beyond the virtual-time limit. Like DeadlockError it names every
+// parked non-daemon process, so runaway runs are diagnosable the same way
+// stalls are.
+type DeadlineError struct {
+	Deadline   time.Duration
+	Next       time.Duration // virtual time of the event that would have run
+	Parked     []string      // sorted park strings at abort time
+	Dispatched uint64        // events executed before the abort
+	Live       int           // processes spawned but not yet exited
+}
+
+func (d *DeadlineError) Error() string {
+	msg := fmt.Sprintf("sim: deadline %v exceeded (next event at %v, %d events dispatched, %d procs live)",
+		d.Deadline, d.Next, d.Dispatched, d.Live)
+	if len(d.Parked) > 0 {
+		msg += "; parked: " + strings.Join(d.Parked, ", ")
+	}
+	return msg
 }

@@ -620,3 +620,79 @@ func TestLiveCount(t *testing.T) {
 		t.Fatalf("Live() = %d at end", e.Live())
 	}
 }
+
+func TestDeadlineAbortsRunawayRun(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox(e, "never")
+	e.Go("stuck", func(p *Proc) { m.Get(p) })
+	var tick func()
+	tick = func() { e.After(time.Millisecond, tick) } // livelock in virtual time
+	e.After(0, tick)
+	e.SetDeadline(10 * time.Millisecond)
+	err := e.Run()
+	var d *DeadlineError
+	if !errors.As(err, &d) {
+		t.Fatalf("err %v, want DeadlineError", err)
+	}
+	if d.Deadline != 10*time.Millisecond {
+		t.Fatalf("deadline %v", d.Deadline)
+	}
+	if d.Next <= d.Deadline {
+		t.Fatalf("next event %v not past deadline %v", d.Next, d.Deadline)
+	}
+	if len(d.Parked) != 1 || d.Parked[0] != "stuck on mailbox never" {
+		t.Fatalf("parked %v", d.Parked)
+	}
+	if d.Live != 1 || d.Dispatched == 0 {
+		t.Fatalf("live %d dispatched %d", d.Live, d.Dispatched)
+	}
+	if !strings.Contains(err.Error(), "stuck on mailbox never") {
+		t.Fatalf("error message %q does not name the parked proc", err.Error())
+	}
+	e.Shutdown()
+}
+
+func TestDeadlineDoesNotPerturbCompletingRun(t *testing.T) {
+	run := func(deadline time.Duration) (time.Duration, uint64) {
+		e := NewEngine()
+		e.Go("w", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(time.Millisecond)
+			}
+		})
+		if deadline > 0 {
+			e.SetDeadline(deadline)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Dispatched()
+	}
+	end0, n0 := run(0)
+	end1, n1 := run(time.Second)
+	if end0 != end1 || n0 != n1 {
+		t.Fatalf("deadline perturbed a completing run: %v/%d vs %v/%d", end0, n0, end1, n1)
+	}
+}
+
+func TestDeadlineBoundaryEventRuns(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(10*time.Millisecond, func() { ran = true })
+	e.SetDeadline(10 * time.Millisecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event scheduled exactly at the deadline did not run")
+	}
+}
+
+func TestNegativeDeadlinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative deadline accepted")
+		}
+	}()
+	NewEngine().SetDeadline(-1)
+}

@@ -75,6 +75,24 @@ func (t *Timeline) Total(series string) int64 {
 // sparkRunes are the eight density levels of a text sparkline.
 var sparkRunes = []rune(" .:-=+*#@")
 
+// faultRunes are the density levels used for fault series: visually
+// unmistakable from traffic rows, so injected drops, outages and retries
+// stand out when reading a chaos run's timeline.
+var faultRunes = []rune(" '!xoXO%@")
+
+// FaultSeriesPrefix marks a series as fault events. Series whose name starts
+// with this prefix (e.g. "fault/drop", "fault/outage") render with a
+// distinct glyph ramp.
+const FaultSeriesPrefix = "fault/"
+
+// rampFor selects the glyph ramp for a series by name.
+func rampFor(series string) []rune {
+	if strings.HasPrefix(series, FaultSeriesPrefix) {
+		return faultRunes
+	}
+	return sparkRunes
+}
+
 // Sparkline renders one series as a density string of the given width,
 // rebinning the buckets as needed. The scale is the series' own maximum.
 func (t *Timeline) Sparkline(series string, width int) string {
@@ -98,10 +116,11 @@ func (t *Timeline) Sparkline(series string, width int) string {
 			peak = v
 		}
 	}
+	ramp := rampFor(series)
 	out := make([]rune, width)
 	for i, v := range cells {
-		lvl := int(v * int64(len(sparkRunes)-1) / peak)
-		out[i] = sparkRunes[lvl]
+		lvl := int(v * int64(len(ramp)-1) / peak)
+		out[i] = ramp[lvl]
 	}
 	return string(out)
 }

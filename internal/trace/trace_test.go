@@ -137,3 +137,33 @@ func TestTapIntegration(t *testing.T) {
 		t.Fatal("no intercluster data traffic recorded for a 2-cluster SOR run")
 	}
 }
+
+func TestFaultSeriesUseDistinctGlyphs(t *testing.T) {
+	tl := New(time.Millisecond)
+	for i := 0; i < 40; i++ {
+		tl.Add(time.Duration(i)*time.Millisecond, "inter/data", int64(i))
+		tl.Add(time.Duration(i)*time.Millisecond, FaultSeriesPrefix+"drop", int64(i))
+	}
+	traffic := tl.Sparkline("inter/data", 20)
+	fault := tl.Sparkline(FaultSeriesPrefix+"drop", 20)
+	if traffic == fault {
+		t.Fatalf("fault row renders like traffic: %q", fault)
+	}
+	// Identical data, so the peak cell shows each ramp's top rune.
+	tr, fr := []rune(traffic), []rune(fault)
+	if tr[19] != '@' || fr[19] != '@' {
+		t.Fatalf("peaks %q / %q", tr[19], fr[19])
+	}
+	// Mid-density cells come from different ramps.
+	if strings.ContainsAny(fault, ".:-=+*#") {
+		t.Fatalf("fault sparkline %q uses traffic glyphs", fault)
+	}
+	if strings.ContainsAny(traffic, "'!xoXO%") {
+		t.Fatalf("traffic sparkline %q uses fault glyphs", traffic)
+	}
+	// Both rows appear in the rendered timeline.
+	out := tl.Render(20)
+	if !strings.Contains(out, "fault/drop") || !strings.Contains(out, "inter/data") {
+		t.Fatalf("render missing a row:\n%s", out)
+	}
+}
