@@ -166,6 +166,93 @@ func BenchmarkEndToEndRA(b *testing.B) { benchEndToEnd(b, "RA", 2, 8) }
 // BenchmarkEndToEndACP is iterative asynchronous neighbor updates.
 func BenchmarkEndToEndACP(b *testing.B) { benchEndToEnd(b, "ACP", 2, 8) }
 
+// benchEngineMode runs one full application configuration per iteration
+// with the given engine shard count (0 = the sequential engine), reporting
+// virtual sim-seconds per wall-clock second. Comparing an application's
+// Sequential and Shards4 variants measures what the cluster-sharded engine
+// buys end to end; results are byte-identical in either mode, so only the
+// wall clock differs. Speedup over sequential requires free cores: with
+// GOMAXPROCS (or the machine) at 1 the sharded engine serializes its LPs
+// and only the window-synchronization overhead shows.
+func benchEngineMode(b *testing.B, appName string, clusters, perCluster, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	app, err := harness.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		var seqr orca.Sequencer
+		if app.Sequencer != nil {
+			seqr = app.Sequencer(false)
+		}
+		sys := core.NewSystem(core.Config{
+			Topology:  cluster.DAS(clusters, perCluster),
+			Params:    harness.Params,
+			Sequencer: seqr,
+			Shards:    shards,
+		})
+		verify := app.Build(sys, false)
+		m, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := verify(); err != nil {
+			b.Fatal(err)
+		}
+		simSecs += m.Seconds()
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simSecs/wall, "simsec/wallsec")
+	}
+}
+
+// The engine-mode pairs below benchmark the two shardable applications on a
+// four-cluster platform, sequentially and with four LPs. BENCH_engine.json
+// records both sides of each pair.
+
+func BenchmarkEngineModeWaterSequential(b *testing.B) { benchEngineMode(b, "Water", 4, 2, 0) }
+
+func BenchmarkEngineModeWaterShards4(b *testing.B) { benchEngineMode(b, "Water", 4, 2, 4) }
+
+func BenchmarkEngineModeATPGSequential(b *testing.B) { benchEngineMode(b, "ATPG", 4, 2, 0) }
+
+func BenchmarkEngineModeATPGShards4(b *testing.B) { benchEngineMode(b, "ATPG", 4, 2, 4) }
+
+// BenchmarkEngineShardedWindows measures the sharded engine's window
+// machinery in isolation: four LPs each dispatch a chain of local events
+// ten per synchronization window, so the per-op cost is one event dispatch
+// plus a tenth of a fence crossing. The sequential BenchmarkEngineEvents is
+// the baseline this overhead compares against.
+func BenchmarkEngineShardedWindows(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	lps := e.Shard(4)
+	e.SetLookahead(time.Millisecond)
+	total := 0
+	per := b.N/len(lps) + 1
+	for _, lp := range lps {
+		lp := lp
+		n := 0
+		var tick func()
+		tick = func() {
+			total++
+			if n++; n < per {
+				lp.At(lp.Now()+100*time.Microsecond, tick)
+			}
+		}
+		lp.At(100*time.Microsecond, tick)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if total < b.N {
+		b.Fatalf("ran %d events, want >= %d", total, b.N)
+	}
+}
+
 // BenchmarkNetSendLAN measures the flattened intracluster send path in
 // isolation: one Send plus its delivery event per iteration.
 func BenchmarkNetSendLAN(b *testing.B) {

@@ -7,6 +7,13 @@
 //	dasbench -exp fig5,fig6      # selected experiments
 //	dasbench -list               # show what is available
 //	dasbench -exp fig1 -plot     # additionally draw ASCII speedup charts
+//	dasbench -exp fig7 -shards 4 # run shardable apps on the parallel engine
+//
+// -shards N partitions each run of a shardable application (Water, ATPG)
+// into min(N, clusters) cluster-owning logical processes synchronized by
+// WAN-lookahead windows; all other applications keep the sequential engine.
+// Results are byte-identical at any setting — the flag trades wall-clock
+// time only.
 package main
 
 import (
@@ -38,11 +45,13 @@ func main() {
 		quickFlag    = flag.Bool("quick", false, "with -chaos: trim the sweep to the smoke-test scenarios")
 		csvFlag      = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		parallelFlag = flag.Int("parallel", 0, "simulation runs to execute concurrently (0 = GOMAXPROCS); output is identical at any setting")
+		shardsFlag   = flag.Int("shards", 0, "engine shards (LPs) per run for shardable applications (0/1 = sequential engine); output is identical at any setting")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (taken after all runs drain) to this file")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallelFlag)
+	harness.SetShards(*shardsFlag)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -104,12 +104,35 @@ func (c *Circuit) Outputs() int {
 	return o
 }
 
+// Scratch holds one evaluator's reusable state: the signal buffer filled by
+// every simulation and the per-fault pattern generator. Reusing one Scratch
+// across a worker's whole fault partition removes the dominant allocation of
+// the run (one signal vector per gate-level simulation). A Scratch belongs
+// to a single simulated process and must not be shared.
+type Scratch struct {
+	vals []byte
+	r    *rng.Rand
+}
+
+// NewScratch returns scratch buffers sized for this circuit.
+func (c *Circuit) NewScratch() *Scratch {
+	return &Scratch{vals: make([]byte, c.cfg.Inputs+len(c.gates)), r: rng.New(0)}
+}
+
 // eval simulates the circuit on the input pattern; if faultGate >= 0, that
 // gate's output is stuck at stuckAt. It returns a hash of the primary
-// outputs (the last Outputs gate signals).
+// outputs (the last Outputs gate signals). The convenience form allocates;
+// hot loops pass a reused Scratch to evalScratch.
 func (c *Circuit) eval(pattern uint64, faultGate int, stuckAt byte) uint64 {
+	return c.evalScratch(c.NewScratch(), pattern, faultGate, stuckAt)
+}
+
+// evalScratch is eval against caller-owned scratch buffers. Every signal
+// slot is overwritten before it is read, so no clearing is needed between
+// calls.
+func (c *Circuit) evalScratch(s *Scratch, pattern uint64, faultGate int, stuckAt byte) uint64 {
 	n := c.cfg.Inputs + len(c.gates)
-	vals := make([]byte, n)
+	vals := s.vals
 	for i := 0; i < c.cfg.Inputs; i++ {
 		vals[i] = byte((pattern >> i) & 1)
 	}
@@ -147,13 +170,19 @@ func (c *Circuit) eval(pattern uint64, faultGate int, stuckAt byte) uint64 {
 
 // TestFault searches for a pattern detecting f, trying cfg.Tries
 // deterministic pseudo-random patterns. It returns the pattern, whether one
-// was found, and the number of gate evaluations spent.
+// was found, and the number of gate evaluations spent. The convenience form
+// allocates fresh scratch; hot loops use TestFaultScratch.
 func (c *Circuit) TestFault(f Fault) (pattern uint64, found bool, evals int64) {
-	r := rng.New(c.cfg.Seed ^ rng.Hash64(uint64(f.Gate)*2+uint64(f.StuckAt)))
+	return c.TestFaultScratch(c.NewScratch(), f)
+}
+
+// TestFaultScratch is TestFault against caller-owned scratch buffers.
+func (c *Circuit) TestFaultScratch(s *Scratch, f Fault) (pattern uint64, found bool, evals int64) {
+	s.r.Seed(c.cfg.Seed ^ rng.Hash64(uint64(f.Gate)*2+uint64(f.StuckAt)))
 	for t := 0; t < c.cfg.Tries; t++ {
-		pat := r.Uint64()
-		good := c.eval(pat, -1, 0)
-		bad := c.eval(pat, f.Gate, f.StuckAt)
+		pat := s.r.Uint64()
+		good := c.evalScratch(s, pat, -1, 0)
+		bad := c.evalScratch(s, pat, f.Gate, f.StuckAt)
 		evals += int64(2 * len(c.gates))
 		if good != bad {
 			return pat, true, evals
@@ -171,9 +200,10 @@ type Result struct {
 // Sequential runs the reference computation.
 func Sequential(cfg Config) Result {
 	c := NewCircuit(cfg)
+	s := c.NewScratch()
 	var res Result
 	for _, f := range c.Faults() {
-		if _, ok, _ := c.TestFault(f); ok {
+		if _, ok, _ := c.TestFaultScratch(s, f); ok {
 			res.Patterns++
 			res.Covered++
 		}
@@ -223,9 +253,10 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 
 	sys.SpawnWorkers("atpg", func(w *core.Worker) {
 		i := w.Rank()
+		scratch := c.NewScratch()
 		myPatterns, myCovered := 0, 0
 		for fi := i; fi < len(faults); fi += p {
-			_, ok, evals := c.TestFault(faults[fi])
+			_, ok, evals := c.TestFaultScratch(scratch, faults[fi])
 			w.Compute(time.Duration(evals) * cfg.GateCost)
 			if !ok {
 				continue

@@ -76,29 +76,34 @@ func (g *Game) Terminal(v int) bool {
 }
 
 // Successors returns v's successor positions (deduplicated, ascending ids).
-func (g *Game) Successors(v int) []int32 {
+func (g *Game) Successors(v int) []int32 { return g.AppendSuccessors(nil, v) }
+
+// AppendSuccessors appends v's successors to buf and returns the extended
+// slice, so sweeps over many positions reuse one buffer instead of
+// allocating per position.
+func (g *Game) AppendSuccessors(buf []int32, v int) []int32 {
 	if g.Terminal(v) {
-		return nil
+		return buf
 	}
 	span := g.cfg.Span
 	if v+span >= g.cfg.N {
 		span = g.cfg.N - 1 - v
 	}
-	out := make([]int32, 0, g.cfg.Succ)
+	start := len(buf)
 	h := g.cfg.Seed ^ uint64(v)*0x517c_c1b7_2722_0a95
 	for k := 0; k < g.cfg.Succ; k++ {
 		s := int32(v + 1 + int(rng.SplitMix64(&h)%uint64(span)))
 		dup := false
-		for _, o := range out {
+		for _, o := range buf[start:] {
 			if o == s {
 				dup = true
 			}
 		}
 		if !dup {
-			out = append(out, s)
+			buf = append(buf, s)
 		}
 	}
-	return out
+	return buf
 }
 
 // Sequential computes every position's value by memoized backward induction.
@@ -107,8 +112,9 @@ func Sequential(cfg Config) []Value {
 	vals := make([]Value, cfg.N)
 	// Positions only point forward, so a reverse sweep is a topological
 	// order.
+	scratch := make([]int32, 0, cfg.Succ)
 	for v := cfg.N - 1; v >= 0; v-- {
-		succ := g.Successors(v)
+		succ := g.AppendSuccessors(scratch[:0], v)
 		if len(succ) == 0 {
 			vals[v] = Loss
 			continue
@@ -165,11 +171,31 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 	undet := make([]int32, cfg.N) // undetermined-successor counts
 	preds := make([][]int32, cfg.N)
 	// Setup (the paper measures the core algorithm, excluding startup):
-	// reverse edges for positions we own; initial counters.
+	// reverse edges for positions we own; initial counters. Two passes over
+	// a reused successor buffer size the predecessor lists exactly, so the
+	// whole reverse graph lives in one backing array instead of N growing
+	// slices — setup used to dominate the run's allocation count.
+	scratch := make([]int32, 0, cfg.Succ)
+	predCnt := make([]int32, cfg.N)
+	total := 0
 	for v := 0; v < cfg.N; v++ {
-		succ := g.Successors(v)
-		undet[v] = int32(len(succ))
-		for _, s := range succ {
+		scratch = g.AppendSuccessors(scratch[:0], v)
+		undet[v] = int32(len(scratch))
+		total += len(scratch)
+		for _, s := range scratch {
+			predCnt[s]++
+		}
+	}
+	backing := make([]int32, total)
+	off := 0
+	for v := range preds {
+		n := int(predCnt[v])
+		preds[v] = backing[off : off : off+n]
+		off += n
+	}
+	for v := 0; v < cfg.N; v++ {
+		scratch = g.AppendSuccessors(scratch[:0], v)
+		for _, s := range scratch {
 			preds[s] = append(preds[s], int32(v))
 		}
 	}

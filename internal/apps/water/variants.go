@@ -21,14 +21,13 @@ import (
 // state lives in procState's parity ring.
 func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]int, blockLen func(int) int) {
 	p := sys.Topo.Compute()
-	e := sys.Engine
 	states := make([]*procState, p)
 	objs := make([]*orca.Object, p)
 	for r := 0; r < p; r++ {
 		states[r] = newProcState(r, p, len(tgt[r]), len(snd[r]), blockLen(r))
 		objs[r] = sys.RTS.NewObject(fmt.Sprintf("water-mbox-%d", r), cluster.NodeID(r), states[r])
 	}
-	vp := &vecPool{max: blockLen(0)}
+	vps := vecPools(sys, blockLen(0))
 
 	putPos := func(t, from int, data []Vec) orca.Op {
 		return orca.Op{Name: "PutPos", ArgBytes: molBytes * len(data), ResBytes: 4,
@@ -42,7 +41,10 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 				return nil
 			}}
 	}
-	putFrc := func(t int, data []Vec) orca.Op {
+	putFrc := func(t, q int, data []Vec) orca.Op {
+		// Apply executes at the owner q's node, so the freed buffer joins
+		// the owner's cluster pool.
+		vp := vps[sys.Topo.ClusterOf(cluster.NodeID(q))]
 		return orca.Op{Name: "PutFrc", ArgBytes: molBytes * len(data), ResBytes: 4,
 			Apply: func(s any) any {
 				st := s.(*procState).at(t)
@@ -59,6 +61,7 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 	sys.SpawnWorkers("water", func(w *core.Worker) {
 		i := w.Rank()
 		ps := states[i]
+		vp := vps[w.Cluster()]
 		lo, hi := blockRange(cfg.N, p, i)
 		var mine [2][]Vec
 		for k := range mine {
@@ -76,7 +79,7 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 			// Wait for the positions of the blocks we interact with.
 			st := ps.at(t)
 			if st.posGot < st.posNeed {
-				st.posFut = ps.futFor(e)
+				st.posFut = ps.futFor(w.P.Engine())
 				st.posFut.Await(w.P)
 				st.posFut = nil
 			}
@@ -93,12 +96,12 @@ func buildOriginal(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]in
 			w.Compute(time.Duration(pairs) * cfg.PairCost)
 			// Send the computed forces back to their owners to be summed.
 			for idx, q := range tgt[i] {
-				w.Invoke(objs[q], putFrc(t, frem[idx]))
+				w.Invoke(objs[q], putFrc(t, q, frem[idx]))
 				frem[idx] = nil
 			}
 			// Wait for contributions to our own block.
 			if st.frcGot < st.frcNeed {
-				st.frcFut = ps.futFor(e)
+				st.frcFut = ps.futFor(w.P.Engine())
 				st.frcFut.Await(w.P)
 				st.frcFut = nil
 			}
@@ -168,7 +171,7 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 	p := sys.Topo.Compute()
 	topo := sys.Topo
 	rts := sys.RTS
-	vp := &vecPool{max: blockLen(0)}
+	vps := vecPools(sys, blockLen(0))
 
 	stores := make([]*posStore, p)
 	for r := 0; r < p; r++ {
@@ -202,20 +205,26 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 	var reducer *core.ClusterReducer
 	if opts.Reduce {
 		// Contributions and aggregates both come from, and return to, the
-		// shared buffer pool: the first contribution of a round is copied
-		// into a pooled accumulator, later ones are folded and recycled.
-		reducer = core.NewClusterReducer(sys, "water", func(acc, v any) any {
-			contrib := v.([]Vec)
-			if acc == nil {
-				a := vp.get(len(contrib))
-				copy(a, contrib)
+		// buffer pools: the first contribution of a round is copied into a
+		// pooled accumulator, later ones are folded and recycled. Each
+		// cluster's fold runs at that cluster's coordinators and its
+		// contributions come from that cluster's workers, so it closes over
+		// the cluster's own pool.
+		reducer = core.NewClusterReducerPer(sys, "water", func(c int) core.CombineFunc {
+			vp := vps[c]
+			return func(acc, v any) any {
+				contrib := v.([]Vec)
+				if acc == nil {
+					a := vp.get(len(contrib))
+					copy(a, contrib)
+					vp.put(contrib)
+					return a
+				}
+				a := acc.([]Vec)
+				addInto(a, contrib)
 				vp.put(contrib)
 				return a
 			}
-			a := acc.([]Vec)
-			addInto(a, contrib)
-			vp.put(contrib)
-			return a
 		})
 	}
 
@@ -255,6 +264,7 @@ func buildOptimized(sys *core.System, cfg Config, pos, vel []Vec, tgt, snd [][]i
 
 	sys.SpawnWorkers("water", func(w *core.Worker) {
 		i := w.Rank()
+		vp := vps[w.Cluster()]
 		lo, hi := blockRange(cfg.N, p, i)
 		got := make([][]Vec, len(tgt[i]))
 		fOwn := make([]Vec, hi-lo)

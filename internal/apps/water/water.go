@@ -230,8 +230,10 @@ func (ps *procState) futFor(e *sim.Engine) *sim.Future {
 
 // vecPool recycles force-contribution buffers. Every receiver folds a
 // contribution into its accumulator the moment it arrives and never retains
-// the slice, so buffers cycle sender -> receiver -> pool. The pool is shared
-// by all processes of a run; the simulator runs one at a time.
+// the slice, so buffers cycle sender -> receiver -> pool. Pools are per
+// cluster (see vecPools): a buffer is always recycled into the pool of the
+// cluster that finished reading it, so each free list is touched by one
+// logical process on a sharded engine.
 type vecPool struct {
 	bufs [][]Vec
 	max  int // largest block length; every pooled buffer has this capacity
@@ -250,6 +252,26 @@ func (vp *vecPool) get(n int) []Vec {
 }
 
 func (vp *vecPool) put(v []Vec) { vp.bufs = append(vp.bufs, v[:0]) }
+
+// vecPools builds the per-cluster force-buffer pools: one pool per cluster
+// on a sharded system (each touched only by its cluster's logical process;
+// buffers migrate between pools with the messages that carry them), and a
+// single pool shared by every slot sequentially, preserving the original
+// allocation behavior exactly.
+func vecPools(sys *core.System, max int) []*vecPool {
+	vps := make([]*vecPool, sys.Topo.Clusters)
+	if sys.Sharded() {
+		for c := range vps {
+			vps[c] = &vecPool{max: max}
+		}
+		return vps
+	}
+	shared := &vecPool{max: max}
+	for c := range vps {
+		vps[c] = shared
+	}
+	return vps
+}
 
 // Options selects which of the paper's two Water optimizations to apply —
 // both in the paper's optimized program, individually in the ablation.

@@ -59,7 +59,7 @@ func (st *cacheStore) get(cc *ClusterCache, p *sim.Proc, at, source cluster.Node
 	if f, ok := st.inflight[key]; ok {
 		return f.Await(p).(cacheEntry)
 	}
-	f := sim.NewFuture(cc.sys.Engine, fmt.Sprintf("cache fetch %v", key))
+	f := sim.NewFuture(p.Engine(), fmt.Sprintf("cache fetch %v", key))
 	st.inflight[key] = f
 	data, size := cc.fetch(p, at, source, key)
 	e := cacheEntry{data: data, size: size}
@@ -160,7 +160,7 @@ func (cc *ClusterCache) Get(w *Worker, source cluster.NodeID, key any) any {
 // spawnDaemon starts a server process that may stay parked forever.
 func (s *System) spawnDaemon(node cluster.NodeID, name string, body func(w *Worker)) {
 	w := &Worker{Sys: s, Node: node}
-	s.Engine.Go(name, func(p *sim.Proc) {
+	s.EngineFor(node).Go(name, func(p *sim.Proc) {
 		w.P = p
 		p.SetDaemon(true)
 		body(w)

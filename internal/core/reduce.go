@@ -27,10 +27,19 @@ type CombineFunc func(acc, value any) any
 // contributor.
 // Contribution and round records are pooled: coordinators recycle them as
 // rounds are folded and forwarded, so sustained reduction traffic allocates
-// nothing beyond what the application's combine function allocates.
+// nothing beyond what the application's combine function allocates. The
+// pools are per cluster (a contribution and its coordinator are always in
+// the same cluster), so on a sharded engine each free list is touched by a
+// single logical process; sequentially every cluster shares one list.
 type ClusterReducer struct {
-	sys     *System
-	name    string
+	sys   *System
+	name  string
+	pools []*reducePools
+}
+
+// reducePools is one cluster's free lists (plus that cluster's combine
+// function, which may close over cluster-local state such as buffer pools).
+type reducePools struct {
 	combine CombineFunc
 	conPool []*reduceContribution
 	rndPool []*roundState
@@ -51,39 +60,60 @@ type roundState struct {
 	seen int
 }
 
-func (cr *ClusterReducer) getCon() *reduceContribution {
-	if k := len(cr.conPool); k > 0 {
-		con := cr.conPool[k-1]
-		cr.conPool = cr.conPool[:k-1]
+func (pl *reducePools) getCon() *reduceContribution {
+	if k := len(pl.conPool); k > 0 {
+		con := pl.conPool[k-1]
+		pl.conPool = pl.conPool[:k-1]
 		return con
 	}
 	return new(reduceContribution)
 }
 
-func (cr *ClusterReducer) putCon(con *reduceContribution) {
+func (pl *reducePools) putCon(con *reduceContribution) {
 	con.value = nil
-	cr.conPool = append(cr.conPool, con)
+	pl.conPool = append(pl.conPool, con)
 }
 
-func (cr *ClusterReducer) getRound() *roundState {
-	if k := len(cr.rndPool); k > 0 {
-		st := cr.rndPool[k-1]
-		cr.rndPool = cr.rndPool[:k-1]
+func (pl *reducePools) getRound() *roundState {
+	if k := len(pl.rndPool); k > 0 {
+		st := pl.rndPool[k-1]
+		pl.rndPool = pl.rndPool[:k-1]
 		return st
 	}
 	return new(roundState)
 }
 
-func (cr *ClusterReducer) putRound(st *roundState) {
+func (pl *reducePools) putRound(st *roundState) {
 	st.acc, st.seen = nil, 0
-	cr.rndPool = append(cr.rndPool, st)
+	pl.rndPool = append(pl.rndPool, st)
 }
 
 // NewClusterReducer installs one event-context coordinator per (cluster,
 // remote target) pair. Call before System.Run.
 func NewClusterReducer(sys *System, name string, combine CombineFunc) *ClusterReducer {
-	cr := &ClusterReducer{sys: sys, name: name, combine: combine}
+	return NewClusterReducerPer(sys, name, func(int) CombineFunc { return combine })
+}
+
+// NewClusterReducerPer is NewClusterReducer with a per-cluster combine
+// function: mk(c) builds the fold used by cluster c's coordinators. Folds
+// that touch cluster-local state (e.g. a buffer pool the aggregates are
+// drawn from) need this on a sharded engine, where each cluster's
+// coordinators run on their own logical process.
+func NewClusterReducerPer(sys *System, name string, mk func(c int) CombineFunc) *ClusterReducer {
+	cr := &ClusterReducer{sys: sys, name: name}
 	topo := sys.Topo
+	if sys.Sharded() {
+		cr.pools = make([]*reducePools, topo.Clusters)
+		for c := range cr.pools {
+			cr.pools[c] = &reducePools{combine: mk(c)}
+		}
+	} else {
+		shared := &reducePools{combine: mk(0)}
+		cr.pools = make([]*reducePools, topo.Clusters)
+		for c := range cr.pools {
+			cr.pools[c] = shared
+		}
+	}
 	for c := 0; c < topo.Clusters; c++ {
 		for t := 0; t < topo.Compute(); t++ {
 			target := cluster.NodeID(t)
@@ -107,26 +137,29 @@ func (cr *ClusterReducer) service(target cluster.NodeID) string {
 }
 
 // install registers the accumulate-and-forward handler at the coordinator.
+// The handler runs at the coordinator's node, so it uses the coordinator's
+// cluster pools — the same pools its (always same-cluster) contributors use.
 func (cr *ClusterReducer) install(coord cluster.NodeID, svc string) {
 	rounds := make(map[orca.Tag]*roundState)
 	rts := cr.sys.RTS
+	pl := cr.pools[cr.sys.Topo.ClusterOf(coord)]
 	rts.HandleService(coord, svc, func(req *orca.Request) {
 		con := req.Payload.(*reduceContribution)
 		st, ok := rounds[con.tag]
 		if !ok {
-			st = cr.getRound()
+			st = pl.getRound()
 			rounds[con.tag] = st
 		}
-		st.acc = cr.combine(st.acc, con.value)
+		st.acc = pl.combine(st.acc, con.value)
 		st.seen++
 		target, tag, size, done := con.target, con.tag, con.size, st.seen >= con.expect
-		cr.putCon(con)
+		pl.putCon(con)
 		if !done {
 			return
 		}
 		delete(rounds, tag)
 		acc := st.acc
-		cr.putRound(st)
+		pl.putRound(st)
 		rts.SendData(coord, target, tag, size, acc)
 	})
 }
@@ -141,8 +174,9 @@ func (cr *ClusterReducer) Put(w *Worker, target cluster.NodeID, tag orca.Tag, si
 		w.Send(target, tag, size, value)
 		return
 	}
-	coord := cr.coordinator(topo.ClusterOf(w.Node), target)
-	con := cr.getCon()
+	c := topo.ClusterOf(w.Node)
+	coord := cr.coordinator(c, target)
+	con := cr.pools[c].getCon()
 	con.target, con.tag, con.value, con.expect, con.size = target, tag, value, expectLocal, size
 	cr.sys.RTS.Cast(w.Node, coord, cr.service(target), size, con)
 }

@@ -26,6 +26,16 @@ type Config struct {
 	Topology  cluster.Topology
 	Params    cluster.Params
 	Sequencer orca.Sequencer // nil selects the paper's default for the shape
+
+	// Shards selects the cluster-sharded parallel engine: the simulation is
+	// partitioned into min(Shards, Clusters) logical processes, each owning
+	// the events of one or more whole clusters, synchronized by conservative
+	// time windows whose width is the minimum cross-cluster one-way latency
+	// (see internal/sim and DESIGN.md §5c). 0 or 1 selects the sequential
+	// engine. Only applications audited as shardable may enable this — the
+	// runtime panics on unshardable primitives (sequenced broadcasts, the
+	// reliability layer, fault injection) rather than silently racing.
+	Shards int
 }
 
 // System is one assembled simulated platform.
@@ -42,9 +52,25 @@ func NewSystem(cfg Config) *System {
 		panic(err)
 	}
 	e := sim.NewEngine()
+	if s := cfg.Shards; s > 1 && cfg.Topology.Clusters > 1 {
+		if s > cfg.Topology.Clusters {
+			s = cfg.Topology.Clusters
+		}
+		e.Shard(s)
+	}
 	net := netsim.New(e, cfg.Topology, cfg.Params)
 	rts := orca.New(net, cfg.Sequencer)
 	return &System{Engine: e, Net: net, RTS: rts, Topo: cfg.Topology}
+}
+
+// Sharded reports whether the system runs on the cluster-sharded engine.
+func (s *System) Sharded() bool { return len(s.Engine.Shards()) > 0 }
+
+// EngineFor returns the engine that schedules events for the given node:
+// the root engine sequentially, the node's cluster LP when sharded. All
+// process spawns bound to a node must go through it.
+func (s *System) EngineFor(node cluster.NodeID) *sim.Engine {
+	return s.Net.EngineFor(s.Topo.ClusterOf(node))
 }
 
 // NewDAS assembles a DAS-like platform with the paper's Table-1 parameters
@@ -111,7 +137,7 @@ func (w *Worker) TryRecvID(id orca.TagID) (any, bool) { return w.Sys.RTS.TryRecv
 func (s *System) SpawnWorkers(name string, body func(w *Worker)) {
 	for i := 0; i < s.Topo.Compute(); i++ {
 		w := &Worker{Sys: s, P: nil, Node: cluster.NodeID(i)}
-		p := s.Engine.Go(fmt.Sprintf("%s-%d", name, i), func(p *sim.Proc) {
+		p := s.EngineFor(w.Node).Go(fmt.Sprintf("%s-%d", name, i), func(p *sim.Proc) {
 			w.P = p
 			body(w)
 		})
@@ -123,7 +149,7 @@ func (s *System) SpawnWorkers(name string, body func(w *Worker)) {
 // masters, coordinators and other per-node servers).
 func (s *System) SpawnAt(node cluster.NodeID, name string, body func(w *Worker)) {
 	w := &Worker{Sys: s, Node: node}
-	s.Engine.Go(name, func(p *sim.Proc) {
+	s.EngineFor(node).Go(name, func(p *sim.Proc) {
 		w.P = p
 		body(w)
 	})

@@ -34,23 +34,36 @@ type AppSpec struct {
 	// Build wires the application into a fresh system and returns its
 	// result verifier.
 	Build func(sys *core.System, optimized bool) func() error
+	// Shardable reports that the application is safe on the cluster-sharded
+	// parallel engine: it uses no cross-cluster shared mutable state outside
+	// the runtime's message paths, no sequenced broadcasts, and no global
+	// termination shortcuts (see DESIGN.md §5c for the audit). Non-shardable
+	// applications silently fall back to the sequential engine, so every
+	// configuration keeps producing byte-identical reports.
+	Shardable bool
 }
 
 // Apps lists the paper's eight applications in its Table 2/3 order.
 var Apps = []AppSpec{
 	{
-		Name: "Water", HasOptimized: true,
+		// Shardable: owner-partitioned state; all cross-cluster exchange goes
+		// through runtime messages (RPC push or cache/reduce services).
+		Name: "Water", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return water.Build(sys, water.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: the global best-tour object imposes a sequenced
+		// cross-cluster write order that the LP schedule cannot reproduce.
 		Name: "TSP", HasOptimized: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return tsp.Build(sys, tsp.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: every iteration's pivot row travels by totally
+		// ordered broadcast through the sequencer.
 		Name: "ASP", HasOptimized: true,
 		Sequencer: func(opt bool) orca.Sequencer { return asp.Sequencer(opt) },
 		Build: func(sys *core.System, opt bool) func() error {
@@ -58,30 +71,40 @@ var Apps = []AppSpec{
 		},
 	},
 	{
-		Name: "ATPG", HasOptimized: true,
+		// Shardable: faults are statically partitioned; the only shared
+		// objects are invoked through RPCs that execute at their owners.
+		Name: "ATPG", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return atpg.Build(sys, atpg.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: global work-stealing termination uses a cross-LP
+		// barrier and shared counters.
 		Name: "IDA*", HasOptimized: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return ida.Build(sys, ida.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: the done() loop polls a plain counter written by
+		// every cluster's workers.
 		Name: "RA", HasOptimized: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return ra.Build(sys, ra.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: per-iteration barrier plus unordered replicated
+		// updates folded into app state read by every cluster.
 		Name: "ACP", HasOptimized: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return acp.Build(sys, acp.Default(), opt)
 		},
 	},
 	{
+		// Not shardable: per-iteration barrier and shared convergence
+		// scalars.
 		Name: "SOR", HasOptimized: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return sor.Build(sys, sor.Default(), opt)
@@ -102,6 +125,36 @@ func AppByName(name string) (AppSpec, error) {
 // Params is the network parameter set used by all experiments.
 var Params = cluster.DASParams()
 
+// shardCount is the harness-wide engine-shard setting (0 or 1 = the
+// sequential engine). Like SetParallelism it is configured once before
+// experiments run, not toggled mid-flight.
+var shardCount int
+
+// SetShards selects the cluster-sharded engine for subsequent runs: each
+// run of a Shardable application partitions its simulation into
+// min(n, clusters) logical processes. Non-shardable applications (and
+// single-cluster shapes) keep the sequential engine; either way results are
+// byte-identical to sequential execution, so the setting changes wall-clock
+// behavior only. It returns the previous value. Call before running
+// experiments.
+func SetShards(n int) int {
+	prev := shardCount
+	shardCount = n
+	return prev
+}
+
+// effectiveShards resolves the shard count one configuration actually runs
+// with, which is also part of the run-cache key.
+func effectiveShards(app AppSpec, clusters int) int {
+	if !app.Shardable || shardCount < 2 || clusters < 2 {
+		return 0
+	}
+	if shardCount < clusters {
+		return shardCount
+	}
+	return clusters
+}
+
 // RunOne executes one application run on a clusters x perCluster platform
 // and returns its metrics. The parallel result is verified against the
 // application's sequential reference; a verification failure is an error.
@@ -114,6 +167,7 @@ func RunOne(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics
 		Topology:  cluster.DAS(clusters, perCluster),
 		Params:    Params,
 		Sequencer: seqr,
+		Shards:    effectiveShards(app, clusters),
 	})
 	verify := app.Build(sys, optimized)
 	m, err := sys.Run()
@@ -135,6 +189,7 @@ type runKey struct {
 	clusters   int
 	perCluster int
 	optimized  bool
+	shards     int
 }
 
 // runEntry is one cache slot; done is closed once m/err are final.
@@ -153,7 +208,7 @@ var (
 // configurations coalesce onto one execution (errors included, which a
 // deterministic simulation reproduces anyway).
 func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
-	k := runKey{app.Name, clusters, perCluster, optimized}
+	k := runKey{app.Name, clusters, perCluster, optimized, effectiveShards(app, clusters)}
 	cacheMu.Lock()
 	e, ok := runCache[k]
 	if ok {

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// readGolden loads a stored golden report from testdata.
+func readGolden(t *testing.T, id string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "golden_"+id+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runFreshSharded executes one configuration on a brand-new system with the
+// given engine-shard count (0 = sequential), returning the metrics and the
+// dispatched-event count. Non-shardable applications get shards forced to 0,
+// exactly as the harness's Shardable fallback does.
+func runFreshSharded(t *testing.T, app AppSpec, clusters, perCluster int, optimized bool, shards int) (core.Metrics, uint64) {
+	t.Helper()
+	if !app.Shardable {
+		shards = 0
+	}
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(optimized)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, perCluster),
+		Params:    Params,
+		Sequencer: seqr,
+		Shards:    shards,
+	})
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s opt=%v shards=%d: %v", app.Name, optimized, shards, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("%s opt=%v shards=%d: %v", app.Name, optimized, shards, err)
+	}
+	return m, sys.Engine.Dispatched()
+}
+
+// TestShardedIdentityAllApps is the tentpole's acceptance test: for every
+// application and variant, three repeated runs on the 4-shard engine must
+// reproduce the sequential run exactly — the same virtual elapsed time, the
+// same dispatched-event count, and byte-identical metrics (the material all
+// reports are rendered from). Shardable apps really exercise the parallel
+// engine here; the rest prove the fallback changes nothing.
+func TestShardedIdentityAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite identity sweep is long in -short mode")
+	}
+	for _, app := range Apps {
+		for _, opt := range []bool{false, true} {
+			seqM, seqD := runFreshSharded(t, app, 4, 2, opt, 0)
+			seqDump := fmt.Sprintf("%+v", seqM)
+			for rep := 0; rep < 3; rep++ {
+				m, d := runFreshSharded(t, app, 4, 2, opt, 4)
+				if m.Elapsed != seqM.Elapsed {
+					t.Errorf("%s opt=%v rep %d: elapsed %v, want %v", app.Name, opt, rep, m.Elapsed, seqM.Elapsed)
+				}
+				if d != seqD {
+					t.Errorf("%s opt=%v rep %d: dispatched %d, want %d", app.Name, opt, rep, d, seqD)
+				}
+				if dump := fmt.Sprintf("%+v", m); dump != seqDump {
+					t.Errorf("%s opt=%v rep %d: metrics differ from sequential\n got: %s\nwant: %s",
+						app.Name, opt, rep, dump, seqDump)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedGoldenReport reruns the ATPG golden experiment (fig7) with the
+// 4-shard engine enabled harness-wide and requires the rendered report to
+// stay byte-identical to the sequential golden file: the shard setting may
+// change wall-clock behavior only, never results.
+func TestShardedGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are long in -short mode")
+	}
+	want := readGolden(t, "fig7")
+	ResetCache()
+	prevShards := SetShards(4)
+	got := goldenOutput(t, "fig7")
+	SetShards(prevShards)
+	ResetCache()
+	if got != want {
+		t.Errorf("fig7 with shards=4: output differs from sequential golden file\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -105,8 +105,11 @@ type pipe struct {
 // delivery is a recyclable deliver-callback record. The closure is bound
 // once per record and records are pooled, so a steady stream of messages
 // schedules delivery events without allocating a fresh closure per message.
+// Each record belongs to one netShard's free list and never migrates, so
+// under a sharded engine every record is touched by a single LP thread.
 type delivery struct {
 	n  *Network
+	sh *netShard
 	m  Msg
 	fn func() // bound to (*delivery).run once, at record creation
 }
@@ -114,8 +117,21 @@ type delivery struct {
 func (d *delivery) run() {
 	n, m := d.n, d.m
 	d.m = Msg{} // drop the payload reference while pooled
-	n.pool = append(n.pool, d)
+	d.sh.pool = append(d.sh.pool, d)
 	n.deliver(m)
+}
+
+// netShard is the per-cluster slice of the network's mutable hot state: the
+// engine that executes the cluster's events plus the free lists and traffic
+// counters that the send/deliver path touches on every message. On a plain
+// engine every cluster references one shared netShard (so the sequential
+// data path is exactly what it was); on a sharded engine each cluster gets
+// its own, touched only from the cluster's LP thread, and reads merge them.
+type netShard struct {
+	e       *sim.Engine
+	stats   Stats
+	pool    []*delivery   // free list of delivery records
+	wanPool []*wanTransit // free list of two-stage WAN forwarding records
 }
 
 // Network is the two-level network for one simulated system.
@@ -126,10 +142,10 @@ type Network struct {
 	nodes     []*node
 	pipes     []pipe // dense, indexed srcCluster*nclusters+dstCluster
 	nclusters int
-	stats     Stats
+	sharded   bool
+	sh        []*netShard // cluster → shard (all one shard when unsharded)
+	merged    Stats       // scratch for Stats() snapshots when sharded
 	tap       Tap
-	pool      []*delivery   // free list of delivery records
-	wanPool   []*wanTransit // free list of two-stage WAN forwarding records
 
 	// Flattened topology tables: the send path answers "which cluster",
 	// "is it a gateway" and "who are the local members" with one array
@@ -197,22 +213,42 @@ type FaultPolicy interface {
 
 // SetFaultPolicy installs the fault injector (nil removes it, restoring the
 // perfect network). Install it before the run starts: switching policies
-// mid-run leaves in-flight messages ruled by the old policy.
-func (n *Network) SetFaultPolicy(p FaultPolicy) { n.fault = p }
+// mid-run leaves in-flight messages ruled by the old policy. Fault policies
+// are rejected on a sharded engine: a policy may shrink the effective WAN
+// latency below the lookahead the window fences are built on.
+func (n *Network) SetFaultPolicy(p FaultPolicy) {
+	if n.sharded && p != nil {
+		panic("netsim: fault injection is not supported on a sharded engine")
+	}
+	n.fault = p
+}
 
 // WANProfile maps a virtual instant to multiplicative (latency, bandwidth)
 // scales for the wide-area links. Both scales must be positive.
 type WANProfile func(at time.Duration) (latScale, bwScale float64)
 
 // SetWANProfile installs a time-varying WAN quality model (nil removes it).
-func (n *Network) SetWANProfile(p WANProfile) { n.wanProfile = p }
+// Profiles are rejected on a sharded engine: a latency scale below 1 would
+// undercut the lookahead the window fences are built on.
+func (n *Network) SetWANProfile(p WANProfile) {
+	if n.sharded && p != nil {
+		panic("netsim: WAN profiles are not supported on a sharded engine")
+	}
+	n.wanProfile = p
+}
 
 // Tap observes every message at send time (for tracing/timelines). It runs
 // synchronously on the send path and must be cheap.
 type Tap func(at time.Duration, m Msg, intercluster bool)
 
-// SetTap installs the message observer (nil removes it).
-func (n *Network) SetTap(tap Tap) { n.tap = tap }
+// SetTap installs the message observer (nil removes it). Taps are rejected
+// on a sharded engine: they would run concurrently from several LP threads.
+func (n *Network) SetTap(tap Tap) {
+	if n.sharded && tap != nil {
+		panic("netsim: taps are not supported on a sharded engine")
+	}
+	n.tap = tap
+}
 
 // New creates a network for the given topology and parameters.
 func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
@@ -232,18 +268,37 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 		feDelay:       par.FELatency + par.SoftwareOverhead,
 		wanDelay:      par.SoftwareOverhead,
 	}
-	for i := range n.nodes {
-		id := cluster.NodeID(i)
-		n.nodes[i] = &node{
-			id:    id,
-			inbox: sim.NewMailbox(e, fmt.Sprintf("inbox-%d", i)),
-		}
-	}
 	n.clusterOf = make([]int, topo.Total())
 	n.isGW = make([]bool, topo.Total())
 	for i := range n.clusterOf {
 		n.clusterOf[i] = topo.ClusterOf(cluster.NodeID(i))
 		n.isGW[i] = topo.IsGateway(cluster.NodeID(i))
+	}
+	// One netShard per cluster under a sharded engine (clusters beyond the
+	// LP count wrap round-robin, so their shards share an LP thread but keep
+	// separate free lists and counters); one shard shared by every cluster
+	// on a plain engine, which keeps the sequential data path identical.
+	n.sh = make([]*netShard, topo.Clusters)
+	if lps := e.Shards(); len(lps) > 0 {
+		n.sharded = true
+		for c := range n.sh {
+			n.sh[c] = &netShard{e: lps[c%len(lps)]}
+		}
+		// The minimum cross-LP delta: every intercluster event crosses the
+		// WAN pipe (WANLatency) plus the receive-side software overhead.
+		e.SetLookahead(par.WANLatency + par.SoftwareOverhead)
+	} else {
+		one := &netShard{e: e}
+		for c := range n.sh {
+			n.sh[c] = one
+		}
+	}
+	for i := range n.nodes {
+		id := cluster.NodeID(i)
+		n.nodes[i] = &node{
+			id:    id,
+			inbox: sim.NewMailbox(n.sh[n.clusterOf[i]].e, fmt.Sprintf("inbox-%d", i)),
+		}
 	}
 	n.members = make([][]cluster.NodeID, topo.Clusters)
 	for c := range n.members {
@@ -258,8 +313,13 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 	return n
 }
 
-// Engine returns the underlying simulation engine.
+// Engine returns the underlying simulation engine (the root when sharded).
 func (n *Network) Engine() *sim.Engine { return n.e }
+
+// EngineFor returns the engine that executes cluster c's events: the LP
+// owning the cluster when sharded, otherwise the lone engine. Processes and
+// timers belonging to a cluster's nodes must be scheduled on this engine.
+func (n *Network) EngineFor(c int) *sim.Engine { return n.sh[c].e }
 
 // Topology returns the network's topology.
 func (n *Network) Topology() cluster.Topology { return n.topo }
@@ -267,8 +327,24 @@ func (n *Network) Topology() cluster.Topology { return n.topo }
 // Params returns the network's performance parameters.
 func (n *Network) Params() cluster.Params { return n.par }
 
-// Stats returns the traffic statistics collected so far.
-func (n *Network) Stats() *Stats { return &n.stats }
+// Stats returns the traffic statistics collected so far. On a sharded
+// engine it returns a merged snapshot (clusters meter traffic separately;
+// counter sums are order-independent, so the merge is deterministic) — call
+// it again after more traffic rather than holding the pointer.
+func (n *Network) Stats() *Stats {
+	if !n.sharded {
+		return &n.sh[0].stats
+	}
+	n.merged = Stats{}
+	for _, sh := range n.sh {
+		for scope := 0; scope < 2; scope++ {
+			for k := 0; k < NumKinds; k++ {
+				n.merged.counts[scope][k].Add(sh.stats.counts[scope][k])
+			}
+		}
+	}
+	return &n.merged
+}
 
 // SetHandler installs the delivery callback for a node, replacing inbox
 // delivery. Pass nil to restore inbox delivery.
@@ -291,18 +367,22 @@ func (n *Network) deliver(m Msg) {
 }
 
 // deliverAt schedules delivery of m at absolute virtual time at, reusing a
-// pooled delivery record instead of allocating a per-message closure.
+// pooled delivery record instead of allocating a per-message closure. Every
+// caller already executes on the destination cluster's LP (local traffic
+// stays on one LP; WAN traffic crossed over in remoteGW), so the schedule
+// is a local At and the record cycles through a single shard's free list.
 func (n *Network) deliverAt(at time.Duration, m Msg) {
+	sh := n.sh[n.clusterOf[m.To]]
 	var d *delivery
-	if k := len(n.pool); k > 0 {
-		d = n.pool[k-1]
-		n.pool = n.pool[:k-1]
+	if k := len(sh.pool); k > 0 {
+		d = sh.pool[k-1]
+		sh.pool = sh.pool[:k-1]
 	} else {
-		d = &delivery{n: n}
+		d = &delivery{n: n, sh: sh}
 		d.fn = d.run
 	}
 	d.m = m
-	n.e.At(at, d.fn)
+	sh.e.At(at, d.fn)
 }
 
 // serialize reserves the sender-side NIC for size bytes at rate bw starting
@@ -325,18 +405,19 @@ func bwTime(size int, bw float64) time.Duration {
 // Send transmits m asynchronously; delivery happens at the simulated arrival
 // time. It never blocks and is callable from process or event context.
 func (n *Network) Send(m Msg) {
+	src := n.sh[n.clusterOf[m.From]]
 	if m.From == m.To {
 		if n.tap != nil {
-			n.tap(n.e.Now(), m, false)
+			n.tap(src.e.Now(), m, false)
 		}
 		// Loopback: modelled as pure software overhead.
-		n.stats.count(scopeIntra, m.Kind, m.Size)
-		n.deliverAt(n.e.Now()+n.par.SoftwareOverhead, m)
+		src.stats.count(scopeIntra, m.Kind, m.Size)
+		n.deliverAt(src.e.Now()+n.par.SoftwareOverhead, m)
 		return
 	}
 	inter := n.clusterOf[m.From] != n.clusterOf[m.To]
 	if n.tap != nil {
-		n.tap(n.e.Now(), m, inter)
+		n.tap(src.e.Now(), m, inter)
 	}
 	if !inter {
 		n.sendLAN(m)
@@ -347,8 +428,9 @@ func (n *Network) Send(m Msg) {
 
 // sendLAN delivers an intracluster message over the fast local network.
 func (n *Network) sendLAN(m Msg) {
-	n.stats.count(scopeIntra, m.Kind, m.Size)
-	now := n.e.Now()
+	sh := n.sh[n.clusterOf[m.From]]
+	sh.stats.count(scopeIntra, m.Kind, m.Size)
+	now := sh.e.Now()
 	src := n.nodes[m.From]
 	end := serialize(&src.nicFree, now, m.Size, n.par.LANBandwidth)
 	n.deliverAt(end+n.lanDelay, m)
@@ -368,12 +450,15 @@ type wanTransit struct {
 	fn2    func()        // bound to (*wanTransit).remoteGW once
 }
 
-// release returns the record to the pool with its fault state cleared.
-func (t *wanTransit) release() {
+// releaseTo returns the record to sh's pool with its fault state cleared.
+// The shard is the one whose LP is executing the release (the source cluster
+// in faulted, the destination cluster in remoteGW), so records migrate
+// between cluster pools but each pool is touched by a single LP thread.
+func (t *wanTransit) releaseTo(sh *netShard) {
 	t.m = Msg{} // drop the payload reference while pooled
 	t.extra = 0
 	t.dup = false
-	t.n.wanPool = append(t.n.wanPool, t)
+	sh.wanPool = append(sh.wanPool, t)
 }
 
 // faulted applies the installed fault policy at the local gateway. It
@@ -381,23 +466,24 @@ func (t *wanTransit) release() {
 // dropped by the policy), in which case the record has been released.
 func (t *wanTransit) faulted(now time.Duration) bool {
 	n := t.n
+	sh := n.sh[t.cs]
 	if n.fault.GatewayDown(now, t.cs, t.m) {
 		// The local gateway is crashed: the message never reaches the WAN.
-		t.release()
+		t.releaseTo(sh)
 		return true
 	}
 	act, delay := n.fault.WANTransit(now, t.cs, t.cd, t.m)
 	switch act {
 	case FaultDrop:
-		t.release()
+		t.releaseTo(sh)
 		return true
 	case FaultDuplicate:
 		// Schedule a second transit of the same message. It enters the
 		// pipe right behind this copy and is marked dup so the policy is
 		// not consulted again (no duplicate cascades).
-		d := n.getTransit()
+		d := n.getTransit(sh)
 		d.m, d.cs, d.cd, d.dup = t.m, t.cs, t.cd, true
-		n.e.At(now, d.fn1)
+		sh.e.At(now, d.fn1)
 	}
 	t.extra = delay
 	return false
@@ -407,7 +493,8 @@ func (t *wanTransit) faulted(now time.Duration) bool {
 // then the WAN pipe (a FIFO resource per directed cluster pair).
 func (t *wanTransit) localGW() {
 	n := t.n
-	now := n.e.Now()
+	sh := n.sh[t.cs]
+	now := sh.e.Now()
 	if n.fault != nil && !t.dup && t.faulted(now) {
 		return
 	}
@@ -439,7 +526,11 @@ func (t *wanTransit) localGW() {
 	p.busy += xmit
 	p.bytes += int64(t.m.Size)
 	p.msgs++
-	n.e.At(depart+lat+n.wanDelay+t.extra, t.fn2)
+	// The one cross-LP hop: arrival is depart+lat+wanDelay with depart >= now
+	// and lat >= WANLatency (profiles and faults are rejected when sharded),
+	// so the delta is always >= the lookahead and the schedule is legal in
+	// any window. On a plain engine AtShard is exactly At.
+	sh.e.AtShard(n.sh[t.cd].e, depart+lat+n.wanDelay+t.extra, t.fn2)
 }
 
 // remoteGW is stage 3: remote gateway forwarding, then Fast Ethernet to the
@@ -447,8 +538,9 @@ func (t *wanTransit) localGW() {
 // recycles itself here; delivery continues through a pooled delivery record.
 func (t *wanTransit) remoteGW() {
 	n, m, cd := t.n, t.m, t.cd
-	t.release()
-	if n.fault != nil && n.fault.GatewayDown(n.e.Now(), cd, m) {
+	sh := n.sh[cd]
+	t.releaseTo(sh)
+	if n.fault != nil && n.fault.GatewayDown(sh.e.Now(), cd, m) {
 		// The remote gateway is crashed: the message crossed the WAN but is
 		// lost at the receiving side. Duplicates are subject to this too.
 		return
@@ -457,7 +549,7 @@ func (t *wanTransit) remoteGW() {
 		n.deliver(m)
 		return
 	}
-	now := n.e.Now()
+	now := sh.e.Now()
 	gwRemote := n.nodes[n.gateways[cd]]
 	if n.par.GatewayCost > 0 {
 		if gwRemote.gwFree < now {
@@ -473,8 +565,9 @@ func (t *wanTransit) remoteGW() {
 // sendWAN routes an intercluster message through both gateways and the WAN
 // pipe for the directed cluster pair.
 func (n *Network) sendWAN(m Msg) {
-	n.stats.count(scopeInter, m.Kind, m.Size)
-	now := n.e.Now()
+	sh := n.sh[n.clusterOf[m.From]]
+	sh.stats.count(scopeInter, m.Kind, m.Size)
+	now := sh.e.Now()
 
 	// Leg 1: node → local gateway over Fast Ethernet (skipped when the
 	// sender is the gateway itself, e.g. forwarded protocol traffic).
@@ -487,19 +580,19 @@ func (n *Network) sendWAN(m Msg) {
 		atLocalGW = end + n.feDelay
 	}
 
-	t := n.getTransit()
+	t := n.getTransit(sh)
 	t.m = m
 	t.cs, t.cd = n.clusterOf[m.From], n.clusterOf[m.To]
-	n.e.At(atLocalGW, t.fn1)
+	sh.e.At(atLocalGW, t.fn1) // same cluster: sender and its gateway share an LP
 }
 
-// getTransit pops a pooled wanTransit record (or creates one with its stage
-// closures bound). Fault state is cleared at release, so a pooled record is
-// ready to reuse as-is.
-func (n *Network) getTransit() *wanTransit {
-	if k := len(n.wanPool); k > 0 {
-		t := n.wanPool[k-1]
-		n.wanPool = n.wanPool[:k-1]
+// getTransit pops a pooled wanTransit record from sh (or creates one with
+// its stage closures bound). Fault state is cleared at release, so a pooled
+// record is ready to reuse as-is.
+func (n *Network) getTransit(sh *netShard) *wanTransit {
+	if k := len(sh.wanPool); k > 0 {
+		t := sh.wanPool[k-1]
+		sh.wanPool = sh.wanPool[:k-1]
 		return t
 	}
 	t := &wanTransit{n: n}
@@ -578,11 +671,12 @@ func (n *Network) PipeReports() []PipeReport {
 // the sender serializes once, all members receive after the broadcast
 // latency. Gateways do not receive local broadcasts.
 func (n *Network) BcastLocal(from cluster.NodeID, kind Kind, size int, payload any) {
+	sh := n.sh[n.clusterOf[from]]
 	if n.tap != nil {
-		n.tap(n.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
+		n.tap(sh.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
 	}
-	n.stats.count(scopeIntra, kind, size)
-	now := n.e.Now()
+	sh.stats.count(scopeIntra, kind, size)
+	now := sh.e.Now()
 	src := n.nodes[from]
 	end := serialize(&src.nicFree, now, size, n.par.LANBandwidth)
 	arrive := end + n.lanBcastDelay

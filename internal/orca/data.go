@@ -22,14 +22,19 @@ type Tag struct {
 type TagID int32
 
 // InternTag returns the dense ID for tag, assigning the next one on first
-// use. The ID is valid for the lifetime of the runtime.
+// use. The ID is valid for the lifetime of the runtime. The tables are the
+// only runtime maps shared across clusters, so interning takes a lock; on a
+// sharded engine apps should intern at setup anyway, both to keep TagID
+// assignment deterministic and to keep the lock off the steady-state path.
 func (r *RTS) InternTag(t Tag) TagID {
+	r.tagMu.Lock()
 	id, ok := r.tagIDs[t]
 	if !ok {
 		id = TagID(len(r.tags))
 		r.tagIDs[t] = id
 		r.tags = append(r.tags, t)
 	}
+	r.tagMu.Unlock()
 	return id
 }
 
@@ -46,7 +51,7 @@ func (r *RTS) dataMailbox(nd *nodeRTS, id TagID) *sim.Mailbox {
 		if r.debugNames {
 			name = fmt.Sprintf("data %v@%d", r.tags[id], nd.id)
 		}
-		mb = sim.NewMailbox(r.e, name)
+		mb = sim.NewMailbox(nd.sh.e, name)
 		nd.data[id] = mb
 	}
 	return mb
@@ -63,9 +68,10 @@ func (r *RTS) SendData(from, to cluster.NodeID, tag Tag, size int, payload any) 
 // SendDataID is SendData for a pre-interned tag: the zero-allocation fast
 // path for per-iteration exchanges.
 func (r *RTS) SendDataID(from, to cluster.NodeID, id TagID, size int, payload any) {
-	r.ops.DataMsgs++
-	r.ops.DataBytes += int64(size)
-	d := r.getDataMsg()
+	sh := r.nodes[from].sh
+	sh.ops.DataMsgs++
+	sh.ops.DataBytes += int64(size)
+	d := sh.getDataMsg()
 	d.id, d.payload = id, payload
 	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,

@@ -166,17 +166,21 @@ func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
 	r := o.rts
 	if !o.replicated {
 		if from == o.owner {
-			r.ops.LocalOps++
+			r.nodes[from].sh.ops.LocalOps++
 			return op.Apply(o.state)
 		}
 		return r.rpc(p, from, o, op)
 	}
 	if op.ReadOnly {
-		r.ops.LocalOps++
+		r.nodes[from].sh.ops.LocalOps++
 		return op.Apply(o.replicas[from])
 	}
-	r.ops.Bcasts++
-	r.ops.BcastBytes += int64(op.ArgBytes)
+	if r.sharded {
+		panic(fmt.Sprintf("orca: ordered write to replicated object %q on a sharded engine (the app is not shardable)", o.name))
+	}
+	sh := r.nodes[from].sh
+	sh.ops.Bcasts++
+	sh.ops.BcastBytes += int64(op.ArgBytes)
 	b := r.getBcast(o.futName)
 	b.obj, b.op, b.from = o, op, from
 	b.size = op.ArgBytes + HeaderBytes
@@ -189,12 +193,13 @@ func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
 
 // rpc performs a blocking remote invocation on a non-replicated object.
 func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
-	r.ops.RPCs++
-	r.ops.RPCBytes += int64(op.ArgBytes + op.ResBytes)
 	nd := r.nodes[from]
-	f := r.getFuture(o.futName)
+	sh := nd.sh
+	sh.ops.RPCs++
+	sh.ops.RPCBytes += int64(op.ArgBytes + op.ResBytes)
+	f := sh.getFuture(o.futName)
 	id := nd.newCall(f)
-	q := r.getReq()
+	q := sh.getReq()
 	q.callID, q.objID, q.op = id, o.id, op
 	r.send(netsim.Msg{
 		From: from, To: o.owner, Kind: netsim.KindRPCReq,
@@ -202,7 +207,7 @@ func (r *RTS) rpc(p *sim.Proc, from cluster.NodeID, o *Object, op Op) any {
 		Payload: q,
 	})
 	res := f.Await(p)
-	r.putFuture(f)
+	sh.putFuture(f)
 	return res
 }
 
@@ -227,13 +232,14 @@ func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
 		o.misuse("AsyncUpdate", "")
 	}
 	r := o.rts
-	r.ops.Bcasts++
-	r.ops.BcastBytes += int64(op.ArgBytes)
+	sh := r.nodes[from].sh
+	sh.ops.Bcasts++
+	sh.ops.BcastBytes += int64(op.ArgBytes)
 	size := op.ArgBytes + HeaderBytes
 	// Local cluster: hardware multicast (includes the sender's own copy,
 	// applied on delivery like any other member's).
 	fc := r.topo.ClusterOf(from)
-	local := r.getAsync()
+	local := sh.getAsync()
 	local.obj, local.op = o, op
 	local.refs = int32(r.topo.Size(fc))
 	r.net.BcastLocal(from, netsim.KindBcast, size, local)
@@ -243,7 +249,7 @@ func (o *Object) AsyncUpdate(from cluster.NodeID, op Op) any {
 		if c == fc {
 			continue
 		}
-		a := r.getAsync()
+		a := sh.getAsync()
 		a.obj, a.op = o, op
 		a.refs = int32(r.topo.Size(c))
 		r.send(netsim.Msg{

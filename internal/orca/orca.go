@@ -23,6 +23,7 @@ package orca
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"albatross/internal/cluster"
@@ -62,21 +63,47 @@ type RTS struct {
 	// in deadlock reports and traces, costly to format on every miss).
 	debugNames bool
 
+	// sharded mirrors the engine's mode; sh maps each cluster to its slice
+	// of the hot mutable state (one shared slice on a plain engine).
+	sharded bool
+	sh      []*rtsShard
+
+	// tagMu guards the tag-interning tables: the only RTS maps a sharded
+	// run may touch mid-run (sharded apps should still intern at setup so
+	// TagIDs stay deterministic; the lock makes a stray mid-run intern a
+	// race-free nondeterminism bug instead of memory corruption).
+	tagMu sync.Mutex
+
+	// Free lists for the ordered-broadcast records. These stay on the RTS
+	// (not per shard) because the sequencer path is rejected on a sharded
+	// engine; see Invoke's replicated-write branch.
+	bcastPool  []*pendingBcast
+	submitPool []*submitMsg
+}
+
+// rtsShard is the per-cluster slice of the runtime's mutable hot state: the
+// protocol-record free lists, pooled reply futures, cached call names and
+// the logical-operation counters. On a plain engine every cluster references
+// one shared rtsShard, so the sequential data path is unchanged; on a
+// sharded engine each cluster gets its own, touched only from its LP thread
+// (records acquired on one LP and recycled on another simply migrate between
+// per-cluster free lists), and Ops() merges the counters deterministically.
+type rtsShard struct {
+	e *sim.Engine
+
 	// callNames caches the "call <service>" future names so the blocking
 	// Call path formats nothing per request.
 	callNames map[string]string
 
 	// Free lists for the protocol records of the steady-state data path.
-	// Records are recycled at delivery (or, for pendingBcast, when the last
-	// reference drops), so sustained messaging allocates nothing.
-	dataPool   []*dataMsg
-	bcastPool  []*pendingBcast
-	submitPool []*submitMsg
-	reqPool    []*rpcReq
-	repPool    []*rpcRep
-	svcPool    []*serviceReq
-	asyncPool  []*asyncDeliver
-	futPool    []*sim.Future
+	// Records are recycled at delivery, so sustained messaging allocates
+	// nothing.
+	dataPool  []*dataMsg
+	reqPool   []*rpcReq
+	repPool   []*rpcRep
+	svcPool   []*serviceReq
+	asyncPool []*asyncDeliver
+	futPool   []*sim.Future
 
 	ops OpStats
 }
@@ -84,6 +111,7 @@ type RTS struct {
 // nodeRTS is the per-compute-node runtime state.
 type nodeRTS struct {
 	id        cluster.NodeID
+	sh        *rtsShard                 // the cluster's slice of the hot runtime state
 	calls     []*sim.Future             // outstanding RPC/request replies, by slot
 	freeCalls []uint64                  // recycled call slots (call IDs are slot indices)
 	services  map[string]*sim.Mailbox   // registered application services
@@ -147,11 +175,26 @@ func New(net *netsim.Network, seqr Sequencer) *RTS {
 		seqBusy: make([]time.Duration, topo.Total()),
 		tagIDs:  make(map[Tag]TagID),
 	}
+	// One rtsShard per cluster on a sharded engine, one shared by all
+	// clusters otherwise (see the type comment).
+	r.sh = make([]*rtsShard, topo.Clusters)
+	if len(r.e.Shards()) > 0 {
+		r.sharded = true
+		for c := range r.sh {
+			r.sh[c] = &rtsShard{e: net.EngineFor(c), callNames: make(map[string]string)}
+		}
+	} else {
+		one := &rtsShard{e: r.e, callNames: make(map[string]string)}
+		for c := range r.sh {
+			r.sh[c] = one
+		}
+	}
 	r.nodes = make([]*nodeRTS, topo.Compute())
 	for i := range r.nodes {
 		id := cluster.NodeID(i)
 		r.nodes[i] = &nodeRTS{
 			id:       id,
+			sh:       r.sh[topo.ClusterOf(id)],
 			services: make(map[string]*sim.Mailbox),
 			handlers: make(map[string]func(*Request)),
 		}
@@ -190,8 +233,27 @@ func (r *RTS) Network() *netsim.Network { return r.net }
 // Topology returns the platform topology.
 func (r *RTS) Topology() cluster.Topology { return r.topo }
 
-// Ops returns the logical operation counters accumulated so far.
-func (r *RTS) Ops() OpStats { return r.ops }
+// Ops returns the logical operation counters accumulated so far. On a
+// sharded engine the per-cluster counters are summed; integer sums are
+// order-independent, so the merge is deterministic.
+func (r *RTS) Ops() OpStats {
+	if !r.sharded {
+		return r.sh[0].ops
+	}
+	var t OpStats
+	for _, sh := range r.sh {
+		o := &sh.ops
+		t.RPCs += o.RPCs
+		t.RPCBytes += o.RPCBytes
+		t.Bcasts += o.Bcasts
+		t.BcastBytes += o.BcastBytes
+		t.LocalOps += o.LocalOps
+		t.Requests += o.Requests
+		t.DataMsgs += o.DataMsgs
+		t.DataBytes += o.DataBytes
+	}
+	return t
+}
 
 // Sequencer returns the totally-ordered broadcast protocol in use.
 func (r *RTS) Sequencer() Sequencer { return r.seqr }
@@ -228,48 +290,50 @@ type dataMsg struct {
 }
 
 // record free-list accessors: pop a recycled record or allocate the first
-// few. Every get* has a matching recycle site in the dispatch path.
+// few. Every get* has a matching recycle site in the dispatch path. The
+// receiver is the shard of the cluster whose LP is executing, so each free
+// list is touched by one thread only.
 
-func (r *RTS) getDataMsg() *dataMsg {
-	if k := len(r.dataPool); k > 0 {
-		d := r.dataPool[k-1]
-		r.dataPool = r.dataPool[:k-1]
+func (sh *rtsShard) getDataMsg() *dataMsg {
+	if k := len(sh.dataPool); k > 0 {
+		d := sh.dataPool[k-1]
+		sh.dataPool = sh.dataPool[:k-1]
 		return d
 	}
 	return new(dataMsg)
 }
 
-func (r *RTS) getReq() *rpcReq {
-	if k := len(r.reqPool); k > 0 {
-		q := r.reqPool[k-1]
-		r.reqPool = r.reqPool[:k-1]
+func (sh *rtsShard) getReq() *rpcReq {
+	if k := len(sh.reqPool); k > 0 {
+		q := sh.reqPool[k-1]
+		sh.reqPool = sh.reqPool[:k-1]
 		return q
 	}
 	return new(rpcReq)
 }
 
-func (r *RTS) getRep() *rpcRep {
-	if k := len(r.repPool); k > 0 {
-		q := r.repPool[k-1]
-		r.repPool = r.repPool[:k-1]
+func (sh *rtsShard) getRep() *rpcRep {
+	if k := len(sh.repPool); k > 0 {
+		q := sh.repPool[k-1]
+		sh.repPool = sh.repPool[:k-1]
 		return q
 	}
 	return new(rpcRep)
 }
 
-func (r *RTS) getSvc() *serviceReq {
-	if k := len(r.svcPool); k > 0 {
-		q := r.svcPool[k-1]
-		r.svcPool = r.svcPool[:k-1]
+func (sh *rtsShard) getSvc() *serviceReq {
+	if k := len(sh.svcPool); k > 0 {
+		q := sh.svcPool[k-1]
+		sh.svcPool = sh.svcPool[:k-1]
 		return q
 	}
 	return new(serviceReq)
 }
 
-func (r *RTS) getAsync() *asyncDeliver {
-	if k := len(r.asyncPool); k > 0 {
-		a := r.asyncPool[k-1]
-		r.asyncPool = r.asyncPool[:k-1]
+func (sh *rtsShard) getAsync() *asyncDeliver {
+	if k := len(sh.asyncPool); k > 0 {
+		a := sh.asyncPool[k-1]
+		sh.asyncPool = sh.asyncPool[:k-1]
 		return a
 	}
 	return new(asyncDeliver)
@@ -278,17 +342,17 @@ func (r *RTS) getAsync() *asyncDeliver {
 // getFuture pools the one-shot reply futures of RPCs and blocking calls:
 // the caller must return the future with putFuture once Await has consumed
 // the value.
-func (r *RTS) getFuture(name string) *sim.Future {
-	if k := len(r.futPool); k > 0 {
-		f := r.futPool[k-1]
-		r.futPool = r.futPool[:k-1]
+func (sh *rtsShard) getFuture(name string) *sim.Future {
+	if k := len(sh.futPool); k > 0 {
+		f := sh.futPool[k-1]
+		sh.futPool = sh.futPool[:k-1]
 		f.Reset(name)
 		return f
 	}
-	return sim.NewFuture(r.e, name)
+	return sim.NewFuture(sh.e, name)
 }
 
-func (r *RTS) putFuture(f *sim.Future) { r.futPool = append(r.futPool, f) }
+func (sh *rtsShard) putFuture(f *sim.Future) { sh.futPool = append(sh.futPool, f) }
 
 // dispatchFor returns the network delivery handler of a compute node.
 func (r *RTS) dispatchFor(id cluster.NodeID) netsim.Handler {
@@ -307,8 +371,8 @@ func (r *RTS) dispatchPayload(id cluster.NodeID, nd *nodeRTS, m netsim.Msg) {
 		size := pl.op.ResBytes + HeaderBytes
 		callID := pl.callID
 		pl.op = Op{} // drop the closure reference while pooled
-		r.reqPool = append(r.reqPool, pl)
-		rep := r.getRep()
+		nd.sh.reqPool = append(nd.sh.reqPool, pl)
+		rep := nd.sh.getRep()
 		rep.callID, rep.result = callID, res
 		r.send(netsim.Msg{
 			From: id, To: m.From, Kind: netsim.KindRPCRep,
@@ -319,7 +383,7 @@ func (r *RTS) dispatchPayload(id cluster.NodeID, nd *nodeRTS, m netsim.Msg) {
 		f := nd.takeCall(pl.callID)
 		res := pl.result
 		pl.result = nil
-		r.repPool = append(r.repPool, pl)
+		nd.sh.repPool = append(nd.sh.repPool, pl)
 		f.Set(res)
 	case *pendingBcast:
 		r.applyOrdered(id, pl)
@@ -331,14 +395,14 @@ func (r *RTS) dispatchPayload(id cluster.NodeID, nd *nodeRTS, m netsim.Msg) {
 		if pl.refs--; pl.refs == 0 {
 			pl.obj = nil
 			pl.op = Op{}
-			r.asyncPool = append(r.asyncPool, pl)
+			nd.sh.asyncPool = append(nd.sh.asyncPool, pl)
 		}
 	case *serviceReq:
 		req := &Request{rts: r, ID: pl.callID, From: pl.from, To: id, Payload: pl.payload}
 		svc := pl.service
 		pl.payload = nil
 		pl.service = ""
-		r.svcPool = append(r.svcPool, pl)
+		nd.sh.svcPool = append(nd.sh.svcPool, pl)
 		if fn, ok := nd.handlers[svc]; ok {
 			fn(req)
 		} else if mb, ok := nd.services[svc]; ok {
@@ -349,7 +413,7 @@ func (r *RTS) dispatchPayload(id cluster.NodeID, nd *nodeRTS, m netsim.Msg) {
 	case *dataMsg:
 		tid, payload := pl.id, pl.payload
 		pl.payload = nil
-		r.dataPool = append(r.dataPool, pl)
+		nd.sh.dataPool = append(nd.sh.dataPool, pl)
 		r.dataMailbox(nd, tid).Put(payload)
 	case *relEnvelope:
 		r.rel.onEnvelope(pl)
@@ -395,6 +459,12 @@ type seqProtoMsg interface{ deliver(r *RTS) }
 // a single central sequencer caps broadcast throughput system-wide; the
 // per-cluster distributed sequencer spreads that work over the clusters.
 func (r *RTS) distribute(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
+	if r.sharded {
+		// The sequencer serializes on global state (seqBusy horizons, the
+		// rotating token) that no single LP owns; apps that reach it must
+		// not be marked shardable.
+		panic("orca: totally-ordered broadcast is not supported on a sharded engine")
+	}
 	start := r.e.Now()
 	if busy := r.seqBusy[orderer]; busy > start {
 		start = busy

@@ -137,6 +137,11 @@ type relLayer struct {
 // messages from the first send, so enabling mid-run would present unknown
 // sequence numbers to the receivers.
 func (r *RTS) EnableReliability(cfg RelConfig) {
+	if r.sharded {
+		// The ARQ layer keeps per-directed-pair channel state touched from
+		// both endpoints' LPs; it has no sharded implementation yet.
+		panic("orca: the reliability layer is not supported on a sharded engine")
+	}
 	if r.rel != nil {
 		panic("orca: EnableReliability called twice")
 	}

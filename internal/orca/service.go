@@ -29,7 +29,7 @@ func (q *Request) Reply(resBytes int, result any) {
 		panic("orca: Reply to a Cast request")
 	}
 	r := q.rts
-	rep := r.getRep()
+	rep := r.nodes[q.To].sh.getRep() // executing at the serving node's LP
 	rep.callID, rep.result = q.ID, result
 	r.send(netsim.Msg{
 		From: q.To, To: q.From, Kind: netsim.KindRPCRep,
@@ -71,8 +71,9 @@ func (r *RTS) HandleService(at cluster.NodeID, name string, fn func(*Request)) {
 // Cast sends a one-way, non-blocking request to a service: the sender
 // continues immediately and no reply is expected.
 func (r *RTS) Cast(from, to cluster.NodeID, name string, argBytes int, payload any) {
-	r.ops.Requests++
-	q := r.getSvc()
+	sh := r.nodes[from].sh
+	sh.ops.Requests++
+	q := sh.getSvc()
 	q.callID, q.from, q.service, q.payload = noReply, from, name, payload
 	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindData,
@@ -90,15 +91,13 @@ func NextRequest(p *sim.Proc, mb *sim.Mailbox) *Request {
 }
 
 // callFutName returns the cached future name for blocking calls to a
-// service, building it on first use.
-func (r *RTS) callFutName(name string) string {
-	s, ok := r.callNames[name]
+// service, building it on first use. The cache is per shard so concurrent
+// first calls on different LPs never share a map.
+func (sh *rtsShard) callFutName(name string) string {
+	s, ok := sh.callNames[name]
 	if !ok {
 		s = "call " + name
-		if r.callNames == nil {
-			r.callNames = make(map[string]string)
-		}
-		r.callNames[name] = s
+		sh.callNames[name] = s
 	}
 	return s
 }
@@ -106,11 +105,12 @@ func (r *RTS) callFutName(name string) string {
 // Call performs a blocking application-level request to service name at node
 // to: the calling process is suspended until the server replies.
 func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes int, payload any) any {
-	r.ops.Requests++
 	nd := r.nodes[from]
-	f := r.getFuture(r.callFutName(name))
+	sh := nd.sh
+	sh.ops.Requests++
+	f := sh.getFuture(sh.callFutName(name))
 	id := nd.newCall(f)
-	q := r.getSvc()
+	q := sh.getSvc()
 	q.callID, q.from, q.service, q.payload = id, from, name, payload
 	r.send(netsim.Msg{
 		From: from, To: to, Kind: netsim.KindRPCReq,
@@ -118,6 +118,6 @@ func (r *RTS) Call(p *sim.Proc, from, to cluster.NodeID, name string, argBytes i
 		Payload: q,
 	})
 	res := f.Await(p)
-	r.putFuture(f)
+	sh.putFuture(f)
 	return res
 }

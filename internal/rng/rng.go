@@ -31,11 +31,18 @@ type Rand struct {
 // the xoshiro authors. Distinct seeds give independent-looking streams.
 func New(seed uint64) *Rand {
 	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed re-initializes the generator in place to the exact stream New(seed)
+// would produce, so hot loops can reseed one reused generator per item
+// instead of allocating a fresh one.
+func (r *Rand) Seed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = SplitMix64(&st)
 	}
-	return &r
 }
 
 // Derive returns a new generator whose stream is a deterministic function of

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,6 +49,16 @@ type Engine struct {
 	running bool
 	stopped bool
 	killing bool // Shutdown in progress or complete; primitives go inert
+
+	// Sharded-mode links (all nil/zero on a plain sequential engine).
+	// See shard.go for the conservative parallel execution they support.
+	root      *Engine       // on an LP: the sharded root that owns it
+	shards    []*Engine     // on the root: the LP engines
+	win       *winState     // on an LP: scheduling log, non-nil only during a sharded Run
+	winBuf    winState      // backing store for win, reused across windows
+	lookahead time.Duration // on the root: minimum cross-LP scheduling distance
+	crew      *shardCrew    // on the root: runner threads, live during Run
+	winStop   atomic.Bool   // on the root: Stop() flag readable from LP threads
 }
 
 // procKilled is the panic value used to unwind process goroutines during
@@ -176,13 +187,25 @@ func NewEngine() *Engine {
 	return &Engine{ctl: make(chan procSignal)}
 }
 
-// Now reports the current virtual time.
-func (e *Engine) Now() time.Duration { return e.now }
+// Now reports the current virtual time. On a sharded root it is the furthest
+// LP clock — the instant the sequential engine would have reached.
+func (e *Engine) Now() time.Duration {
+	if e.shards != nil {
+		return e.shardedNow()
+	}
+	return e.now
+}
 
-// Dispatched reports how many events the engine has executed so far. Two
-// runs of the same configuration execute the identical count (used by the
-// determinism tests).
-func (e *Engine) Dispatched() uint64 { return e.dispatched }
+// Dispatched reports how many events the engine has executed so far (summed
+// over the LPs on a sharded root). Two runs of the same configuration execute
+// the identical count (used by the determinism tests).
+func (e *Engine) Dispatched() uint64 {
+	n := e.dispatched
+	for _, s := range e.shards {
+		n += s.dispatched
+	}
+	return n
+}
 
 // SetDeadline makes Run abort with a *DeadlineError the moment virtual time
 // would advance past d, instead of simulating a runaway (or livelocked-in-
@@ -201,6 +224,25 @@ func (e *Engine) SetDeadline(d time.Duration) {
 // context: they must not block, but they may resume processes (via Future,
 // Mailbox, or any primitive built on them) and schedule further events.
 func (e *Engine) At(t time.Duration, fn func()) {
+	if w := e.win; w != nil {
+		// Mid-window on an LP of a sharded run: provisional seq + call log.
+		e.winAt(w, t, fn)
+		return
+	}
+	if e.root != nil {
+		// Setup phase on an LP: seqs come from the root's global counter, so
+		// same-instant events across LPs order exactly as sequentially.
+		seq := e.rootSeq()
+		if t <= e.now {
+			e.ready.push(seq, fn)
+			return
+		}
+		e.heapPush(event{at: t, seq: seq, fn: fn})
+		return
+	}
+	if e.shards != nil {
+		panic("sim: At on a sharded root engine (schedule on an LP)")
+	}
 	e.seq++
 	if t <= e.now {
 		// Due now (or clamped from the past): the ready ring preserves
@@ -217,6 +259,9 @@ func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
 // Go spawns a simulated process that begins executing body at the current
 // virtual time. The name is used in deadlock reports and String.
 func (e *Engine) Go(name string, body func(*Proc)) *Proc {
+	if e.shards != nil {
+		panic("sim: Go on a sharded root engine (spawn on an LP)")
+	}
 	p := &Proc{
 		e:      e,
 		id:     len(e.procs),
@@ -274,6 +319,14 @@ func (e *Engine) wake(p *Proc) {
 		panic(fmt.Sprintf("sim: wake of %s which is %v", p.name, p.state))
 	}
 	p.state = procReady
+	if w := e.win; w != nil {
+		e.winWake(w, p)
+		return
+	}
+	if e.root != nil {
+		e.ready.push(e.rootSeq(), p.runFn)
+		return
+	}
 	e.seq++
 	e.ready.push(e.seq, p.runFn)
 }
@@ -294,6 +347,9 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.shards != nil {
+		return e.runSharded()
+	}
 	for (e.ready.n > 0 || len(e.heap) > 0) && !e.stopped {
 		if e.ready.n > 0 {
 			// A heap event due at the current instant predates every ring
@@ -356,6 +412,13 @@ func (e *Engine) parkedReport() []string {
 			parked = append(parked, p.waitReport())
 		}
 	}
+	for _, s := range e.shards {
+		for _, p := range s.procs {
+			if p.state == procParked && !p.daemon {
+				parked = append(parked, p.waitReport())
+			}
+		}
+	}
 	sort.Strings(parked)
 	return parked
 }
@@ -363,7 +426,21 @@ func (e *Engine) parkedReport() []string {
 // Stop makes Run return after the current event completes. Useful for
 // open-ended simulations driven by recurring timers. A stopped engine is
 // finished: Run releases all remaining process goroutines before returning.
-func (e *Engine) Stop() { e.stopped = true }
+// On a sharded run (Stop on the root or any LP reaches the root) the run
+// stops at the next window fence — still deterministic across repeated runs,
+// but the dispatched-event count differs from a sequential engine stopped at
+// the same virtual instant.
+func (e *Engine) Stop() {
+	if e.root != nil {
+		e.root.Stop()
+		return
+	}
+	if e.shards != nil {
+		e.winStop.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // Shutdown releases every process goroutine the engine still owns: parked
 // processes (daemons included), processes woken but not yet resumed, and
@@ -382,6 +459,12 @@ func (e *Engine) Shutdown() {
 		return
 	}
 	e.killing = true
+	// On a sharded root, release every LP first: the runner threads are
+	// quiescent outside Run, so the per-LP baton protocols are safe to drive
+	// from this thread.
+	for _, s := range e.shards {
+		s.Shutdown()
+	}
 	// Index loop: an unwinding process may spawn more procs via defers.
 	for i := 0; i < len(e.procs); i++ {
 		p := e.procs[i]
@@ -405,8 +488,15 @@ func (e *Engine) Shutdown() {
 // Procs returns the processes spawned so far, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
-// Live reports how many spawned processes have not yet exited.
-func (e *Engine) Live() int { return e.live }
+// Live reports how many spawned processes have not yet exited (summed over
+// the LPs on a sharded root).
+func (e *Engine) Live() int {
+	n := e.live
+	for _, s := range e.shards {
+		n += s.live
+	}
+	return n
+}
 
 // DeadlockError reports processes that were still blocked when the event
 // queue drained. It names every parked non-daemon process together with the

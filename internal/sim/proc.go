@@ -153,7 +153,10 @@ func (f *Future) Set(v any) {
 	f.done = true
 	f.val = v
 	for i, w := range f.waiters {
-		f.e.wake(w)
+		// Wake through the waiter's own engine: a future may be bound to a
+		// sharded root while its waiters live on LP engines (identical to
+		// f.e on a plain engine, where every proc shares it).
+		w.e.wake(w)
 		f.waiters[i] = nil
 	}
 	f.waiters = f.waiters[:0]
@@ -251,7 +254,8 @@ func (m *Mailbox) Waiting() int { return m.waiters.len() }
 func (m *Mailbox) Put(v any) {
 	m.q.push(v)
 	if m.waiters.len() > 0 {
-		m.e.wake(m.waiters.pop())
+		w := m.waiters.pop()
+		w.e.wake(w) // the waiter's engine, as in Future.Set
 	}
 }
 
@@ -297,7 +301,7 @@ func (b *Barrier) Arrive(p *Proc) {
 	if b.arrived == b.n {
 		b.arrived = 0
 		for i, w := range b.waiters {
-			b.e.wake(w)
+			w.e.wake(w) // the waiter's engine, as in Future.Set
 			b.waiters[i] = nil
 		}
 		b.waiters = b.waiters[:0]
@@ -333,6 +337,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 func (s *Semaphore) Release() {
 	s.count++
 	if s.waiters.len() > 0 {
-		s.e.wake(s.waiters.pop())
+		w := s.waiters.pop()
+		w.e.wake(w) // the waiter's engine, as in Future.Set
 	}
 }

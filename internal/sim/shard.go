@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Sharded (conservative parallel) execution.
+//
+// Shard splits an engine into K logical processes (LPs). Each LP is itself an
+// Engine — its own 4-ary heap, ready ring and baton-passing control channel —
+// driven by a dedicated OS thread. The root engine becomes a coordinator: Run
+// executes bounded time windows [W, F) where W is the earliest pending event
+// anywhere and F = W + lookahead. Within a window the LPs run concurrently and
+// independently; correctness rests on the scheduling contract that an LP may
+// place work on another LP only via AtShard, at least `lookahead` beyond its
+// own clock (asserted at every fence). Cross-LP events are collected in
+// per-LP outboxes during the window and merged into the destination heaps at
+// the fence, so no LP ever receives an event in its own past.
+//
+// Determinism — the part that makes parallel execution byte-identical to the
+// sequential engine — is a replay of the sequential seq counter. The
+// sequential engine orders same-instant events by a single global counter
+// bumped once per At/wake call. During a window an LP cannot observe the
+// other LPs, so each LP's local execution order equals the sequential order
+// restricted to that LP; only the global counter values are unknown. LPs
+// therefore stamp events scheduled mid-window with provisional seqs (bit 63
+// set, window-local assignment order) and keep two logs: execs — the events
+// that scheduled something, in execution order — and calls, one entry per
+// At/wake. At the fence the coordinator K-way-merges the exec logs by
+// (time, canonical seq), which reconstructs exactly the interleaving the
+// sequential engine would have executed, and replays the counter: each logged
+// call receives the next canonical seq. Provisional seqs still sitting in LP
+// heaps are rewritten in place (the rewrite is order-preserving, so the heap
+// invariant survives), outbox events are routed with their canonical seqs,
+// and the next window starts from a state the sequential engine could have
+// produced. Same configuration, same schedule, same counts — on any number
+// of threads.
+const provBase = uint64(1) << 63
+
+// winState is the per-LP scheduling log of the current window.
+type winState struct {
+	active  bool         // this LP's window loop is executing (on its runner thread)
+	provCnt int          // provisional seqs handed out this window
+	calls   []bool       // one entry per At/wake call: false = local, true = cross-LP
+	execs   []execRec    // events that made at least one call, in execution order
+	outbox  []crossEvent // cross-LP events awaiting canonical seqs and routing
+
+	canonTab []uint64 // provisional index → canonical seq, filled by the merge
+}
+
+// execRec records one executed event that scheduled further work: its time,
+// its own (canonical or provisional) seq, and how many calls it made.
+type execRec struct {
+	at  time.Duration
+	key uint64
+	n   int32
+}
+
+// crossEvent is an event bound for another LP, parked until the fence.
+type crossEvent struct {
+	dst *Engine
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// shardCrew is the root's set of persistent runner threads, one per LP.
+type shardCrew struct {
+	start []chan time.Duration // fence per window; closed to retire the runner
+	done  chan int             // LP index, sent when its window completes
+	pans  []any                // recovered window panics, by LP index
+}
+
+// Shard splits the engine into n logical processes for conservative parallel
+// execution and returns them. It must be called on a fresh engine, before
+// anything is scheduled or spawned. After sharding, all scheduling and
+// spawning must target the shard engines (the root rejects At and Go); the
+// root's Run coordinates the LPs and its Now/Dispatched/Live aggregate them.
+// SetLookahead must be called before Run.
+func (e *Engine) Shard(n int) []*Engine {
+	if n < 2 {
+		panic("sim: Shard needs at least 2 LPs")
+	}
+	if e.root != nil {
+		panic("sim: Shard on a shard engine")
+	}
+	if e.shards != nil {
+		panic("sim: Shard called twice")
+	}
+	if e.seq != 0 || len(e.procs) != 0 {
+		panic("sim: Shard on an engine that already scheduled work")
+	}
+	e.shards = make([]*Engine, n)
+	for i := range e.shards {
+		s := NewEngine()
+		s.root = e
+		e.shards[i] = s
+	}
+	return e.shards
+}
+
+// Shards returns the LP engines of a sharded root (nil on a plain engine).
+func (e *Engine) Shards() []*Engine { return e.shards }
+
+// SetLookahead declares the minimum cross-LP scheduling distance: every
+// AtShard to a different LP must target a time at least d beyond the calling
+// LP's clock. The window width of the sharded run is exactly d.
+func (e *Engine) SetLookahead(d time.Duration) {
+	if e.shards == nil {
+		panic("sim: SetLookahead on an unsharded engine")
+	}
+	if d <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	e.lookahead = d
+}
+
+// Lookahead reports the configured cross-LP scheduling distance.
+func (e *Engine) Lookahead() time.Duration { return e.lookahead }
+
+// AtShard schedules fn at absolute virtual time t on the dst engine. On a
+// plain engine (or when dst is the caller) it is exactly dst.At. Across LPs
+// of a sharded run it is the only legal scheduling path, and t must lie at
+// least the configured lookahead beyond the calling LP's clock — the fence
+// panics on violations.
+func (e *Engine) AtShard(dst *Engine, t time.Duration, fn func()) {
+	w := e.win
+	if dst == e || w == nil {
+		dst.At(t, fn)
+		return
+	}
+	if !w.active {
+		panic("sim: AtShard from outside the calling LP's window")
+	}
+	w.calls = append(w.calls, true)
+	w.outbox = append(w.outbox, crossEvent{dst: dst, at: t, fn: fn})
+}
+
+// winAt is At during a window: stamp a provisional seq and log the call.
+func (e *Engine) winAt(w *winState, t time.Duration, fn func()) {
+	if !w.active {
+		// Another thread is scheduling on this LP mid-window: that is the
+		// zero-lookahead coupling sharded execution cannot order. (Legal
+		// cross-LP scheduling goes through AtShard.)
+		panic("sim: cross-LP At without lookahead (use AtShard)")
+	}
+	seq := provBase | uint64(w.provCnt)
+	w.provCnt++
+	w.calls = append(w.calls, false)
+	if t <= e.now {
+		e.ready.push(seq, fn)
+		return
+	}
+	e.heapPush(event{at: t, seq: seq, fn: fn})
+}
+
+// winWake is wake during a window: identical bookkeeping for the pre-bound
+// resume thunk.
+func (e *Engine) winWake(w *winState, p *Proc) {
+	if !w.active {
+		panic("sim: cross-LP wake of " + p.name + " (zero-lookahead primitive shared across LPs)")
+	}
+	seq := provBase | uint64(w.provCnt)
+	w.provCnt++
+	w.calls = append(w.calls, false)
+	e.ready.push(seq, p.runFn)
+}
+
+// rootSeq draws the next canonical seq from the root's global counter: the
+// setup-phase scheduling path of shard engines (single-threaded, so shared
+// counter access is safe, and cross-LP t=0 ties order exactly as the
+// sequential engine would order them).
+func (e *Engine) rootSeq() uint64 {
+	e.root.seq++
+	return e.root.seq
+}
+
+// runWindow executes this LP's events with at < fence, in the LP-local
+// (time, seq) order, logging every event that schedules further work.
+func (e *Engine) runWindow(fence time.Duration) {
+	w := e.win
+	w.active = true
+	for {
+		if e.ready.n > 0 {
+			if len(e.heap) > 0 && e.heap[0].at <= e.now && e.heap[0].seq < e.ready.headSeq() {
+				ev := e.heapPop()
+				e.execOne(w, ev.at, ev.seq, ev.fn)
+				continue
+			}
+			seq := e.ready.headSeq()
+			fn := e.ready.pop()
+			e.execOne(w, e.now, seq, fn)
+			continue
+		}
+		if len(e.heap) == 0 || e.heap[0].at >= fence {
+			break
+		}
+		ev := e.heapPop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.execOne(w, ev.at, ev.seq, ev.fn)
+	}
+	w.active = false
+}
+
+// execOne dispatches one event and appends an exec record if it scheduled
+// anything.
+func (e *Engine) execOne(w *winState, at time.Duration, key uint64, fn func()) {
+	base := len(w.calls)
+	e.dispatched++
+	fn()
+	if n := len(w.calls) - base; n > 0 {
+		w.execs = append(w.execs, execRec{at: at, key: key, n: int32(n)})
+	}
+}
+
+// runSharded is Run for a sharded root: window loop, fence barrier, replay
+// merge. See the package comment at the top of this file.
+func (e *Engine) runSharded() error {
+	if e.lookahead <= 0 {
+		panic("sim: sharded Run without SetLookahead")
+	}
+	if e.ready.n != 0 || len(e.heap) != 0 {
+		panic("sim: events scheduled on the sharded root engine")
+	}
+	for _, s := range e.shards {
+		s.win = &s.winBuf
+	}
+	crew := e.startCrew()
+	defer func() {
+		for _, ch := range crew.start {
+			close(ch)
+		}
+		e.crew = nil
+		for _, s := range e.shards {
+			s.win = nil
+		}
+	}()
+
+	for !e.winStop.Load() {
+		// W = earliest pending event across all LPs. A non-empty ready ring
+		// holds events due at that LP's current instant.
+		minNext := time.Duration(-1)
+		for _, s := range e.shards {
+			var next time.Duration
+			switch {
+			case s.ready.n > 0:
+				next = s.now
+			case len(s.heap) > 0:
+				next = s.heap[0].at
+			default:
+				continue
+			}
+			if minNext < 0 || next < minNext {
+				minNext = next
+			}
+		}
+		if minNext < 0 {
+			break // every LP drained
+		}
+		if e.deadline > 0 && minNext > e.deadline {
+			return &DeadlineError{
+				Deadline:   e.deadline,
+				Next:       minNext,
+				Parked:     e.parkedReport(),
+				Dispatched: e.Dispatched(),
+				Live:       e.Live(),
+			}
+		}
+		fence := minNext + e.lookahead
+		if e.deadline > 0 && fence > e.deadline+1 {
+			// Nothing beyond the deadline may execute; events at exactly the
+			// deadline still do, matching the sequential abort point.
+			fence = e.deadline + 1
+		}
+		for _, ch := range crew.start {
+			ch <- fence
+		}
+		for range crew.start {
+			<-crew.done
+		}
+		for i, p := range crew.pans {
+			if p != nil {
+				panic(fmt.Sprintf("sim: LP %d window panic: %v", i, p))
+			}
+		}
+		e.mergeWindow(fence)
+	}
+	if e.winStop.Load() {
+		// Mirror the sequential stop path: a stopped engine is dead, so
+		// release every process goroutine before returning.
+		e.stopped = true
+		e.running = false
+		e.Shutdown()
+		return nil
+	}
+	if parked := e.parkedReport(); len(parked) > 0 {
+		return &DeadlockError{
+			Time:       e.Now(),
+			Parked:     parked,
+			Dispatched: e.Dispatched(),
+			Live:       e.Live(),
+		}
+	}
+	return nil
+}
+
+// startCrew launches one locked-thread runner per LP.
+func (e *Engine) startCrew() *shardCrew {
+	crew := &shardCrew{
+		start: make([]chan time.Duration, len(e.shards)),
+		done:  make(chan int, len(e.shards)),
+		pans:  make([]any, len(e.shards)),
+	}
+	e.crew = crew
+	for i, s := range e.shards {
+		ch := make(chan time.Duration)
+		crew.start[i] = ch
+		go func(i int, s *Engine) {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			for fence := range ch {
+				func() {
+					defer func() {
+						crew.pans[i] = recover()
+						crew.done <- i
+					}()
+					s.runWindow(fence)
+				}()
+			}
+		}(i, s)
+	}
+	return crew
+}
+
+// mergeWindow replays the window's scheduling calls in sequential order and
+// routes the cross-LP events. Runs on the coordinator thread with every
+// runner quiescent (the fence barrier provides the happens-before edges).
+func (e *Engine) mergeWindow(fence time.Duration) {
+	type cursor struct{ exec, call, prov, out int }
+	cur := make([]cursor, len(e.shards))
+	for _, E := range e.shards {
+		w := E.win
+		if E.ready.n != 0 {
+			panic("sim: LP ready ring not drained at fence")
+		}
+		if cap(w.canonTab) < w.provCnt {
+			w.canonTab = make([]uint64, w.provCnt)
+		}
+		w.canonTab = w.canonTab[:w.provCnt]
+		for i := range w.canonTab {
+			w.canonTab[i] = 0
+		}
+	}
+	// K-way merge of the exec logs by (time, canonical seq): the order the
+	// sequential engine would have executed these events in. A provisional
+	// head key always translates: the event's creator ran earlier on the
+	// same LP, so its calls were already replayed.
+	for {
+		best := -1
+		var bAt time.Duration
+		var bKey uint64
+		for s, E := range e.shards {
+			w := E.win
+			if cur[s].exec >= len(w.execs) {
+				continue
+			}
+			r := w.execs[cur[s].exec]
+			k := r.key
+			if k >= provBase {
+				k = w.canonTab[k&^provBase]
+				if k == 0 {
+					panic("sim: window merge saw an event before its creator")
+				}
+			}
+			if best < 0 || r.at < bAt || (r.at == bAt && k < bKey) {
+				best, bAt, bKey = s, r.at, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		w := e.shards[best].win
+		r := w.execs[cur[best].exec]
+		cur[best].exec++
+		for i := int32(0); i < r.n; i++ {
+			e.seq++
+			if w.calls[cur[best].call] {
+				w.outbox[cur[best].out].seq = e.seq
+				cur[best].out++
+			} else {
+				w.canonTab[cur[best].prov] = e.seq
+				cur[best].prov++
+			}
+			cur[best].call++
+		}
+	}
+	for s, E := range e.shards {
+		w := E.win
+		if cur[s].call != len(w.calls) || cur[s].prov != w.provCnt || cur[s].out != len(w.outbox) {
+			panic("sim: window merge left unreplayed scheduling calls")
+		}
+		// Rewrite provisional seqs still in the heap. Canonical seqs are
+		// assigned in each LP's call order and all exceed the pre-window
+		// counter, so the rewrite preserves the relative order of every
+		// pair of events — the heap invariant survives untouched.
+		for i := range E.heap {
+			if E.heap[i].seq >= provBase {
+				E.heap[i].seq = w.canonTab[E.heap[i].seq&^provBase]
+			}
+		}
+	}
+	// Route the outboxes. Every cross-LP event must land at or beyond the
+	// fence — that is the lookahead contract that lets windows run without
+	// peeking at each other.
+	for _, E := range e.shards {
+		w := E.win
+		for i := range w.outbox {
+			c := &w.outbox[i]
+			if c.at < fence {
+				panic(fmt.Sprintf("sim: lookahead violation: cross-LP event at %v inside window ending %v", c.at, fence))
+			}
+			c.dst.heapPush(event{at: c.at, seq: c.seq, fn: c.fn})
+			w.outbox[i] = crossEvent{}
+		}
+		w.outbox = w.outbox[:0]
+		w.execs = w.execs[:0]
+		w.calls = w.calls[:0]
+		w.provCnt = 0
+	}
+}
+
+// sharded-mode aggregate accessors (root engine)
+
+// shardedNow reports the furthest LP clock: the virtual instant the run has
+// reached, equal to the sequential engine's clock at the same point.
+func (e *Engine) shardedNow() time.Duration {
+	now := e.now
+	for _, s := range e.shards {
+		if s.now > now {
+			now = s.now
+		}
+	}
+	return now
+}

@@ -7,6 +7,13 @@
 #              ready-ring rebuild (fixed; the reference for the speedup gate)
 #   current  — the numbers from this run
 #
+# The BenchmarkEngineMode* pairs record the sequential engine against the
+# cluster-sharded engine (-shards=4) for the shardable applications on a
+# four-cluster platform; both sides land in the current section. Sharded
+# results are byte-identical to sequential, so the pair compares wall-clock
+# throughput only — on a single-core machine the sharded side serializes
+# its LPs and shows pure synchronization overhead instead of speedup.
+#
 # BENCH_apps.json holds the end-to-end numbers for all eight applications of
 # the paper's suite (2x8 wide-area, original variant).
 #
