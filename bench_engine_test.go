@@ -166,6 +166,40 @@ func BenchmarkEndToEndRA(b *testing.B) { benchEndToEnd(b, "RA", 2, 8) }
 // BenchmarkEndToEndACP is iterative asynchronous neighbor updates.
 func BenchmarkEndToEndACP(b *testing.B) { benchEndToEnd(b, "ACP", 2, 8) }
 
+// benchEndToEndT is benchEndToEnd on the gateway transport layer: the same
+// original program, with WAN messages coalesced into frames and striped over
+// parallel streams. Comparing RA/ASP with their plain EndToEnd runs shows the
+// simulator-side cost of framing (fewer, larger wire events) next to the
+// simulated benefit.
+func benchEndToEndT(b *testing.B, appName string, clusters, perCluster int) {
+	b.Helper()
+	b.ReportAllocs()
+	app, err := harness.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunOneT(app, clusters, perCluster, false, harness.DefaultTransport)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simSecs += m.Seconds()
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simSecs/wall, "simsec/wallsec")
+	}
+}
+
+// BenchmarkEndToEndRATransport is the RA message storm on the coalescing/
+// striping runtime — the best case for framing (tiny asynchronous messages).
+func BenchmarkEndToEndRATransport(b *testing.B) { benchEndToEndT(b, "RA", 2, 8) }
+
+// BenchmarkEndToEndASPTransport is the broadcast-heavy ASP on the transport
+// runtime; sequenced rows exercise frame ordering under fan-out.
+func BenchmarkEndToEndASPTransport(b *testing.B) { benchEndToEndT(b, "ASP", 2, 8) }
+
 // benchEngineMode runs one full application configuration per iteration
 // with the given engine shard count (0 = the sequential engine), reporting
 // virtual sim-seconds per wall-clock second. Comparing an application's

@@ -8,6 +8,8 @@
 //	dasbench -list               # show what is available
 //	dasbench -exp fig1 -plot     # additionally draw ASCII speedup charts
 //	dasbench -exp fig7 -shards 4 # run shardable apps on the parallel engine
+//	dasbench -exp fig9 -coalesce 32768 -coalesce-window 500us -streams 4
+//	                             # ... on the coalescing/striping runtime
 //
 // -shards N partitions each run of a shardable application (Water, ATPG)
 // into min(N, clusters) cluster-owning logical processes synchronized by
@@ -48,10 +50,20 @@ func main() {
 		shardsFlag   = flag.Int("shards", 0, "engine shards (LPs) per run for shardable applications (0/1 = sequential engine); output is identical at any setting")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (taken after all runs drain) to this file")
+		coalesceFlag = flag.Int("coalesce", 0, "gateway transport: max coalesced WAN frame size in bytes (0 = no size bound)")
+		windowFlag   = flag.Duration("coalesce-window", 0, "gateway transport: max virtual time a WAN message waits for frame companions (0 = no window)")
+		streamsFlag  = flag.Int("streams", 0, "gateway transport: parallel WAN streams per directed cluster pair (0/1 = single pipe)")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallelFlag)
 	harness.SetShards(*shardsFlag)
+	// The transport flags run every experiment on the coalescing/striping
+	// runtime (the "transport" experiment sweeps it explicitly either way).
+	harness.SetTransport(harness.Transport{
+		MaxFrameBytes:  *coalesceFlag,
+		CoalesceWindow: *windowFlag,
+		WANStreams:     *streamsFlag,
+	})
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

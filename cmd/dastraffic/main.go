@@ -3,6 +3,9 @@
 //
 //	dastraffic                       # all apps, 4x16, original + optimized
 //	dastraffic -app RA -clusters 2 -nodes 8
+//	dastraffic -app RA -coalesce 32768 -coalesce-window 500us -streams 4
+//	                                 # gateway transport on: adds the framed
+//	                                 # wire-level counts and packing column
 package main
 
 import (
@@ -21,7 +24,17 @@ func main() {
 	clustersFlag := flag.Int("clusters", 4, "number of clusters")
 	nodesFlag := flag.Int("nodes", 16, "compute nodes per cluster")
 	linksFlag := flag.Bool("links", false, "also print per-WAN-link load reports")
+	coalesceFlag := flag.Int("coalesce", 0, "gateway transport: max coalesced WAN frame size in bytes (0 = no size bound)")
+	windowFlag := flag.Duration("coalesce-window", 0, "gateway transport: max virtual time a WAN message waits for frame companions (0 = no window)")
+	streamsFlag := flag.Int("streams", 0, "gateway transport: parallel WAN streams per directed cluster pair (0/1 = single pipe)")
 	flag.Parse()
+
+	tr := harness.Transport{
+		MaxFrameBytes:  *coalesceFlag,
+		CoalesceWindow: *windowFlag,
+		WANStreams:     *streamsFlag,
+	}
+	harness.SetTransport(tr)
 
 	var apps []harness.AppSpec
 	if *appFlag == "all" {
@@ -34,9 +47,17 @@ func main() {
 		apps = []harness.AppSpec{a}
 	}
 
-	fmt.Printf("Intercluster traffic on %dx%d (DAS parameters)\n\n", *clustersFlag, *nodesFlag)
-	fmt.Printf("%-8s %-10s %10s %12s %10s %12s %12s %12s\n",
-		"app", "variant", "# p2p", "p2p kbyte", "# bcast", "bcast kbyte", "# control", "time (s)")
+	fmt.Printf("Intercluster traffic on %dx%d (DAS parameters)\n", *clustersFlag, *nodesFlag)
+	if tr.Enabled() {
+		fmt.Printf("gateway transport: frames up to %dB, window %v, %d stream(s)\n",
+			tr.MaxFrameBytes, tr.CoalesceWindow, tr.WANStreams)
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %-10s %10s %12s %10s %12s %12s", "app", "variant", "# p2p", "p2p kbyte", "# bcast", "bcast kbyte", "# control")
+	if tr.Enabled() {
+		fmt.Printf(" %10s %8s", "# frames", "packing")
+	}
+	fmt.Printf(" %12s\n", "time (s)")
 	for _, app := range apps {
 		for _, optimized := range []bool{false, true} {
 			m, err := harness.RunOne(app, *clustersFlag, *nodesFlag, optimized)
@@ -51,10 +72,14 @@ func main() {
 			data := m.Net.InterData()
 			bc := m.Net.InterBcast()
 			ctl := m.Net.Inter(netsim.KindControl)
-			fmt.Printf("%-8s %-10s %10d %12.0f %10d %12.0f %12d %12.3f\n",
+			fmt.Printf("%-8s %-10s %10d %12.0f %10d %12.0f %12d",
 				app.Name, variant,
 				rpc.Msgs+data.Msgs, rpc.KBytes()+data.KBytes(),
-				bc.Msgs, bc.KBytes(), ctl.Msgs, m.Seconds())
+				bc.Msgs, bc.KBytes(), ctl.Msgs)
+			if tr.Enabled() {
+				fmt.Printf(" %10d %8.1f", m.Net.WANFrames().Msgs, m.Net.PackingRatio())
+			}
+			fmt.Printf(" %12.3f\n", m.Seconds())
 			if *linksFlag {
 				printLinks(app.Name, variant, m)
 			}
@@ -63,17 +88,40 @@ func main() {
 }
 
 // printLinks shows the per-directed-WAN-link load of the last run, exposing
-// saturation (utilization near 1) and queueing hot spots.
+// saturation (utilization near 1) and queueing hot spots. With the transport
+// layer on, each stream of a striped pair reports separately, with its frame
+// count and packing efficiency.
 func printLinks(app, variant string, m core.Metrics) {
 	reps := m.Links
 	if len(reps) == 0 {
 		fmt.Printf("    (no WAN traffic)\n")
 		return
 	}
-	fmt.Printf("    %-10s %8s %12s %12s %12s\n", "link", "msgs", "kbyte", "utilization", "max queueing")
+	framed := false
 	for _, r := range reps {
-		fmt.Printf("    c%d -> c%-2d  %8d %12.0f %11.0f%% %12v\n",
-			r.From, r.To, r.Msgs, float64(r.Bytes)/1024,
+		if r.Frames > 0 {
+			framed = true
+			break
+		}
+	}
+	fmt.Printf("    %-12s %8s", "link", "msgs")
+	if framed {
+		fmt.Printf(" %8s %8s", "frames", "packing")
+	}
+	fmt.Printf(" %12s %12s %12s\n", "kbyte", "utilization", "max queueing")
+	for _, r := range reps {
+		fmt.Printf("    c%d -> c%d", r.From, r.To)
+		if framed {
+			fmt.Printf(".%-2d", r.Stream)
+		} else {
+			fmt.Printf("%-3s", "")
+		}
+		fmt.Printf("  %8d", r.Msgs)
+		if framed {
+			fmt.Printf(" %8d %8.1f", r.Frames, r.Packing())
+		}
+		fmt.Printf(" %12.0f %11.0f%% %12v\n",
+			float64(r.Bytes)/1024,
 			100*r.Utilization(m.Elapsed), r.MaxQueueing.Round(time.Microsecond))
 	}
 }

@@ -190,6 +190,32 @@ type Params struct {
 	// the effect the paper describes for ACP ("much traffic for cluster
 	// gateways"). Zero (the calibrated default) disables the extra stage.
 	GatewayCost time.Duration
+
+	// Gateway transport optimization (MPWide-style; zero values disable
+	// it, restoring the paper's plain store-and-forward gateways).
+	//
+	// MaxFrameBytes bounds a coalesced frame: intercluster messages bound
+	// for the same destination cluster queue at the local gateway and
+	// leave as one frame, paying one WAN serialization and one software
+	// overhead per frame instead of per message. A frame is flushed as
+	// soon as its payload reaches MaxFrameBytes.
+	MaxFrameBytes int
+	// CoalesceWindow bounds how long a queued message may wait for frame
+	// companions: a frame is flushed at latest CoalesceWindow after its
+	// first message arrived at the gateway. Either bound alone enables
+	// coalescing (the other is then effectively infinite).
+	CoalesceWindow time.Duration
+	// WANStreams stripes frames round-robin over this many parallel WAN
+	// pipes per directed cluster pair (multipath), each with the full
+	// WANLatency/WANBandwidth, with in-order frame reassembly at the
+	// remote gateway. 0 or 1 keeps the single pipe.
+	WANStreams int
+}
+
+// TransportEnabled reports whether the gateway transport optimization layer
+// (frame coalescing and/or multipath striping) is configured on.
+func (p Params) TransportEnabled() bool {
+	return p.MaxFrameBytes > 0 || p.CoalesceWindow > 0 || p.WANStreams > 1
 }
 
 // Mbit converts megabits/second to bytes/second.

@@ -389,6 +389,7 @@ func extendedExperiments() []Experiment {
 		{"sens-clusters", "Sensitivity: cluster count at 48 CPUs", SensitivityClusters},
 		{"sens-size", "Sensitivity: ASP problem size (grain)", SensitivitySize},
 		{"sens-congestion", "Sensitivity: congestion waves and loaded gateways", SensitivityCongestion},
+		{"transport", "Extension: gateway frame coalescing + striping (orig / app-opt / transport-opt)", TransportReport},
 	}
 	for _, name := range []string{"Water", "SOR", "RA"} {
 		name := name

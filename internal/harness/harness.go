@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"albatross/internal/apps/acp"
 	"albatross/internal/apps/asp"
@@ -125,6 +126,55 @@ func AppByName(name string) (AppSpec, error) {
 // Params is the network parameter set used by all experiments.
 var Params = cluster.DASParams()
 
+// Transport configures the gateway transport optimization layer (frame
+// coalescing + multipath striping, netsim/transport.go) for harness runs.
+// The zero value is off, which reproduces the paper's plain store-and-forward
+// gateways byte-identically. Transport settings flow through SetTransport or
+// the explicit RunT/RunOneT calls, never through Params directly.
+type Transport struct {
+	MaxFrameBytes  int
+	CoalesceWindow time.Duration
+	WANStreams     int
+}
+
+// Enabled reports whether any transport optimization is configured.
+func (t Transport) Enabled() bool {
+	return t.MaxFrameBytes > 0 || t.CoalesceWindow > 0 || t.WANStreams > 1
+}
+
+// DefaultTransport is the calibrated transport configuration used by the
+// "transport" experiment and the -coalesce/-streams tool flags: frames of up
+// to 32 kB sealed after at most 500us, striped over 4 parallel WAN streams.
+// The window is a fraction of the 2.7ms WAN round trip, so latency-sensitive
+// RPCs pay little while message floods (RA, ASP) pack densely.
+var DefaultTransport = Transport{
+	MaxFrameBytes:  32 << 10,
+	CoalesceWindow: 500 * time.Microsecond,
+	WANStreams:     4,
+}
+
+// transportCfg is the harness-wide transport setting used by Run/RunOne.
+// Like SetParallelism and SetShards it is configured once before experiments
+// run, not toggled mid-flight.
+var transportCfg Transport
+
+// SetTransport installs the transport configuration for subsequent Run and
+// RunOne calls and returns the previous one. The run cache keys on the
+// transport configuration, so runs with different settings never alias.
+func SetTransport(t Transport) Transport {
+	prev := transportCfg
+	transportCfg = t
+	return prev
+}
+
+// applyTransport folds a transport configuration into a parameter set.
+func applyTransport(p cluster.Params, t Transport) cluster.Params {
+	p.MaxFrameBytes = t.MaxFrameBytes
+	p.CoalesceWindow = t.CoalesceWindow
+	p.WANStreams = t.WANStreams
+	return p
+}
+
 // shardCount is the harness-wide engine-shard setting (0 or 1 = the
 // sequential engine). Like SetParallelism it is configured once before
 // experiments run, not toggled mid-flight.
@@ -156,16 +206,22 @@ func effectiveShards(app AppSpec, clusters int) int {
 }
 
 // RunOne executes one application run on a clusters x perCluster platform
-// and returns its metrics. The parallel result is verified against the
-// application's sequential reference; a verification failure is an error.
+// with the harness-wide transport setting and returns its metrics.
 func RunOne(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
+	return RunOneT(app, clusters, perCluster, optimized, transportCfg)
+}
+
+// RunOneT is RunOne with an explicit transport configuration. The parallel
+// result is verified against the application's sequential reference; a
+// verification failure is an error.
+func RunOneT(app AppSpec, clusters, perCluster int, optimized bool, tr Transport) (core.Metrics, error) {
 	var seqr orca.Sequencer
 	if app.Sequencer != nil {
 		seqr = app.Sequencer(optimized)
 	}
 	sys := core.NewSystem(core.Config{
 		Topology:  cluster.DAS(clusters, perCluster),
-		Params:    Params,
+		Params:    applyTransport(Params, tr),
 		Sequencer: seqr,
 		Shards:    effectiveShards(app, clusters),
 	})
@@ -190,6 +246,7 @@ type runKey struct {
 	perCluster int
 	optimized  bool
 	shards     int
+	transport  Transport
 }
 
 // runEntry is one cache slot; done is closed once m/err are final.
@@ -208,7 +265,13 @@ var (
 // configurations coalesce onto one execution (errors included, which a
 // deterministic simulation reproduces anyway).
 func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, error) {
-	k := runKey{app.Name, clusters, perCluster, optimized, effectiveShards(app, clusters)}
+	return RunT(app, clusters, perCluster, optimized, transportCfg)
+}
+
+// RunT is RunOneT with memoization, sharing Run's singleflight cache (the
+// transport configuration is part of the key).
+func RunT(app AppSpec, clusters, perCluster int, optimized bool, tr Transport) (core.Metrics, error) {
+	k := runKey{app.Name, clusters, perCluster, optimized, effectiveShards(app, clusters), tr}
 	cacheMu.Lock()
 	e, ok := runCache[k]
 	if ok {
@@ -219,7 +282,7 @@ func Run(app AppSpec, clusters, perCluster int, optimized bool) (core.Metrics, e
 	e = &runEntry{done: make(chan struct{})}
 	runCache[k] = e
 	cacheMu.Unlock()
-	e.m, e.err = RunOne(app, clusters, perCluster, optimized)
+	e.m, e.err = RunOneT(app, clusters, perCluster, optimized, tr)
 	close(e.done)
 	return e.m, e.err
 }

@@ -16,7 +16,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	extended := []string{
 		"abl-water", "abl-sor", "abl-ra", "abl-ida", "abl-seq", "abl-tsp",
 		"sens-atpg", "sens-clusters", "sens-Water", "sens-SOR", "sens-RA",
-		"real-das", "coll", "sens-size", "sens-congestion",
+		"real-das", "coll", "sens-size", "sens-congestion", "transport",
 	}
 	got := Experiments()
 	if len(got) != len(paper)+len(extended) {

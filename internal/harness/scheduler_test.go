@@ -197,8 +197,8 @@ func TestSpeedupRejectsZeroElapsed(t *testing.T) {
 		runCache[k] = e
 		cacheMu.Unlock()
 	}
-	seed(runKey{"degenerate", 1, 1, false, 0}, core.Metrics{Elapsed: time.Second})
-	seed(runKey{"degenerate", 4, 16, false, 0}, core.Metrics{})
+	seed(runKey{"degenerate", 1, 1, false, 0, Transport{}}, core.Metrics{Elapsed: time.Second})
+	seed(runKey{"degenerate", 4, 16, false, 0, Transport{}}, core.Metrics{})
 	sp, err := Speedup(app, 4, 16, false)
 	if err == nil {
 		t.Fatalf("zero-elapsed run produced speedup %v, want error", sp)

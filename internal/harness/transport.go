@@ -1,0 +1,96 @@
+package harness
+
+import "fmt"
+
+// TransportReport measures how much of the paper's application-optimization
+// gap the transparent gateway transport layer (frame coalescing + multipath
+// striping) closes with no application changes: per application, the
+// wide-area speedup of the original program, of the hand-optimized program,
+// and of the original program on the transport-optimized runtime, plus the
+// transport run's wire-level packing statistics.
+func TransportReport() (*Report, error) {
+	return transportTable("transport", 4, 16, DefaultTransport)
+}
+
+// transportTable builds the three-variant table on one platform shape.
+// The original and transport-opt variants share the original program's 1-CPU
+// baseline (the transport layer is inert on a single cluster); the app-opt
+// variant uses its own, as the paper computes speedups.
+func transportTable(id string, clusters, perCluster int, tr Transport) (*Report, error) {
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Runtime transport optimization vs application rewrites (%dx%d, frames %dB/%v/%d streams)",
+			clusters, perCluster, tr.MaxFrameBytes, tr.CoalesceWindow, tr.WANStreams),
+		Headers: []string{"Application", "orig", "app-opt", "transport-opt", "WAN msgs", "WAN frames", "packing"},
+	}
+	off := Transport{}
+	var tasks []func() error
+	for _, app := range Apps {
+		app := app
+		for _, run := range []struct {
+			c, p int
+			opt  bool
+			tr   Transport
+		}{
+			{1, 1, false, off},
+			{1, 1, true, off},
+			{clusters, perCluster, false, off},
+			{clusters, perCluster, true, off},
+			{clusters, perCluster, false, tr},
+		} {
+			run := run
+			tasks = append(tasks, func() error {
+				_, err := RunT(app, run.c, run.p, run.opt, run.tr)
+				return err
+			})
+		}
+	}
+	// Prefetch concurrently; errors re-surface deterministically below.
+	_ = scheduler().Do(tasks...)
+	for _, app := range Apps {
+		t1o, err := RunT(app, 1, 1, false, off)
+		if err != nil {
+			return nil, err
+		}
+		t1a, err := RunT(app, 1, 1, true, off)
+		if err != nil {
+			return nil, err
+		}
+		mo, err := RunT(app, clusters, perCluster, false, off)
+		if err != nil {
+			return nil, err
+		}
+		ma, err := RunT(app, clusters, perCluster, true, off)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := RunT(app, clusters, perCluster, false, tr)
+		if err != nil {
+			return nil, err
+		}
+		spO, err := speedupRatio(app, clusters, perCluster, false, t1o, mo)
+		if err != nil {
+			return nil, err
+		}
+		spA, err := speedupRatio(app, clusters, perCluster, true, t1a, ma)
+		if err != nil {
+			return nil, err
+		}
+		spT, err := speedupRatio(app, clusters, perCluster, false, t1o, mt)
+		if err != nil {
+			return nil, err
+		}
+		frames := mt.Net.WANFrames()
+		t.Rows = append(t.Rows, []string{
+			app.Name,
+			fmt.Sprintf("%.1f", spO),
+			fmt.Sprintf("%.1f", spA),
+			fmt.Sprintf("%.1f", spT),
+			fmt.Sprintf("%d", mt.Net.FramedMsgs()),
+			fmt.Sprintf("%d", frames.Msgs),
+			fmt.Sprintf("%.1f", mt.Net.PackingRatio()),
+		})
+	}
+	return &Report{ID: id, Title: t.Title, Tables: []*Table{t},
+		Notes: []string{"transport-opt runs the ORIGINAL programs on the coalescing/striping runtime; packing = WAN msgs per wire frame"}}, nil
+}

@@ -80,6 +80,44 @@ func TestFaultDuplicateDeliversTwice(t *testing.T) {
 	}
 }
 
+// TestFaultDuplicateRespectsLocalGatewayCrash is the regression test for the
+// duplicate/crash interaction: a duplicate copy skips further drop/duplicate
+// verdicts, but the FaultDuplicate contract keeps it subject to gateway
+// crashes. The policy duplicates the message, then crashes the local gateway
+// for the duplicate's own forwarding (its second consultation) — so exactly
+// one copy may cross the WAN. Before the fix, the duplicate bypassed the
+// GatewayDown check entirely and two copies arrived.
+func TestFaultDuplicateRespectsLocalGatewayCrash(t *testing.T) {
+	e, n := build(2, 2)
+	localChecks := 0
+	n.SetFaultPolicy(&testPolicy{
+		transit: func(time.Duration, int, int, Msg) (FaultAction, time.Duration) {
+			return FaultDuplicate, 0
+		},
+		gwDown: func(_ time.Duration, c int, _ Msg) bool {
+			if c != 0 {
+				return false // remote gateway stays up
+			}
+			localChecks++
+			return localChecks == 2 // up for the original, down for the duplicate
+		},
+	})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if localChecks < 2 {
+		t.Fatalf("duplicate skipped the local GatewayDown check (%d checks)", localChecks)
+	}
+	if got := n.Inbox(2).Len(); got != 1 {
+		t.Fatalf("delivered %d copies, want 1 (duplicate lost to crashed gateway)", got)
+	}
+	reps := n.PipeReports()
+	if len(reps) != 1 || reps[0].Msgs != 1 {
+		t.Fatalf("pipe carried %+v, want the single surviving copy", reps)
+	}
+}
+
 func TestFaultGatewayCrashDropsBothSides(t *testing.T) {
 	// A crashed local gateway loses the message before the WAN; a crashed
 	// remote gateway loses it after the WAN transit.

@@ -38,6 +38,11 @@ const (
 	// KindControl is protocol-internal control traffic (sequencer tokens,
 	// migration requests, acknowledgements).
 	KindControl
+	// KindFrame is a gateway-coalesced transport frame: several application
+	// messages packed into one WAN transmission (transport.go). It appears
+	// only in the synthetic wire-unit Msg handed to fault policies; framed
+	// traffic is metered by Stats' frame counters, not the per-kind tables.
+	KindFrame
 	numKinds
 )
 
@@ -46,7 +51,7 @@ const NumKinds = int(numKinds)
 
 // kindNames is indexed by Kind; String is a plain array lookup so taps and
 // trace labels pay no switch or fmt cost.
-var kindNames = [NumKinds]string{"rpc-req", "rpc-rep", "bcast", "data", "control"}
+var kindNames = [NumKinds]string{"rpc-req", "rpc-rep", "bcast", "data", "control", "frame"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -92,13 +97,15 @@ type node struct {
 	inbox   *sim.Mailbox // default delivery target when no handler is set
 }
 
-// pipe is a directed WAN link between two cluster gateways.
+// pipe is a directed WAN link between two cluster gateways (one of several
+// parallel streams per directed pair when striping is on).
 type pipe struct {
 	free time.Duration // transmission horizon (FIFO resource)
 
 	busy    time.Duration // cumulative transmission time
 	bytes   int64
-	msgs    int64
+	msgs    int64         // application messages carried
+	frames  int64         // coalesced frames transmitted (0 when transport is off)
 	maxWait time.Duration // worst queueing delay behind earlier traffic
 }
 
@@ -128,10 +135,11 @@ func (d *delivery) run() {
 // data path is exactly what it was); on a sharded engine each cluster gets
 // its own, touched only from the cluster's LP thread, and reads merge them.
 type netShard struct {
-	e       *sim.Engine
-	stats   Stats
-	pool    []*delivery   // free list of delivery records
-	wanPool []*wanTransit // free list of two-stage WAN forwarding records
+	e         *sim.Engine
+	stats     Stats
+	pool      []*delivery   // free list of delivery records
+	wanPool   []*wanTransit // free list of two-stage WAN forwarding records
+	framePool []*frame      // free list of coalesced-frame records
 }
 
 // Network is the two-level network for one simulated system.
@@ -140,8 +148,10 @@ type Network struct {
 	topo      cluster.Topology
 	par       cluster.Params
 	nodes     []*node
-	pipes     []pipe // dense, indexed srcCluster*nclusters+dstCluster
+	pipes     []pipe // dense, indexed (srcCluster*nclusters+dstCluster)*streams+stream
 	nclusters int
+	streams   int    // parallel WAN pipes per directed pair (1 unless striping)
+	xp        *xport // gateway transport layer (nil = off = plain per-message path)
 	sharded   bool
 	sh        []*netShard // cluster → shard (all one shard when unsharded)
 	merged    Stats       // scratch for Stats() snapshots when sharded
@@ -255,13 +265,19 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 	if err := topo.Validate(); err != nil {
 		panic(err)
 	}
+	transport := par.TransportEnabled() && topo.Clusters > 1
+	streams := 1
+	if transport && par.WANStreams > 1 {
+		streams = par.WANStreams
+	}
 	n := &Network{
 		e:         e,
 		topo:      topo,
 		par:       par,
 		nodes:     make([]*node, topo.Total()),
-		pipes:     make([]pipe, topo.Clusters*topo.Clusters),
+		pipes:     make([]pipe, topo.Clusters*topo.Clusters*streams),
 		nclusters: topo.Clusters,
+		streams:   streams,
 
 		lanDelay:      par.LANLatency + 2*par.SoftwareOverhead,
 		lanBcastDelay: par.LANBcastLatency + 2*par.SoftwareOverhead,
@@ -310,7 +326,15 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 			n.gateways[c] = topo.Gateway(c)
 		}
 	}
+	if transport {
+		n.xp = newXport(n)
+	}
 	return n
+}
+
+// pipeAt returns the directed WAN pipe for stream k of the pair cs→cd.
+func (n *Network) pipeAt(cs, cd, k int) *pipe {
+	return &n.pipes[(cs*n.nclusters+cd)*n.streams+k]
 }
 
 // Engine returns the underlying simulation engine (the root when sharded).
@@ -330,7 +354,9 @@ func (n *Network) Params() cluster.Params { return n.par }
 // Stats returns the traffic statistics collected so far. On a sharded
 // engine it returns a merged snapshot (clusters meter traffic separately;
 // counter sums are order-independent, so the merge is deterministic) — call
-// it again after more traffic rather than holding the pointer.
+// it again after more traffic rather than holding the pointer, and use
+// ResetStats (not Stats().Reset()) to zero the counters: resetting the
+// merged snapshot would leave the per-shard counters intact.
 func (n *Network) Stats() *Stats {
 	if !n.sharded {
 		return &n.sh[0].stats
@@ -342,8 +368,20 @@ func (n *Network) Stats() *Stats {
 				n.merged.counts[scope][k].Add(sh.stats.counts[scope][k])
 			}
 		}
+		n.merged.frames.Add(sh.stats.frames)
+		n.merged.framedMsgs += sh.stats.framedMsgs
 	}
 	return &n.merged
+}
+
+// ResetStats zeroes the network's traffic counters (used to exclude warm-up
+// or setup traffic), reaching the per-shard counters that a sharded Stats()
+// snapshot merely merges.
+func (n *Network) ResetStats() {
+	for _, sh := range n.sh {
+		sh.stats = Stats{}
+	}
+	n.merged = Stats{}
 }
 
 // SetHandler installs the delivery callback for a node, replacing inbox
@@ -448,6 +486,7 @@ type wanTransit struct {
 	dup    bool          // this transit is an injected duplicate copy
 	fn1    func()        // bound to (*wanTransit).localGW once
 	fn2    func()        // bound to (*wanTransit).remoteGW once
+	fn3    func()        // bound to (*wanTransit).enqueue once (transport layer)
 }
 
 // releaseTo returns the record to sh's pool with its fault state cleared.
@@ -495,8 +534,19 @@ func (t *wanTransit) localGW() {
 	n := t.n
 	sh := n.sh[t.cs]
 	now := sh.e.Now()
-	if n.fault != nil && !t.dup && t.faulted(now) {
-		return
+	if n.fault != nil {
+		if t.dup {
+			// A duplicate copy is exempt from further drop/duplicate
+			// verdicts (no cascades), but a crashed local gateway transmits
+			// nothing — the FaultDuplicate contract keeps duplicates
+			// subject to gateway crashes.
+			if n.fault.GatewayDown(now, t.cs, t.m) {
+				t.releaseTo(sh)
+				return
+			}
+		} else if t.faulted(now) {
+			return
+		}
 	}
 	if n.par.GatewayCost > 0 {
 		// The gateway's protocol stack forwards one message at a time.
@@ -507,7 +557,7 @@ func (t *wanTransit) localGW() {
 		gwLocal.gwFree += n.par.GatewayCost
 		now = gwLocal.gwFree
 	}
-	p := &n.pipes[t.cs*n.nclusters+t.cd]
+	p := n.pipeAt(t.cs, t.cd, 0) // transport off ⇒ single stream per pair
 	if wait := p.free - now; wait > p.maxWait {
 		p.maxWait = wait
 	}
@@ -583,6 +633,12 @@ func (n *Network) sendWAN(m Msg) {
 	t := n.getTransit(sh)
 	t.m = m
 	t.cs, t.cd = n.clusterOf[m.From], n.clusterOf[m.To]
+	if n.xp != nil {
+		// Transport layer on: the message joins its directed pair's egress
+		// queue at the local gateway instead of transmitting on its own.
+		sh.e.At(atLocalGW, t.fn3)
+		return
+	}
 	sh.e.At(atLocalGW, t.fn1) // same cluster: sender and its gateway share an LP
 }
 
@@ -598,6 +654,7 @@ func (n *Network) getTransit(sh *netShard) *wanTransit {
 	t := &wanTransit{n: n}
 	t.fn1 = t.localGW
 	t.fn2 = t.remoteGW
+	t.fn3 = t.enqueue
 	return t
 }
 
@@ -629,13 +686,17 @@ func checkWANScales(src string, at time.Duration, ls, bs float64) {
 	}
 }
 
-// PipeReport describes the load on one directed WAN link over a run.
+// PipeReport describes the load on one directed WAN link over a run. When
+// the transport layer stripes a pair over parallel pipes, each stream gets
+// its own report; Stream is 0 otherwise.
 type PipeReport struct {
 	From, To    int           // cluster indices
-	Msgs        int64         // messages transmitted
+	Stream      int           // stream index within the directed pair
+	Msgs        int64         // application messages carried
+	Frames      int64         // coalesced frames transmitted (0 when transport is off)
 	Bytes       int64         // payload bytes transmitted
 	Busy        time.Duration // cumulative transmission time
-	MaxQueueing time.Duration // worst delay a message spent queued behind others
+	MaxQueueing time.Duration // worst delay a transmission spent queued behind others
 }
 
 // Utilization reports the link's duty cycle over the elapsed virtual time.
@@ -646,21 +707,32 @@ func (r PipeReport) Utilization(elapsed time.Duration) float64 {
 	return float64(r.Busy) / float64(elapsed)
 }
 
+// Packing reports the link's average messages per frame (0 when the
+// transport layer was off).
+func (r PipeReport) Packing() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.Msgs) / float64(r.Frames)
+}
+
 // PipeReports returns per-directed-WAN-link load reports, ordered by
-// (from, to). Links that carried no traffic are omitted.
+// (from, to, stream). Links that carried no traffic are omitted.
 func (n *Network) PipeReports() []PipeReport {
 	var out []PipeReport
 	for cs := 0; cs < n.nclusters; cs++ {
 		for cd := 0; cd < n.nclusters; cd++ {
-			p := &n.pipes[cs*n.nclusters+cd]
-			if p.msgs == 0 {
-				continue
+			for k := 0; k < n.streams; k++ {
+				p := n.pipeAt(cs, cd, k)
+				if p.msgs == 0 {
+					continue
+				}
+				out = append(out, PipeReport{
+					From: cs, To: cd, Stream: k,
+					Msgs: p.msgs, Frames: p.frames, Bytes: p.bytes,
+					Busy: p.busy, MaxQueueing: p.maxWait,
+				})
 			}
-			out = append(out, PipeReport{
-				From: cs, To: cd,
-				Msgs: p.msgs, Bytes: p.bytes,
-				Busy: p.busy, MaxQueueing: p.maxWait,
-			})
 		}
 	}
 	return out

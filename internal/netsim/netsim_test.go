@@ -293,6 +293,7 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindRPCReq: "rpc-req", KindRPCRep: "rpc-rep",
 		KindBcast: "bcast", KindData: "data", KindControl: "control",
+		KindFrame: "frame",
 	}
 	for k, want := range names {
 		if k.String() != want {

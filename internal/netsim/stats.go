@@ -31,6 +31,14 @@ const (
 // It is the data source for the paper's traffic tables.
 type Stats struct {
 	counts [2][NumKinds]Counter // [scopeIntra|scopeInter][kind]
+
+	// Gateway transport layer (transport.go): frames counts coalesced WAN
+	// transmissions (Bytes = framed payload volume) and framedMsgs the
+	// application messages packed inside them. Both stay zero when the
+	// layer is off; the per-kind tables above always meter application
+	// messages, framed or not.
+	frames     Counter
+	framedMsgs int64
 }
 
 func (s *Stats) count(scope int, k Kind, size int) {
@@ -62,7 +70,26 @@ func (s *Stats) Diff(earlier Stats) Stats {
 			}
 		}
 	}
+	d.frames = Counter{s.frames.Msgs - earlier.frames.Msgs, s.frames.Bytes - earlier.frames.Bytes}
+	d.framedMsgs = s.framedMsgs - earlier.framedMsgs
 	return d
+}
+
+// WANFrames reports the coalesced transport frames that crossed WAN links:
+// Msgs is the wire-level transmission count, Bytes the framed payload volume.
+// Zero when the gateway transport layer is off.
+func (s *Stats) WANFrames() Counter { return s.frames }
+
+// FramedMsgs reports how many application messages those frames carried.
+func (s *Stats) FramedMsgs() int64 { return s.framedMsgs }
+
+// PackingRatio reports the average application messages per WAN frame — the
+// transport layer's packing efficiency (0 when no frames were sent).
+func (s *Stats) PackingRatio() float64 {
+	if s.frames.Msgs == 0 {
+		return 0
+	}
+	return float64(s.framedMsgs) / float64(s.frames.Msgs)
 }
 
 // TotalIntra sums all intracluster traffic.
@@ -112,6 +139,10 @@ func (s *Stats) String() string {
 		if c := s.counts[scopeInter][k]; c.Msgs > 0 {
 			fmt.Fprintf(&b, "%s=%d/%.0fkB ", Kind(k), c.Msgs, c.KBytes())
 		}
+	}
+	if s.frames.Msgs > 0 {
+		fmt.Fprintf(&b, "| frames: %d/%.0fkB packing=%.1f ",
+			s.frames.Msgs, s.frames.KBytes(), s.PackingRatio())
 	}
 	return strings.TrimSpace(b.String())
 }

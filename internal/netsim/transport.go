@@ -1,0 +1,355 @@
+// Gateway transport optimization layer: MPWide-style frame coalescing and
+// multipath striping on the wide-area path.
+//
+// When enabled (any of cluster.Params.MaxFrameBytes, CoalesceWindow or
+// WANStreams > 1 is set, and the topology has more than one cluster), WAN
+// messages no longer cross the wide-area pipe one at a time. Instead each
+// directed cluster pair keeps an egress queue at the local gateway: messages
+// bound for the same destination cluster accumulate into a frame, which is
+// flushed when its payload reaches MaxFrameBytes or when a CoalesceWindow
+// virtual-time timer (armed when the first message arrives) fires. The frame
+// pays one WAN serialization and one receive-side software overhead, however
+// many messages it carries — the transparent runtime-level counterpart of the
+// paper's application-level message combining.
+//
+// Frames are striped round-robin over WANStreams parallel pipes per directed
+// pair (each with the full WANLatency/WANBandwidth) and carry a sequence
+// number; the remote gateway reassembles them in order, holding early frames
+// until the gap fills. Zero-valued parameters disable the whole layer, and
+// the plain per-message path (localGW/remoteGW in netsim.go) is untouched,
+// so disabled runs are byte-identical to a build without this file.
+package netsim
+
+import "time"
+
+// xport holds the transport layer's per-directed-cluster-pair state. egress
+// entry cs*nclusters+cd is touched only from cluster cs's LP, ingress entry
+// cs*nclusters+cd only from cluster cd's LP, so the layer needs no locks
+// under a sharded engine.
+type xport struct {
+	egress  []egressQ
+	ingress []ingressQ
+}
+
+func newXport(n *Network) *xport {
+	x := &xport{
+		egress:  make([]egressQ, n.nclusters*n.nclusters),
+		ingress: make([]ingressQ, n.nclusters*n.nclusters),
+	}
+	for cs := 0; cs < n.nclusters; cs++ {
+		for cd := 0; cd < n.nclusters; cd++ {
+			eg := &x.egress[cs*n.nclusters+cd]
+			eg.n, eg.cs, eg.cd = n, cs, cd
+			eg.flushFn = eg.timerFlush // bound once; the timer never allocates
+		}
+	}
+	return x
+}
+
+// egressQ is the coalescing queue of one directed cluster pair, living at the
+// source cluster's gateway.
+type egressQ struct {
+	n        *Network
+	cs, cd   int
+	msgs     []Msg
+	bytes    int
+	deadline time.Duration // flush instant of the frame being built
+	seq      int64         // next frame sequence number
+	stream   int           // next round-robin stream index
+	flushFn  func()
+}
+
+// add appends one message to the frame under construction, arming the flush
+// timer when the frame is fresh and flushing early when the size bound is
+// hit. A zero CoalesceWindow arms the timer at the current instant, so the
+// layer still batches messages that reach the gateway at the same virtual
+// time (the timer runs after every already-scheduled event of that instant).
+func (eg *egressQ) add(now time.Duration, m Msg) {
+	n := eg.n
+	if len(eg.msgs) == 0 {
+		eg.deadline = now + n.par.CoalesceWindow
+		n.sh[eg.cs].e.At(eg.deadline, eg.flushFn)
+	}
+	eg.msgs = append(eg.msgs, m)
+	eg.bytes += m.Size
+	if n.par.MaxFrameBytes > 0 && eg.bytes >= n.par.MaxFrameBytes {
+		eg.flush(now)
+	}
+}
+
+// timerFlush fires at the deadline armed by the frame's first message. When
+// the frame was already flushed by the size bound, the queue is either empty
+// or holds a younger frame with a later deadline; both make the timer stale.
+func (eg *egressQ) timerFlush() {
+	now := eg.n.sh[eg.cs].e.Now()
+	if len(eg.msgs) == 0 || now < eg.deadline {
+		return
+	}
+	eg.flush(now)
+}
+
+// flush seals the accumulated messages into a frame and transmits it. The
+// fault verdict comes first — sequence numbers are assigned only to frames
+// that actually enter a pipe, so a frame lost at the local gateway leaves no
+// gap for the remote reassembler to wait on.
+func (eg *egressQ) flush(now time.Duration) {
+	n := eg.n
+	sh := n.sh[eg.cs]
+	f := n.getFrame(sh)
+	f.cs, f.cd = eg.cs, eg.cd
+	f.msgs, eg.msgs = eg.msgs, f.msgs
+	f.bytes, eg.bytes = eg.bytes, 0
+
+	var dup *frame
+	if n.fault != nil {
+		wire := f.wireMsg()
+		if n.fault.GatewayDown(now, f.cs, wire) {
+			// The local gateway is crashed: the whole frame is lost.
+			f.release(sh)
+			return
+		}
+		act, delay := n.fault.WANTransit(now, f.cs, f.cd, wire)
+		switch act {
+		case FaultDrop:
+			f.release(sh)
+			return
+		case FaultDuplicate:
+			// The duplicate copy shares the original's sequence number and
+			// stream, entering the pipe right behind it; reassembly later
+			// discards whichever copy arrives second.
+			dup = n.getFrame(sh)
+			dup.cs, dup.cd = f.cs, f.cd
+			dup.msgs = append(dup.msgs, f.msgs...)
+			dup.bytes = f.bytes
+		}
+		f.extra = delay
+	}
+	f.seq = eg.seq
+	eg.seq++
+	f.stream = eg.stream
+	eg.stream++
+	if eg.stream >= n.streams {
+		eg.stream = 0
+	}
+	n.transmit(f, now)
+	if dup != nil {
+		dup.seq, dup.stream = f.seq, f.stream
+		n.transmit(dup, now)
+	}
+}
+
+// transmit sends one frame over its assigned pipe: gateway forwarding cost,
+// FIFO pipe serialization, then the cross-LP hop to the destination cluster.
+// The schedule delta is depart+lat+wanDelay >= WANLatency+SoftwareOverhead
+// (profiles and faults are rejected when sharded), i.e. exactly the lookahead
+// New configures — coalescing delays when a frame departs, never how far
+// ahead its arrival is scheduled.
+func (n *Network) transmit(f *frame, now time.Duration) {
+	sh := n.sh[f.cs]
+	if n.par.GatewayCost > 0 {
+		// One forwarding slot per frame, not per packed message: packing
+		// relieves the gateway's protocol stack along with the WAN link.
+		gw := n.nodes[n.gateways[f.cs]]
+		if gw.gwFree < now {
+			gw.gwFree = now
+		}
+		gw.gwFree += n.par.GatewayCost
+		now = gw.gwFree
+	}
+	p := n.pipeAt(f.cs, f.cd, f.stream)
+	if wait := p.free - now; wait > p.maxWait {
+		p.maxWait = wait
+	}
+	start := now
+	if p.free > start {
+		start = p.free
+	}
+	lat, bw := n.wanQuality(start)
+	xmit := bwTime(f.bytes, bw)
+	depart := start + xmit
+	p.free = depart
+	p.busy += xmit
+	p.bytes += int64(f.bytes)
+	p.msgs += int64(len(f.msgs))
+	p.frames++
+	sh.stats.frames.Msgs++
+	sh.stats.frames.Bytes += int64(f.bytes)
+	sh.stats.framedMsgs += int64(len(f.msgs))
+	sh.e.AtShard(n.sh[f.cd].e, depart+lat+n.wanDelay+f.extra, f.fnArrive)
+}
+
+// frame is a recyclable coalesced WAN transmission unit. Like the delivery
+// and wanTransit records, its arrival closure is bound once and records are
+// pooled per netShard, so steady framed traffic allocates nothing. The frame
+// format is the concatenation of its messages' payloads: header cost is
+// modelled by the per-frame software overhead, not extra bytes.
+type frame struct {
+	n        *Network
+	cs, cd   int
+	seq      int64
+	stream   int
+	bytes    int
+	extra    time.Duration // fault-injected reorder delay, added to arrival
+	msgs     []Msg
+	fnArrive func() // bound to (*frame).arrive once
+}
+
+// wireMsg synthesizes the gateway-to-gateway message handed to fault
+// policies: the frame is the wire unit, so faults rule on whole frames.
+func (f *frame) wireMsg() Msg {
+	return Msg{
+		From: f.n.gateways[f.cs],
+		To:   f.n.gateways[f.cd],
+		Kind: KindFrame,
+		Size: f.bytes,
+	}
+}
+
+// release returns the frame to sh's pool. Message slots are zeroed so pooled
+// frames hold no payload references.
+func (f *frame) release(sh *netShard) {
+	for i := range f.msgs {
+		f.msgs[i] = Msg{}
+	}
+	f.msgs = f.msgs[:0]
+	f.bytes = 0
+	f.extra = 0
+	sh.framePool = append(sh.framePool, f)
+}
+
+// getFrame pops a pooled frame record from sh (or creates one with its
+// arrival closure bound). Like wanTransit records, frames are released on the
+// destination cluster's shard and so migrate between pools, but each pool is
+// touched by a single LP thread.
+func (n *Network) getFrame(sh *netShard) *frame {
+	if k := len(sh.framePool); k > 0 {
+		f := sh.framePool[k-1]
+		sh.framePool = sh.framePool[:k-1]
+		return f
+	}
+	f := &frame{n: n}
+	f.fnArrive = f.arrive
+	return f
+}
+
+// arrive runs on the destination cluster's LP when a frame crosses the WAN.
+// Frames are consumed strictly in sequence order: the next expected frame is
+// unpacked immediately (plus any consecutive frames held behind it), an
+// early frame is held, and a stale sequence number is a duplicate copy to
+// discard. A crashed remote gateway loses the frame's payload but still
+// consumes its sequence number, so reassembly never wedges behind a loss.
+func (f *frame) arrive() {
+	n := f.n
+	sh := n.sh[f.cd]
+	now := sh.e.Now()
+	iq := &n.xp.ingress[f.cs*n.nclusters+f.cd]
+	if n.fault != nil && n.fault.GatewayDown(now, f.cd, f.wireMsg()) {
+		iq.consumeLost(f.seq)
+		f.release(sh)
+		return
+	}
+	switch {
+	case f.seq < iq.next:
+		f.release(sh) // duplicate of an already-consumed frame
+	case f.seq == iq.next:
+		iq.next++
+		f.unpack(now)
+		f.release(sh)
+		iq.drain(now)
+	default:
+		if _, dup := iq.held[f.seq]; dup {
+			f.release(sh) // duplicate of a frame already waiting in the gap
+			return
+		}
+		if iq.held == nil {
+			iq.held = make(map[int64]*frame)
+		}
+		iq.held[f.seq] = f
+	}
+}
+
+// unpack forwards the frame's messages onward: one gateway forwarding slot
+// for the whole frame, then per-message Fast Ethernet serialization to each
+// destination node (gateway-destined messages deliver directly, as on the
+// per-message path).
+func (f *frame) unpack(now time.Duration) {
+	n := f.n
+	gw := n.nodes[n.gateways[f.cd]]
+	if n.par.GatewayCost > 0 {
+		if gw.gwFree < now {
+			gw.gwFree = now
+		}
+		gw.gwFree += n.par.GatewayCost
+		now = gw.gwFree
+	}
+	for _, m := range f.msgs {
+		if n.isGW[m.To] {
+			n.deliver(m)
+			continue
+		}
+		end := serialize(&gw.nicFree, now, m.Size, n.par.FEBandwidth)
+		n.deliverAt(end+n.feDelay, m)
+	}
+}
+
+// ingressQ reassembles one directed pair's frames in sequence order at the
+// destination gateway. held maps sequence number → early frame; a nil entry
+// is the tombstone of a frame lost to a remote gateway crash (payload gone,
+// sequence number still consumed).
+type ingressQ struct {
+	next int64
+	held map[int64]*frame
+}
+
+// consumeLost advances the sequence past a frame whose payload was lost at
+// the remote gateway, so later frames are not held forever behind the loss.
+func (iq *ingressQ) consumeLost(seq int64) {
+	switch {
+	case seq < iq.next:
+		// Duplicate of a consumed frame; nothing to resync.
+	case seq == iq.next:
+		iq.next++
+		iq.drain(0)
+	default:
+		if _, dup := iq.held[seq]; dup {
+			return
+		}
+		if iq.held == nil {
+			iq.held = make(map[int64]*frame)
+		}
+		iq.held[seq] = nil
+	}
+}
+
+// drain consumes consecutively-sequenced frames waiting behind a filled gap.
+// Held frames unpack at the drain instant (they arrived earlier but must not
+// overtake the gap filler); tombstones just advance the sequence.
+func (iq *ingressQ) drain(now time.Duration) {
+	for {
+		f, ok := iq.held[iq.next]
+		if !ok {
+			return
+		}
+		delete(iq.held, iq.next)
+		iq.next++
+		if f != nil {
+			f.unpack(now)
+			f.release(f.n.sh[f.cd])
+		}
+	}
+}
+
+// enqueue is the transport-layer stage 2 of a WAN send (replacing localGW):
+// the message has crossed Fast Ethernet to its local gateway and joins the
+// egress queue of its directed cluster pair.
+func (t *wanTransit) enqueue() {
+	n := t.n
+	sh := n.sh[t.cs]
+	m, cs, cd := t.m, t.cs, t.cd
+	t.releaseTo(sh)
+	n.xp.egress[cs*n.nclusters+cd].add(sh.e.Now(), m)
+}
+
+// TransportActive reports whether the gateway transport optimization layer
+// (frame coalescing / striping) is running in this network.
+func (n *Network) TransportActive() bool { return n.xp != nil }

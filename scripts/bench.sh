@@ -15,7 +15,10 @@
 # its LPs and shows pure synchronization overhead instead of speedup.
 #
 # BENCH_apps.json holds the end-to-end numbers for all eight applications of
-# the paper's suite (2x8 wide-area, original variant).
+# the paper's suite (2x8 wide-area, original variant). The RATransport and
+# ASPTransport entries rerun RA and ASP with the gateway transport layer on
+# (DefaultTransport: frame coalescing + multipath striping); each forms a
+# coalescing-on/off pair with its plain entry.
 #
 # Usage:
 #   scripts/bench.sh              # full run (benchtime 1s)
