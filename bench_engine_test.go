@@ -243,9 +243,12 @@ func benchEngineMode(b *testing.B, appName string, clusters, perCluster, shards 
 	}
 }
 
-// The engine-mode pairs below benchmark the two shardable applications on a
-// four-cluster platform, sequentially and with four LPs. BENCH_engine.json
-// records both sides of each pair.
+// The engine-mode pairs below benchmark shardable applications on a
+// four-cluster platform, sequentially and with four LPs. Water and ATPG are
+// the original pair from the engine's introduction; TSP, IDA* and RA are the
+// event-dense crawlers the LP-pinned sequencer and shard-safe collectives
+// unlocked — the runs where parallel dispatch has the most wall-clock to
+// reclaim. BENCH_engine.json records both sides of each pair.
 
 func BenchmarkEngineModeWaterSequential(b *testing.B) { benchEngineMode(b, "Water", 4, 2, 0) }
 
@@ -254,6 +257,18 @@ func BenchmarkEngineModeWaterShards4(b *testing.B) { benchEngineMode(b, "Water",
 func BenchmarkEngineModeATPGSequential(b *testing.B) { benchEngineMode(b, "ATPG", 4, 2, 0) }
 
 func BenchmarkEngineModeATPGShards4(b *testing.B) { benchEngineMode(b, "ATPG", 4, 2, 4) }
+
+func BenchmarkEngineModeTSPSequential(b *testing.B) { benchEngineMode(b, "TSP", 4, 2, 0) }
+
+func BenchmarkEngineModeTSPShards4(b *testing.B) { benchEngineMode(b, "TSP", 4, 2, 4) }
+
+func BenchmarkEngineModeIDASequential(b *testing.B) { benchEngineMode(b, "IDA*", 4, 2, 0) }
+
+func BenchmarkEngineModeIDAShards4(b *testing.B) { benchEngineMode(b, "IDA*", 4, 2, 4) }
+
+func BenchmarkEngineModeRASequential(b *testing.B) { benchEngineMode(b, "RA", 4, 2, 0) }
+
+func BenchmarkEngineModeRAShards4(b *testing.B) { benchEngineMode(b, "RA", 4, 2, 4) }
 
 // BenchmarkEngineShardedWindows measures the sharded engine's window
 // machinery in isolation: four LPs each dispatch a chain of local events

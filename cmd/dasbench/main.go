@@ -11,11 +11,13 @@
 //	dasbench -exp fig9 -coalesce 32768 -coalesce-window 500us -streams 4
 //	                             # ... on the coalescing/striping runtime
 //
-// -shards N partitions each run of a shardable application (Water, ATPG)
-// into min(N, clusters) cluster-owning logical processes synchronized by
-// WAN-lookahead windows; all other applications keep the sequential engine.
+// -shards N partitions each run of a shardable application (all eight of the
+// paper's suite since the LP-pinned sequencer, DESIGN.md §5d) into
+// min(N, clusters) cluster-owning logical processes synchronized by
+// WAN-lookahead windows; single-cluster shapes keep the sequential engine.
 // Results are byte-identical at any setting — the flag trades wall-clock
-// time only.
+// time only — and after the experiments a per-LP window-counter table shows
+// the synchronization overhead each application paid.
 package main
 
 import (
@@ -159,6 +161,35 @@ func main() {
 		fmt.Printf("(%s took %.1fs wall clock; all results verified against sequential references)\n\n",
 			e.ID, time.Since(start).Seconds())
 	}
+	if *shardsFlag > 1 {
+		printShardUsage()
+	}
+}
+
+// printShardUsage renders the per-LP window counters every sharded run
+// accumulated: windows executed, the share that dispatched no event on that
+// LP (pure synchronization), events dispatched, and wall-clock fence waits.
+// High idle shares or fence waits are the sharded engine's overhead made
+// visible — the results themselves are byte-identical either way.
+func printShardUsage() {
+	report := harness.ShardUsageReport()
+	if report == nil {
+		return
+	}
+	fmt.Println("== Sharded-engine window counters (observability only; results are engine-independent) ==")
+	fmt.Printf("%-8s %4s %3s %12s %6s %12s %12s\n",
+		"app", "runs", "lp", "windows", "idle%", "events", "fence-wait")
+	for _, u := range report {
+		for _, lp := range u.LPs {
+			idle := 0.0
+			if lp.Windows > 0 {
+				idle = 100 * float64(lp.IdleWindows) / float64(lp.Windows)
+			}
+			fmt.Printf("%-8s %4d %3d %12d %5.1f%% %12d %12s\n",
+				u.App, u.Runs, lp.LP, lp.Windows, idle, lp.Events, lp.FenceWait.Round(time.Millisecond))
+		}
+	}
+	fmt.Println()
 }
 
 // runChaos renders the fault-injection degradation sweep, then a chaos

@@ -20,10 +20,10 @@ import (
 	"time"
 
 	"albatross/internal/cluster"
+	"albatross/internal/coll"
 	"albatross/internal/core"
 	"albatross/internal/orca"
 	"albatross/internal/rng"
-	"albatross/internal/sim"
 )
 
 // Config describes one binary CSP instance.
@@ -180,8 +180,9 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		return &domState{node: node, dom: dom}
 	})
 
-	// dirty[r] is worker r's local worklist; inflight counts update
-	// applications not yet performed anywhere in the system.
+	// dirty[r] is worker r's local worklist. Every access happens at node
+	// r — the worker reads it there and prunings mark it from their Apply
+	// at node r — so each map belongs to one LP when sharded.
 	dirty := make([]map[int]bool, p)
 	for r := range dirty {
 		dirty[r] = map[int]bool{}
@@ -189,8 +190,11 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 			dirty[r][v] = true
 		}
 	}
-	inflight := 0
-	changedFlag := false
+	// sent[r] counts prunings issued by worker r; applied[n] counts prune
+	// applications performed at node n. Each slot is touched only at its
+	// own node, and the per-round termination allreduce sums them all.
+	sent := make([]int64, p)
+	applied := make([]int64, p)
 
 	// markDirty: when a pruning of v lands on a node, the variables
 	// constrained by v that live on that node become dirty.
@@ -209,17 +213,21 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 				st := s.(*domState)
 				old := st.dom[v]
 				st.dom[v] &= mask
-				inflight--
+				applied[st.node]++
 				if st.dom[v] != old {
-					changedFlag = true
 					markDirty(st.node, v)
 				}
 				return nil
 			}}
 	}
 
-	done := false
-	bar := sim.NewBarrier(sys.Engine, "acp", p)
+	// Round termination runs as a real wide-area allreduce summing every
+	// worker's (worklist size, prunings sent, prunings applied here). The
+	// fixpoint is reached when no worklist holds a variable and every
+	// issued pruning has been applied at every node: applied == p * sent
+	// at the cut also proves no update is still in flight, because no
+	// worker sends while all are inside the allreduce.
+	term := coll.New(sys, "acp-term", coll.WideArea)
 	_ = topo
 
 	sys.SpawnWorkers("acp", func(w *core.Worker) {
@@ -246,7 +254,7 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 				}
 				w.Compute(time.Duration(checks) * cfg.CheckCost)
 				if nv != st.dom[v] {
-					inflight += p
+					sent[r]++
 					op := pruneOp(v, nv)
 					if optimized {
 						domains.AsyncUpdate(w.Node, op)
@@ -255,15 +263,10 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 					}
 				}
 			}
-			bar.Arrive(w.P)
-			if r == 0 {
-				if !changedFlag && inflight == 0 {
-					done = true
-				}
-				changedFlag = false
-			}
-			bar.Arrive(w.P)
-			if done {
+			tot := term.AllReduce(w, 24,
+				acpTotals{dirty: int64(len(dirty[r])), sent: sent[r], applied: applied[r]},
+				sumTotals).(acpTotals)
+			if tot.dirty == 0 && tot.applied == int64(p)*tot.sent {
 				return
 			}
 		}
@@ -281,6 +284,26 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		}
 		return nil
 	}
+}
+
+// acpTotals is one worker's contribution to the termination allreduce.
+type acpTotals struct {
+	dirty   int64 // variables still on the worker's worklist
+	sent    int64 // prunings the worker has issued so far
+	applied int64 // prunings applied at the worker's node so far
+}
+
+// sumTotals folds the termination contributions elementwise.
+func sumTotals(acc, v any) any {
+	t := v.(acpTotals)
+	if acc == nil {
+		return t
+	}
+	a := acc.(acpTotals)
+	a.dirty += t.dirty
+	a.sent += t.sent
+	a.applied += t.applied
+	return a
 }
 
 // sortInts sorts a small int slice (insertion sort; worklists are short).

@@ -156,7 +156,6 @@ func Build(sys *core.System, cfg Config) func() error {
 	n := cfg.N
 	p := sys.Topo.Compute()
 	d := copyMatrix(generateCached(cfg))
-	e := sys.Engine
 
 	pivot := sys.RTS.NewReplicated("pivot-rows", func(node cluster.NodeID) any {
 		return &pivotState{node: node, rows: make([]*pivotRow, n), wait: make([]*sim.Future, n)}
@@ -166,7 +165,11 @@ func Build(sys *core.System, cfg Config) func() error {
 	// into a pooled buffer, every worker releases the row after its relax
 	// sweep, and the last release returns the buffer for a later pivot. The
 	// live row set stays proportional to the broadcast pipeline depth
-	// instead of the full matrix.
+	// instead of the full matrix. On the sharded engine the releases land on
+	// several LPs inside one window, so neither the refcounts nor the shared
+	// pool are touchable: rows are allocated fresh and left to the garbage
+	// collector, exactly like the runtime's own broadcast records.
+	sharded := sys.Sharded()
 	var rowPool []*pivotRow
 	rowRefs := make([]int32, n)
 	getRow := func() *pivotRow {
@@ -179,6 +182,9 @@ func Build(sys *core.System, cfg Config) func() error {
 	}
 	releaseRow := func(st *pivotState, k int, pr *pivotRow) {
 		st.rows[k] = nil
+		if sharded {
+			return
+		}
 		if rowRefs[k]--; rowRefs[k] == 0 {
 			rowPool = append(rowPool, pr)
 		}
@@ -209,7 +215,9 @@ func Build(sys *core.System, cfg Config) func() error {
 			st.futPool = st.futPool[:m-1]
 			f.Reset("asp-row")
 		} else {
-			f = sim.NewFuture(e, "asp-row")
+			// The future belongs to this node's worker: create it on the
+			// node's own engine so it lives entirely on one LP when sharded.
+			f = sim.NewFuture(sys.EngineFor(st.node), "asp-row")
 		}
 		st.wait[k] = f
 		pr := f.Await(w.P).(*pivotRow)

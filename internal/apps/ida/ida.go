@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"albatross/internal/cluster"
+	"albatross/internal/coll"
 	"albatross/internal/core"
 	"albatross/internal/orca"
-	"albatross/internal/sim"
 )
 
 // Config describes one IDA* run.
@@ -188,7 +188,6 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 	p := sys.Topo.Compute()
 	topo := sys.Topo
-	e := sys.Engine
 
 	jobs, _ := frontier(cfg)
 	root := Scramble(cfg.Walk, cfg.Seed)
@@ -210,29 +209,24 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 		}
 	}
 
-	// Shared iteration bookkeeping (plain memory; the real program's
-	// termination detection piggybacks on the idle broadcasts, which we
-	// send for traffic fidelity but do not trust for the decision).
-	remaining := 0
-	threshold := manhattan(&root)
-	var totalExp, totalSols int64
-	nextThreshold := infThreshold
-	finished := false
-	foundOptimal := -1
-	bar := sim.NewBarrier(e, "ida", p)
-
-	perWorkerNext := make([]int, p)
+	// Per-worker tallies (each slot written only by its own worker) and the
+	// iteration allreduce deciding continuation. No shared counters remain:
+	// the work phase ends when the replicated idle map shows every worker
+	// idle (see the loop below for why that is sound), and the iteration
+	// decision comes from an allreduce folding every worker's
+	// (min next-threshold, solutions found).
+	workerExp := make([]int64, p)
+	workerSols := make([]int64, p)
+	foundOptimal := -1 // written by rank 0 only, read after the run
+	iter := coll.New(sys, "ida-iter", coll.WideArea)
 
 	sys.SpawnWorkers("ida", func(w *core.Worker) {
 		r := w.Rank()
 		myIdle := false
+		threshold := manhattan(&root) // evolves identically on every worker
 		for iteration := 0; ; iteration++ {
-			if r == 0 {
-				remaining = len(jobs)
-				nextThreshold = infThreshold
-			}
-			bar.Arrive(w.P)
-			perWorkerNext[r] = infThreshold
+			myNext := infThreshold
+			var mySols int64
 			if myIdle {
 				// Termination-detection broadcast: active again (the paper's
 				// workers announce both transitions).
@@ -244,7 +238,6 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 			for i := r; i < len(jobs); i += p {
 				w.Invoke(queues[r], pushOp(jobs[i]))
 			}
-			bar.Arrive(w.P)
 
 			runJob := func(j job) {
 				res := searchResult{next: infThreshold}
@@ -255,15 +248,14 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 					boundedDFS(&b, j.g, j.h, j.lm, threshold, &res)
 				}
 				w.Compute(time.Duration(res.expansions) * cfg.ExpandCost)
-				totalExp += res.expansions
-				totalSols += res.solutions
-				if res.next < perWorkerNext[r] {
-					perWorkerNext[r] = res.next
+				workerExp[r] += res.expansions
+				mySols += res.solutions
+				if res.next < myNext {
+					myNext = res.next
 				}
-				remaining--
 			}
 
-			for remaining > 0 {
+			for {
 				if v := w.Invoke(queues[r], popLocalOp()); v != nil {
 					if myIdle {
 						myIdle = false
@@ -275,9 +267,6 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 				// Own queue empty: one sweep over the victims.
 				stole := false
 				for _, victim := range stealOrder[r] {
-					if remaining == 0 {
-						break
-					}
 					if pol.RememberIdle && idleObj.Replica(w.Node).(*idleState).m.Idle(int(victim)) {
 						continue // "remember empty": skip known-idle victims
 					}
@@ -299,36 +288,40 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 					myIdle = true
 					w.Invoke(idleObj, setIdleOp(r, true))
 				}
-				if remaining > 0 {
-					w.P.Sleep(300 * time.Microsecond)
+				// The idle map itself decides the phase end, as the paper's
+				// program does: every idle broadcast was sent by a worker
+				// whose queue was empty, queues only shrink during the work
+				// phase (refills are the only pushes), and broadcasts are
+				// totally ordered — so a replica showing all workers idle
+				// proves every queue has drained for good.
+				if idleObj.Replica(w.Node).(*idleState).m.AllIdle() {
+					break
 				}
+				w.P.Sleep(300 * time.Microsecond)
 			}
 
-			bar.Arrive(w.P)
-			if r == 0 {
-				for _, n := range perWorkerNext {
-					if n < nextThreshold {
-						nextThreshold = n
-					}
-				}
-				if totalSols > 0 {
-					finished = true
+			workerSols[r] += mySols
+			tot := iter.AllReduce(w, 16, iterStats{next: myNext, sols: mySols}, foldIter).(iterStats)
+			if tot.sols > 0 {
+				if r == 0 {
 					foundOptimal = threshold
-				} else if nextThreshold >= infThreshold {
-					finished = true
-				} else {
-					threshold = nextThreshold
 				}
-			}
-			bar.Arrive(w.P)
-			if finished {
 				return
 			}
+			if tot.next >= infThreshold {
+				return // unsolvable: foundOptimal stays -1, like Sequential
+			}
+			threshold = tot.next
 		}
 	})
 
 	return func() error {
 		want := Sequential(cfg)
+		var totalExp, totalSols int64
+		for r := 0; r < p; r++ {
+			totalExp += workerExp[r]
+			totalSols += workerSols[r]
+		}
 		if foundOptimal != want.Optimal {
 			return fmt.Errorf("ida: optimal %d, want %d", foundOptimal, want.Optimal)
 		}
@@ -340,4 +333,24 @@ func BuildPolicy(sys *core.System, cfg Config, pol Policy) func() error {
 		}
 		return nil
 	}
+}
+
+// iterStats is one worker's contribution to the iteration allreduce.
+type iterStats struct {
+	next int   // smallest next-threshold candidate seen by this worker
+	sols int64 // solutions found by this worker at the current threshold
+}
+
+// foldIter combines iteration contributions: minimum next, summed solutions.
+func foldIter(acc, v any) any {
+	t := v.(iterStats)
+	if acc == nil {
+		return t
+	}
+	a := acc.(iterStats)
+	if t.next < a.next {
+		a.next = t.next
+	}
+	a.sols += t.sols
+	return a
 }

@@ -159,6 +159,26 @@ type batch struct {
 	items []update
 }
 
+// batchPool is one cluster's free list of batch records. A batch retires
+// into the pool of the cluster that consumed it, which may differ from
+// where it was filled, but each pool is only touched from its own cluster's
+// LP thread, keeping the send path shard-safe.
+type batchPool struct{ free []*batch }
+
+func (pl *batchPool) get() *batch {
+	if m := len(pl.free); m > 0 {
+		b := pl.free[m-1]
+		pl.free = pl.free[:m-1]
+		return b
+	}
+	return new(batch)
+}
+
+func (pl *batchPool) put(b *batch) {
+	b.items = b.items[:0]
+	pl.free = append(pl.free, b)
+}
+
 // Build sets up the parallel RA run; optimized selects cluster-level message
 // combining on top of the sender-side batching both variants use.
 func Build(sys *core.System, cfg Config, optimized bool) func() error {
@@ -205,32 +225,36 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		combiner = core.NewCombiner(sys, "ra", 8192, cfg.FlushEach)
 	}
 
-	// One interned tag per destination rank, shared by all workers, and a
-	// shared batch free list (the simulation runs one process at a time, so
-	// producers and consumers share it safely).
+	// One interned tag per destination rank, shared by all workers, and
+	// per-cluster batch free lists (every cluster shares one instance on
+	// the sequential engine).
 	tags := make([]orca.TagID, p)
 	for r := 0; r < p; r++ {
 		tags[r] = sys.RTS.InternTag(orca.Tag{Op: "ra", A: r})
 	}
-	var batchPool []*batch
-	getBatch := func() *batch {
-		if m := len(batchPool); m > 0 {
-			b := batchPool[m-1]
-			batchPool = batchPool[:m-1]
-			return b
+	pools := make([]*batchPool, topo.Clusters)
+	if sys.Sharded() {
+		for c := range pools {
+			pools[c] = &batchPool{}
 		}
-		return new(batch)
-	}
-	putBatch := func(b *batch) {
-		b.items = b.items[:0]
-		batchPool = append(batchPool, b)
+	} else {
+		one := &batchPool{}
+		for c := range pools {
+			pools[c] = one
+		}
 	}
 
-	determined := 0
-	done := func() bool { return determined == cfg.N }
+	// determined[r] counts positions worker r has determined; each worker
+	// only ever determines its own positions, so the slot stays on r's LP
+	// and the verifier sums the array after the run. Workers terminate
+	// locally: once all own positions are determined no incoming update
+	// can generate work here (process drops determined targets), so after
+	// a final flush the worker simply exits — no global counter needed.
+	determined := make([]int, p)
 
 	sys.SpawnWorkers("ra", func(w *core.Worker) {
 		r := w.Rank()
+		bp := pools[w.Cluster()]
 
 		// Sender-side per-destination batches (node-level combining).
 		batches := make([]*batch, p)
@@ -265,7 +289,7 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 
 		setValue := func(v int32, val Value) {
 			vals[v] = val
-			determined++
+			determined[r]++
 			stack = append(stack, detTask{v, val})
 		}
 		// process handles one notification "u has a successor of value
@@ -298,7 +322,7 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 					}
 					b := batches[d]
 					if b == nil {
-						b = getBatch()
+						b = bp.get()
 						batches[d] = b
 					}
 					b.items = append(b.items, update{target: u, val: t.val})
@@ -310,7 +334,9 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		}
 
 		// Seed the computation with our own terminal positions.
+		own := 0
 		for v := r; v < cfg.N; v += p {
+			own++
 			if g.Terminal(v) {
 				w.Compute(cfg.ApplyCost)
 				setValue(int32(v), Loss)
@@ -319,7 +345,7 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 		drain()
 		flushAll()
 
-		for !done() {
+		for determined[r] < own {
 			got, ok := w.TryRecvID(tags[r])
 			if !ok {
 				flushAll()
@@ -331,18 +357,25 @@ func Build(sys *core.System, cfg Config, optimized bool) func() error {
 				w.Compute(cfg.ApplyCost)
 				process(up.target, up.val)
 			}
-			putBatch(b)
+			bp.put(b)
 			drain()
 			// Partial batches are flushed only when we run out of input
 			// (the idle branch above), so batches fill to NodeBatch during
 			// busy periods — the point of the node-level combining.
 		}
+		// The last own determination may have left batched notifications
+		// for other nodes' predecessors; ship them before exiting.
+		flushAll()
 	})
 
 	return func() error {
 		want := sequentialCached(cfg)
-		if determined != cfg.N {
-			return fmt.Errorf("ra: only %d of %d positions determined", determined, cfg.N)
+		det := 0
+		for _, d := range determined {
+			det += d
+		}
+		if det != cfg.N {
+			return fmt.Errorf("ra: only %d of %d positions determined", det, cfg.N)
 		}
 		for v := range want {
 			if vals[v] != want[v] {

@@ -23,9 +23,9 @@ import (
 	"time"
 
 	"albatross/internal/cluster"
+	"albatross/internal/coll"
 	"albatross/internal/core"
 	"albatross/internal/orca"
-	"albatross/internal/sim"
 )
 
 // Config describes one SOR problem.
@@ -140,6 +140,16 @@ func Residual(cfg Config, g [][]float64) float64 {
 	return maxD
 }
 
+// maxCombine folds the per-worker maximum deltas of the convergence
+// allreduce (hoisted so repeated iterations allocate no closure).
+func maxCombine(acc, v any) any {
+	m := v.(float64)
+	if acc != nil && acc.(float64) > m {
+		return acc
+	}
+	return m
+}
+
 func rowRange(n, p, r int) (lo, hi int) {
 	base, rem := n/p, n%p
 	lo = r*base + min(r, rem) + 1 // interior rows are 1-based
@@ -169,11 +179,15 @@ func BuildWithStats(sys *core.System, cfg Config, optimized bool) (verify func()
 	g := newGrid(cfg)
 	topo := sys.Topo
 
-	deltas := make([]float64, p)
+	// iters and converged are written by rank 0 only and read after the run.
 	iters := 0
-	done := false
 	converged := false
-	bar := sim.NewBarrier(sys.Engine, "sor", p)
+	// The per-iteration convergence test is a real wide-area allreduce
+	// (cluster-local trees plus one WAN message per cluster), so every
+	// worker learns the global maximum delta and decides termination
+	// identically from it — no shared flags, which also makes the test
+	// shard-safe (each hop is an ordinary runtime message).
+	conv := coll.New(sys, "sor-conv", coll.WideArea)
 
 	rowBytes := 8 * (cfg.NY + 2)
 
@@ -181,10 +195,14 @@ func BuildWithStats(sys *core.System, cfg Config, optimized bool) (verify func()
 		r := w.Rank()
 		lo, hi := rowRange(cfg.NX, p, r)
 		ownRows := hi - lo + 1
-		// Ghost copies of the neighbours' boundary rows. Initialized from
-		// the initial grid (all zeros except the global boundary).
-		ghostUp := append([]float64(nil), g[lo-1]...)
-		ghostDown := append([]float64(nil), g[hi+1]...)
+		// Ghost copies of the neighbours' boundary rows, starting at the
+		// initial-grid value. Interior rows start all-zero and the nonzero
+		// row 0 is a global boundary served by upRow directly, so the
+		// ghosts simply start zeroed. They must NOT be copied from the live
+		// grid here: under the sharded engine a neighbour on another LP may
+		// already be relaxing its rows, and spawn-time reads of them race.
+		ghostUp := make([]float64, cfg.NY+2)
+		ghostDown := make([]float64, cfg.NY+2)
 		hasUp, hasDown := r > 0, r < p-1
 
 		// A message stream is identified by the sender's rank alone: the
@@ -208,8 +226,8 @@ func BuildWithStats(sys *core.System, cfg Config, optimized bool) (verify func()
 		// Boundary rows travel in per-direction double buffers, pre-boxed
 		// so the steady-state send allocates nothing. Reusing buffer k at
 		// send k+2 is safe: the receiver copies each payload out on
-		// receipt, and the end-of-iteration barrier means send k+2 cannot
-		// start before the receiver finished every receive of the
+		// receipt, and the end-of-iteration allreduce means send k+2
+		// cannot start before the receiver finished every receive of the
 		// iteration containing send k.
 		var upBufs, downBufs [2][]float64
 		var upBoxed, downBoxed [2]any
@@ -330,33 +348,29 @@ func BuildWithStats(sys *core.System, cfg Config, optimized bool) (verify func()
 				w.Compute(time.Duration(ownRows*(cfg.NY/2)) * cfg.CellCost)
 			}
 
-			// Global convergence test (the paper's program performs an
-			// equivalent reduction; we model it as a free synchronization
-			// and charge no traffic — see DESIGN.md).
-			deltas[r] = maxD
-			bar.Arrive(w.P)
+			// Global convergence test: a real allreduce of the maximum
+			// delta, whose result every worker folds identically. The
+			// lock-step original runs it every iteration, like the paper's
+			// synchronous program. Chaotic mode runs it only on exchange
+			// iterations — between exchanges the cluster-edge rows are
+			// frozen and contribute no delta, so a quiet iteration in
+			// between proves nothing about them, and skipping the test is
+			// exactly the removal of global synchronization that chaotic
+			// relaxation is about (clusters drift up to SkipMod iterations
+			// before the next exchange resynchronizes them).
 			if r == 0 {
-				all := 0.0
-				for _, d := range deltas {
-					if d > all {
-						all = d
-					}
-				}
 				iters = iter
-				// Chaotic mode may only declare convergence on exchange
-				// iterations: between exchanges the cluster-edge rows are
-				// frozen and contribute no delta, so a quiet iteration in
-				// between proves nothing about them.
-				fullSweep := !optimized || iter%cfg.SkipMod == 0
-				if all < cfg.Eps && fullSweep {
-					done = true
-					converged = true
-				} else if iter >= cfg.MaxIters {
-					done = true
+			}
+			if fullSweep := !optimized || iter%cfg.SkipMod == 0; fullSweep {
+				all := conv.AllReduce(w, 8, maxD, maxCombine).(float64)
+				if all < cfg.Eps {
+					if r == 0 {
+						converged = true
+					}
+					return
 				}
 			}
-			bar.Arrive(w.P)
-			if done {
+			if iter >= cfg.MaxIters {
 				return
 			}
 		}

@@ -90,8 +90,15 @@ type Comm struct {
 	stash [][]any
 
 	// Free lists for the intermediate combined-message payloads of the
-	// wide-area gather/scatter/all-to-all paths. The simulation runs one
-	// process at a time, so producers and consumers share them safely.
+	// wide-area gather/scatter/all-to-all paths, indexed by cluster. On a
+	// plain engine every cluster shares one instance (the simulation runs
+	// one process at a time); on a sharded engine each cluster gets its
+	// own, touched only from its LP thread.
+	pools []*commPools
+}
+
+// commPools is one cluster's slice of the combined-payload free lists.
+type commPools struct {
 	partPool   [][]any
 	bundlePool [][][]any
 }
@@ -117,7 +124,39 @@ func New(sys *core.System, name string, strategy Strategy) *Comm {
 		c.byCluster[cl] = ranks
 	}
 	c.stash = make([][]any, topo.Clusters*topo.Clusters)
+	c.pools = make([]*commPools, topo.Clusters)
+	if sys.Sharded() {
+		for cl := range c.pools {
+			c.pools[cl] = &commPools{}
+		}
+	} else {
+		one := &commPools{}
+		for cl := range c.pools {
+			c.pools[cl] = one
+		}
+	}
+	c.preIntern()
 	return c
+}
+
+// preIntern interns the tag set of the root-0 tree collectives (broadcast,
+// reduce, and the allreduce/barrier built from them, in both strategies) at
+// construction time. Interning mutates the communicator's dense tag tables,
+// which several LPs of a sharded run would otherwise race on; with the set
+// pre-interned, steady-state Barrier/AllReduce/Bcast/Reduce take the
+// read-only cached path. Collectives outside this set (non-zero roots,
+// gather/scatter/all-to-all) intern lazily and are therefore safe on the
+// sequential engine only, unless first exercised during setup.
+func (c *Comm) preIntern() {
+	n := c.sys.Topo.Compute()
+	if k := c.sys.Topo.Clusters; k > n {
+		n = k
+	}
+	for _, ph := range []phase{phB, phBL, phR, phRL} {
+		for aux := 0; aux < n; aux++ {
+			c.tag(ph, aux)
+		}
+	}
 }
 
 // Strategy returns the communicator's strategy.
@@ -139,10 +178,10 @@ func (c *Comm) tag(ph phase, aux int) orca.TagID {
 }
 
 // getPart pops (or makes) an n-element payload slice from the free list.
-func (c *Comm) getPart(n int) []any {
-	if k := len(c.partPool); k > 0 {
-		p := c.partPool[k-1]
-		c.partPool = c.partPool[:k-1]
+func (pl *commPools) getPart(n int) []any {
+	if k := len(pl.partPool); k > 0 {
+		p := pl.partPool[k-1]
+		pl.partPool = pl.partPool[:k-1]
 		if cap(p) >= n {
 			return p[:n]
 		}
@@ -150,18 +189,20 @@ func (c *Comm) getPart(n int) []any {
 	return make([]any, n)
 }
 
-// putPart recycles a consumed payload slice.
-func (c *Comm) putPart(p []any) {
+// putPart recycles a consumed payload slice. A part may retire into a
+// different cluster's pool than it came from (combined payloads cross the
+// WAN); each pool is still touched only from its own cluster's LP.
+func (pl *commPools) putPart(p []any) {
 	for i := range p {
 		p[i] = nil
 	}
-	c.partPool = append(c.partPool, p)
+	pl.partPool = append(pl.partPool, p)
 }
 
-func (c *Comm) getBundle(n int) [][]any {
-	if k := len(c.bundlePool); k > 0 {
-		b := c.bundlePool[k-1]
-		c.bundlePool = c.bundlePool[:k-1]
+func (pl *commPools) getBundle(n int) [][]any {
+	if k := len(pl.bundlePool); k > 0 {
+		b := pl.bundlePool[k-1]
+		pl.bundlePool = pl.bundlePool[:k-1]
 		if cap(b) >= n {
 			return b[:n]
 		}
@@ -169,11 +210,11 @@ func (c *Comm) getBundle(n int) [][]any {
 	return make([][]any, n)
 }
 
-func (c *Comm) putBundle(b [][]any) {
+func (pl *commPools) putBundle(b [][]any) {
 	for i := range b {
 		b[i] = nil
 	}
-	c.bundlePool = append(c.bundlePool, b)
+	pl.bundlePool = append(pl.bundlePool, b)
 }
 
 // CombineFunc folds two values (used by Reduce/AllReduce); it must be
@@ -362,7 +403,8 @@ func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
 	}
 	// Cluster root gathers its cluster into a positional slice (indexed
 	// like local)...
-	part := c.getPart(len(local))
+	pl := c.pools[myCluster]
+	part := pl.getPart(len(local))
 	for i, r := range local {
 		if r == w.Rank() {
 			part[i] = value
@@ -379,7 +421,7 @@ func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
 	for i, r := range local {
 		out[r] = part[i]
 	}
-	c.putPart(part)
+	pl.putPart(part)
 	for cl := 0; cl < topo.Clusters; cl++ {
 		if cl == rootCluster {
 			continue
@@ -388,7 +430,7 @@ func (c *Comm) Gather(w *core.Worker, root int, size int, value any) []any {
 		for i, r := range c.byCluster[cl] {
 			out[r] = rp[i]
 		}
-		c.putPart(rp)
+		pl.putPart(rp)
 	}
 	return out
 }
@@ -437,6 +479,7 @@ func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
 	if myCluster == rootCluster {
 		lr = root
 	}
+	pl := c.pools[myCluster]
 	switch {
 	case w.Rank() == root:
 		// One combined message per remote cluster, to its local root.
@@ -445,7 +488,7 @@ func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
 				continue
 			}
 			ranks := c.byCluster[cl]
-			part := c.getPart(len(ranks))
+			part := pl.getPart(len(ranks))
 			for i, r := range ranks {
 				part[i] = values[r]
 			}
@@ -469,7 +512,7 @@ func (c *Comm) Scatter(w *core.Worker, root int, size int, values []any) any {
 			}
 			w.SendID(cluster.NodeID(r), c.tag(phSL, lr*p+r), size, part[i])
 		}
-		c.putPart(part)
+		pl.putPart(part)
 		return own
 	default:
 		return w.RecvID(c.tag(phSL, lr*p+w.Rank()))
@@ -506,6 +549,7 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 	myCluster := w.Cluster()
 	local := c.byCluster[myCluster]
 	lr := local[0]
+	pl := c.pools[myCluster]
 	// Intra-cluster legs go direct; intercluster legs go through the
 	// cluster roots as combined bundles.
 	for q := 0; q < p; q++ {
@@ -522,7 +566,7 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 			continue
 		}
 		ranks := c.byCluster[cl]
-		part := c.getPart(len(ranks))
+		part := pl.getPart(len(ranks))
 		for i, q := range ranks {
 			part[i] = values[q]
 		}
@@ -541,9 +585,9 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 				continue
 			}
 			ranks := c.byCluster[cl]
-			b := c.getBundle(len(ranks))
+			b := pl.getBundle(len(ranks))
 			for di := range b {
-				b[di] = c.getPart(len(local))
+				b[di] = pl.getPart(len(local))
 			}
 			addPart := func(si int, part []any) {
 				for di, v := range part {
@@ -554,13 +598,13 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 				if r == lr {
 					st := myCluster*topo.Clusters + cl
 					addPart(si, c.stash[st])
-					c.putPart(c.stash[st])
+					pl.putPart(c.stash[st])
 					c.stash[st] = nil
 					continue
 				}
 				rp := w.RecvID(c.tag(phAR, cl*1000+r)).([]any)
 				addPart(si, rp)
-				c.putPart(rp)
+				pl.putPart(rp)
 			}
 			w.SendID(cluster.NodeID(ranks[0]), c.tag(phAB, myCluster),
 				size*len(local)*len(ranks), b)
@@ -579,12 +623,12 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 					for si, v := range senders {
 						out[srcRanks[si]] = v
 					}
-					c.putPart(senders)
+					pl.putPart(senders)
 					continue
 				}
 				w.SendID(cluster.NodeID(dest), c.tag(phAS, cl*1000+dest), size*len(senders), senders)
 			}
-			c.putBundle(b)
+			pl.putBundle(b)
 		}
 	} else {
 		for cl := 0; cl < topo.Clusters; cl++ {
@@ -595,7 +639,7 @@ func (c *Comm) AllToAll(w *core.Worker, size int, values []any) []any {
 			for si, v := range senders {
 				out[c.byCluster[cl][si]] = v
 			}
-			c.putPart(senders)
+			pl.putPart(senders)
 		}
 	}
 	// Finally the intra-cluster receives.

@@ -19,7 +19,10 @@ import (
 //
 // Item records and item slices are pooled: the receiving agent recycles
 // them after scattering, so sustained combining allocates nothing beyond
-// the flush timers.
+// the flush timers. Pools are per cluster — a record retires into the pool
+// of the cluster whose LP frees it, which may differ from where it was
+// allocated, but each pool is only ever touched from its own LP thread, so
+// combining stays shard-safe (see DESIGN.md §5c).
 type Combiner struct {
 	sys        *System
 	name       string
@@ -30,6 +33,13 @@ type Combiner struct {
 	// designated combiner node
 	bufs [][]combineBuf
 
+	// per-cluster free lists; every cluster shares one instance on the
+	// sequential engine
+	pools []*combinePools
+}
+
+// combinePools is one cluster's slice of the combiner free lists.
+type combinePools struct {
 	itemPool  []*combineItem
 	slicePool [][]*combineItem
 }
@@ -60,6 +70,17 @@ func NewCombiner(sys *System, name string, flushBytes int, flushAfter time.Durat
 	}
 	topo := sys.Topo
 	cb.bufs = make([][]combineBuf, topo.Clusters)
+	cb.pools = make([]*combinePools, topo.Clusters)
+	if sys.Sharded() {
+		for c := range cb.pools {
+			cb.pools[c] = &combinePools{}
+		}
+	} else {
+		one := &combinePools{}
+		for c := range cb.pools {
+			cb.pools[c] = one
+		}
+	}
 	for c := 0; c < topo.Clusters; c++ {
 		cb.bufs[c] = make([]combineBuf, topo.Clusters)
 		cb.install(c)
@@ -67,34 +88,34 @@ func NewCombiner(sys *System, name string, flushBytes int, flushAfter time.Durat
 	return cb
 }
 
-func (cb *Combiner) getItem() *combineItem {
-	if k := len(cb.itemPool); k > 0 {
-		it := cb.itemPool[k-1]
-		cb.itemPool = cb.itemPool[:k-1]
+func (pl *combinePools) getItem() *combineItem {
+	if k := len(pl.itemPool); k > 0 {
+		it := pl.itemPool[k-1]
+		pl.itemPool = pl.itemPool[:k-1]
 		return it
 	}
 	return new(combineItem)
 }
 
-func (cb *Combiner) putItem(it *combineItem) {
+func (pl *combinePools) putItem(it *combineItem) {
 	it.payload = nil
-	cb.itemPool = append(cb.itemPool, it)
+	pl.itemPool = append(pl.itemPool, it)
 }
 
-func (cb *Combiner) getSlice() []*combineItem {
-	if k := len(cb.slicePool); k > 0 {
-		s := cb.slicePool[k-1]
-		cb.slicePool = cb.slicePool[:k-1]
+func (pl *combinePools) getSlice() []*combineItem {
+	if k := len(pl.slicePool); k > 0 {
+		s := pl.slicePool[k-1]
+		pl.slicePool = pl.slicePool[:k-1]
 		return s
 	}
 	return nil
 }
 
-func (cb *Combiner) putSlice(s []*combineItem) {
+func (pl *combinePools) putSlice(s []*combineItem) {
 	for i := range s {
 		s[i] = nil
 	}
-	cb.slicePool = append(cb.slicePool, s[:0])
+	pl.slicePool = append(pl.slicePool, s[:0])
 }
 
 // agent returns the designated combining machine of cluster c: its last
@@ -107,13 +128,18 @@ func (cb *Combiner) agent(c int) cluster.NodeID {
 func (cb *Combiner) install(c int) {
 	rts := cb.sys.RTS
 	agent := cb.agent(c)
+	// Both handlers, and the flush timer below, run at the agent — i.e. on
+	// cluster c's LP when sharded — so every touch of bufs[c] and pools[c]
+	// is LP-local.
+	pl := cb.pools[c]
+	e := cb.sys.EngineFor(agent)
 	// Outgoing side: accumulate and flush.
 	rts.HandleService(agent, "comb:"+cb.name, func(req *orca.Request) {
 		it := req.Payload.(*combineItem)
 		dc := cb.sys.Topo.ClusterOf(it.to)
 		buf := &cb.bufs[c][dc]
 		if buf.items == nil {
-			buf.items = cb.getSlice()
+			buf.items = pl.getSlice()
 		}
 		buf.items = append(buf.items, it)
 		buf.bytes += it.size + itemHeaderBytes
@@ -124,7 +150,7 @@ func (cb *Combiner) install(c int) {
 		if !buf.timer {
 			buf.timer = true
 			gen := buf.gen
-			cb.sys.Engine.After(cb.FlushAfter, func() {
+			e.After(cb.FlushAfter, func() {
 				if cb.bufs[c][dc].gen == gen { // not already flushed by size
 					cb.flush(c, dc)
 				}
@@ -137,9 +163,9 @@ func (cb *Combiner) install(c int) {
 		items := req.Payload.([]*combineItem)
 		for _, it := range items {
 			rts.SendDataID(agent, it.to, it.tag, it.size, it.payload)
-			cb.putItem(it)
+			pl.putItem(it)
 		}
-		cb.putSlice(items)
+		pl.putSlice(items)
 	})
 }
 
@@ -155,7 +181,7 @@ func (cb *Combiner) flush(c, dc int) {
 	buf.gen++
 	if len(items) == 0 {
 		if items != nil {
-			cb.putSlice(items)
+			cb.pools[c].putSlice(items)
 		}
 		return
 	}
@@ -176,14 +202,19 @@ func (cb *Combiner) SendID(w *Worker, to cluster.NodeID, tag orca.TagID, size in
 		w.SendID(to, tag, size, payload)
 		return
 	}
-	it := cb.getItem()
+	it := cb.pools[topo.ClusterOf(w.Node)].getItem()
 	it.to, it.tag, it.size, it.payload = to, tag, size, payload
 	cb.sys.RTS.Cast(w.Node, cb.agent(topo.ClusterOf(w.Node)), "comb:"+cb.name, size, it)
 }
 
 // FlushAll forces out every pending buffer (used at phase boundaries so no
-// message is stranded behind a long timer).
+// message is stranded behind a long timer). It drains every cluster's
+// buffers from the calling context, which only one LP may do — on a sharded
+// engine rely on the flush timers instead.
 func (cb *Combiner) FlushAll() {
+	if cb.sys.Sharded() {
+		panic("core: Combiner.FlushAll on a sharded engine — buffers belong to their cluster's LP; rely on the flush timers or flush from each cluster (see DESIGN.md §5c)")
+	}
 	for c := range cb.bufs {
 		for dc := range cb.bufs[c] {
 			cb.flush(c, dc)

@@ -167,6 +167,13 @@ func (s *System) Run() (Metrics, error) {
 	return m, err
 }
 
+// ShardStats reports the per-LP window-synchronization counters of a
+// sharded run (nil on the sequential engine). It is diagnostic output about
+// the simulator itself — window occupancy and fence waits — and deliberately
+// not part of Metrics, which describes the simulated platform and must stay
+// byte-identical between engines.
+func (s *System) ShardStats() []sim.LPStats { return s.Engine.ShardStats() }
+
 // Metrics snapshots the run's measurements so far.
 func (s *System) Metrics() Metrics {
 	return Metrics{

@@ -55,17 +55,19 @@ var Apps = []AppSpec{
 		},
 	},
 	{
-		// Not shardable: the global best-tour object imposes a sequenced
-		// cross-cluster write order that the LP schedule cannot reproduce.
-		Name: "TSP", HasOptimized: true,
+		// Shardable: best-tour updates are sequenced broadcasts, which the
+		// LP-pinned sequencer orders entirely through WAN messages; all
+		// other exchange is owner-executed RPC (see DESIGN.md §5d).
+		Name: "TSP", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return tsp.Build(sys, tsp.Default(), opt)
 		},
 	},
 	{
-		// Not shardable: every iteration's pivot row travels by totally
-		// ordered broadcast through the sequencer.
-		Name: "ASP", HasOptimized: true,
+		// Shardable: the pivot-row broadcasts run on the LP-pinned
+		// sequencer; row buffers are unpooled on the sharded engine and
+		// every other structure is per-node (see DESIGN.md §5d).
+		Name: "ASP", HasOptimized: true, Shardable: true,
 		Sequencer: func(opt bool) orca.Sequencer { return asp.Sequencer(opt) },
 		Build: func(sys *core.System, opt bool) func() error {
 			return asp.Build(sys, asp.Default())
@@ -80,33 +82,37 @@ var Apps = []AppSpec{
 		},
 	},
 	{
-		// Not shardable: global work-stealing termination uses a cross-LP
-		// barrier and shared counters.
-		Name: "IDA*", HasOptimized: true,
+		// Shardable: steals are owner-executed RPCs, phase termination is
+		// decided from the replicated idle map (ordered broadcasts), and
+		// iterations end in a collective allreduce — no shared counters.
+		Name: "IDA*", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return ida.Build(sys, ida.Default(), opt)
 		},
 	},
 	{
-		// Not shardable: the done() loop polls a plain counter written by
-		// every cluster's workers.
-		Name: "RA", HasOptimized: true,
+		// Shardable: updates travel as tagged messages (optionally through
+		// the cluster combiner), batch pools are per cluster, and each
+		// worker terminates locally once its own positions are determined.
+		Name: "RA", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return ra.Build(sys, ra.Default(), opt)
 		},
 	},
 	{
-		// Not shardable: per-iteration barrier plus unordered replicated
-		// updates folded into app state read by every cluster.
-		Name: "ACP", HasOptimized: true,
+		// Shardable: prunings apply per node, worklists live at their own
+		// node, and round termination is a collective allreduce over
+		// sent/applied counts — no shared flags.
+		Name: "ACP", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return acp.Build(sys, acp.Default(), opt)
 		},
 	},
 	{
-		// Not shardable: per-iteration barrier and shared convergence
-		// scalars.
-		Name: "SOR", HasOptimized: true,
+		// Shardable: rows are owner-written, ghost exchange is tagged
+		// messages, and the convergence test is a collective allreduce
+		// every worker folds identically — no shared scalars.
+		Name: "SOR", HasOptimized: true, Shardable: true,
 		Build: func(sys *core.System, opt bool) func() error {
 			return sor.Build(sys, sor.Default(), opt)
 		},
@@ -232,6 +238,9 @@ func RunOneT(app AppSpec, clusters, perCluster int, optimized bool, tr Transport
 	}
 	if err := verify(); err != nil {
 		return m, fmt.Errorf("%s %dx%d opt=%v: %w", app.Name, clusters, perCluster, optimized, err)
+	}
+	if st := sys.ShardStats(); st != nil {
+		recordShardUsage(app.Name, st)
 	}
 	return m, nil
 }

@@ -82,6 +82,65 @@ func TestShardedIdentityAllApps(t *testing.T) {
 	}
 }
 
+// runFreshSeqr is runFreshSharded with an explicit sequencer protocol
+// instead of the application's own choice.
+func runFreshSeqr(t *testing.T, app AppSpec, seqr orca.Sequencer, clusters, perCluster int, optimized bool, shards int) (core.Metrics, uint64) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Topology:  cluster.DAS(clusters, perCluster),
+		Params:    Params,
+		Sequencer: seqr,
+		Shards:    shards,
+	})
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s seqr=%s opt=%v shards=%d: %v", app.Name, seqr.Name(), optimized, shards, err)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("%s seqr=%s opt=%v shards=%d: %v", app.Name, seqr.Name(), optimized, shards, err)
+	}
+	return m, sys.Engine.Dispatched()
+}
+
+// TestShardedSequencerIdentity crosses the newly shardable applications with
+// all three sequencer protocols: whatever protocol orders the broadcasts —
+// central, rotating token, or migrating — a 4-LP run must reproduce the
+// sequential run exactly. The protocol choice only matters to the apps that
+// broadcast (TSP, ASP, IDA*, ACP), but RA and SOR run the matrix too and
+// prove an installed-but-idle sequencer perturbs nothing. CI repeats this
+// under the race detector to vary the LP thread schedules.
+func TestShardedSequencerIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequencer identity matrix is long in -short mode")
+	}
+	protocols := []func() orca.Sequencer{
+		func() orca.Sequencer { return orca.NewCentralSequencer(0) },
+		func() orca.Sequencer { return orca.NewRotatingSequencer() },
+		func() orca.Sequencer { return orca.NewMigratingSequencer() },
+	}
+	for _, name := range []string{"TSP", "ASP", "IDA*", "RA", "ACP", "SOR"} {
+		app, err := AppByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mk := range protocols {
+			for _, opt := range []bool{false, true} {
+				seqM, seqD := runFreshSeqr(t, app, mk(), 4, 2, opt, 0)
+				m, d := runFreshSeqr(t, app, mk(), 4, 2, opt, 4)
+				if m.Elapsed != seqM.Elapsed || d != seqD {
+					t.Errorf("%s seqr=%s opt=%v: sharded (%v, %d events) != sequential (%v, %d events)",
+						name, mk().Name(), opt, m.Elapsed, d, seqM.Elapsed, seqD)
+				}
+				if got, want := fmt.Sprintf("%+v", m), fmt.Sprintf("%+v", seqM); got != want {
+					t.Errorf("%s seqr=%s opt=%v: metrics differ from sequential\n got: %s\nwant: %s",
+						name, mk().Name(), opt, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestShardedGoldenReport reruns the ATPG golden experiment (fig7) with the
 // 4-shard engine enabled harness-wide and requires the rendered report to
 // stay byte-identical to the sequential golden file: the shard setting may

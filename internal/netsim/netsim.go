@@ -100,7 +100,13 @@ type node struct {
 // pipe is a directed WAN link between two cluster gateways (one of several
 // parallel streams per directed pair when striping is on).
 type pipe struct {
-	free time.Duration // transmission horizon (FIFO resource)
+	free   time.Duration // transmission horizon (FIFO resource)
+	arrive time.Duration // last scheduled arrival: the pipe is a physical FIFO
+	// link, so a latency drop between two transmissions (a WANProfile wave
+	// edge, a fault clearing) must not let later traffic overtake earlier
+	// traffic. Arrivals are clamped to be non-decreasing per pipe; the fault
+	// injector's deliberate reorder delay is applied after the clamp so chaos
+	// reordering still works.
 
 	busy    time.Duration // cumulative transmission time
 	bytes   int64
@@ -580,7 +586,12 @@ func (t *wanTransit) localGW() {
 	// and lat >= WANLatency (profiles and faults are rejected when sharded),
 	// so the delta is always >= the lookahead and the schedule is legal in
 	// any window. On a plain engine AtShard is exactly At.
-	sh.e.AtShard(n.sh[t.cd].e, depart+lat+n.wanDelay+t.extra, t.fn2)
+	at := depart + lat + n.wanDelay
+	if at < p.arrive {
+		at = p.arrive
+	}
+	p.arrive = at
+	sh.e.AtShard(n.sh[t.cd].e, at+t.extra, t.fn2)
 }
 
 // remoteGW is stage 3: remote gateway forwarding, then Fast Ethernet to the

@@ -175,7 +175,14 @@ func (n *Network) transmit(f *frame, now time.Duration) {
 	sh.stats.frames.Msgs++
 	sh.stats.frames.Bytes += int64(f.bytes)
 	sh.stats.framedMsgs += int64(len(f.msgs))
-	sh.e.AtShard(n.sh[f.cd].e, depart+lat+n.wanDelay+f.extra, f.fnArrive)
+	// FIFO clamp: a latency drop mid-profile must not let this frame overtake
+	// earlier traffic on the same stream (fault reorder delay stays outside).
+	at := depart + lat + n.wanDelay
+	if at < p.arrive {
+		at = p.arrive
+	}
+	p.arrive = at
+	sh.e.AtShard(n.sh[f.cd].e, at+f.extra, f.fnArrive)
 }
 
 // frame is a recyclable coalesced WAN transmission unit. Like the delivery

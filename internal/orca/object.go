@@ -71,8 +71,14 @@ func (r *RTS) getBcast(futName string) *pendingBcast {
 	return b
 }
 
-// releaseBcast drops one reference, recycling the record at zero.
+// releaseBcast drops one reference, recycling the record at zero. On a
+// sharded engine the references drop on several LPs inside one window, so
+// neither the counter nor a shared free list is touchable: the record is
+// simply left to the garbage collector (Invoke allocates it fresh there).
 func (r *RTS) releaseBcast(b *pendingBcast) {
+	if r.sharded {
+		return
+	}
 	if b.refs--; b.refs > 0 {
 		return
 	}
@@ -175,16 +181,25 @@ func (o *Object) Invoke(p *sim.Proc, from cluster.NodeID, op Op) any {
 		r.nodes[from].sh.ops.LocalOps++
 		return op.Apply(o.replicas[from])
 	}
-	if r.sharded {
-		panic(fmt.Sprintf("orca: ordered write to replicated object %q on a sharded engine (the app is not shardable)", o.name))
-	}
 	sh := r.nodes[from].sh
 	sh.ops.Bcasts++
 	sh.ops.BcastBytes += int64(op.ArgBytes)
-	b := r.getBcast(o.futName)
+	var b *pendingBcast
+	if r.sharded {
+		// Fresh record per write: its fields are written on the writer's and
+		// orderer's LPs and read on every delivering LP, each hop ordered by
+		// a ≥lookahead message (see DESIGN.md §5d), but its references drop
+		// concurrently across LPs — so no refcount, no free list, and the
+		// done future lives on the writer's LP where the writer awaits it.
+		nb := &pendingBcast{done: sim.NewFuture(sh.e, o.futName)}
+		nb.fn = func() { r.distributeNow(nb) }
+		b = nb
+	} else {
+		b = r.getBcast(o.futName)
+		b.refs = int32(r.topo.Compute()) + 1
+	}
 	b.obj, b.op, b.from = o, op, from
 	b.size = op.ArgBytes + HeaderBytes
-	b.refs = int32(r.topo.Compute()) + 1
 	r.seqr.Submit(r, from, b)
 	res := b.done.Await(p)
 	r.releaseBcast(b) // the writer's own reference, after consuming res

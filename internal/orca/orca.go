@@ -74,11 +74,12 @@ type RTS struct {
 	// race-free nondeterminism bug instead of memory corruption).
 	tagMu sync.Mutex
 
-	// Free lists for the ordered-broadcast records. These stay on the RTS
-	// (not per shard) because the sequencer path is rejected on a sharded
-	// engine; see Invoke's replicated-write branch.
-	bcastPool  []*pendingBcast
-	submitPool []*submitMsg
+	// Free list for the ordered-broadcast records of the sequential engine.
+	// On a sharded engine broadcast records are not pooled at all: their
+	// references drop on several LPs, so Invoke allocates a fresh record per
+	// write and leaves reclamation to the garbage collector (see
+	// releaseBcast).
+	bcastPool []*pendingBcast
 }
 
 // rtsShard is the per-cluster slice of the runtime's mutable hot state: the
@@ -98,12 +99,13 @@ type rtsShard struct {
 	// Free lists for the protocol records of the steady-state data path.
 	// Records are recycled at delivery, so sustained messaging allocates
 	// nothing.
-	dataPool  []*dataMsg
-	reqPool   []*rpcReq
-	repPool   []*rpcRep
-	svcPool   []*serviceReq
-	asyncPool []*asyncDeliver
-	futPool   []*sim.Future
+	dataPool   []*dataMsg
+	reqPool    []*rpcReq
+	repPool    []*rpcRep
+	svcPool    []*serviceReq
+	asyncPool  []*asyncDeliver
+	submitPool []*submitMsg
+	futPool    []*sim.Future
 
 	ops OpStats
 }
@@ -459,20 +461,21 @@ type seqProtoMsg interface{ deliver(r *RTS) }
 // a single central sequencer caps broadcast throughput system-wide; the
 // per-cluster distributed sequencer spreads that work over the clusters.
 func (r *RTS) distribute(orderer cluster.NodeID, seq uint64, b *pendingBcast) {
-	if r.sharded {
-		// The sequencer serializes on global state (seqBusy horizons, the
-		// rotating token) that no single LP owns; apps that reach it must
-		// not be marked shardable.
-		panic("orca: totally-ordered broadcast is not supported on a sharded engine")
-	}
-	start := r.e.Now()
+	// Every call site executes at the orderer's own node (the sequencer
+	// protocols route each submission there first), so on a sharded engine
+	// this is the LP-pinned sequencer mode of DESIGN.md §5d: the ordering
+	// horizon (seqBusy[orderer]) and the delivery schedule are state of the
+	// orderer's LP, touched only from its thread, and the fan-out in b.fn
+	// rides hardware multicast locally plus ≥lookahead WAN hops remotely.
+	e := r.sh[r.topo.ClusterOf(orderer)].e
+	start := e.Now()
 	if busy := r.seqBusy[orderer]; busy > start {
 		start = busy
 	}
 	start += r.net.Params().OrderCost
 	r.seqBusy[orderer] = start
 	b.orderer, b.seq = orderer, seq
-	r.e.At(start, b.fn)
+	e.At(start, b.fn)
 }
 
 func (r *RTS) distributeNow(b *pendingBcast) {

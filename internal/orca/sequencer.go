@@ -39,27 +39,31 @@ func seqNode(topo cluster.Topology, c int) cluster.NodeID { return topo.Node(c, 
 // tokenHopBytes is the wire size of sequencer control messages.
 const tokenHopBytes = 16 + HeaderBytes
 
-// submitMsg forwards an update to its cluster's sequencer node. Records are
-// pooled on the RTS and recycled at delivery.
+// submitMsg forwards an update to cluster c's sequencer node. Records are
+// pooled per cluster shard: acquired from the sender's free list, recycled
+// into the destination cluster's at delivery (on a sharded engine records
+// simply migrate between per-LP lists; see rtsShard).
 type submitMsg struct {
 	s Sequencer
-	c int
+	c int // destination cluster (the sequencer node's cluster)
 	b *pendingBcast
 }
 
 func (m *submitMsg) deliver(r *RTS) {
 	s, c, b := m.s, m.c, m.b
 	m.s, m.b = nil, nil
-	r.submitPool = append(r.submitPool, m)
+	sh := r.sh[c]
+	sh.submitPool = append(sh.submitPool, m)
 	s.arrive(r, c, b)
 }
 
 // sendSubmit ships b from the writer's node to cluster c's sequencer node.
 func (r *RTS) sendSubmit(s Sequencer, from, to cluster.NodeID, c int, b *pendingBcast) {
+	sh := r.nodes[from].sh
 	var m *submitMsg
-	if k := len(r.submitPool); k > 0 {
-		m = r.submitPool[k-1]
-		r.submitPool = r.submitPool[:k-1]
+	if k := len(sh.submitPool); k > 0 {
+		m = sh.submitPool[k-1]
+		sh.submitPool = sh.submitPool[:k-1]
 	} else {
 		m = new(submitMsg)
 	}
@@ -113,7 +117,7 @@ func (s *CentralSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast) 
 		s.order(r, b)
 		return
 	}
-	r.sendSubmit(s, from, s.node, 0, b)
+	r.sendSubmit(s, from, s.node, r.topo.ClusterOf(s.node), b)
 }
 
 func (s *CentralSequencer) arrive(r *RTS, c int, b *pendingBcast) { s.order(r, b) }
@@ -130,16 +134,37 @@ func (s *CentralSequencer) order(r *RTS, b *pendingBcast) {
 // cluster has a sequencer node holding a queue of local update requests,
 // and an ordering token rotates round-robin over the clusters. A cluster's
 // queue is drained only while it holds the token, so each cluster
-// "broadcasts in turn"; a sender therefore waits up to a full token rotation
-// (several WAN hops) before its update is ordered — the behaviour the paper
+// "broadcasts in turn"; a sender therefore waits WAN hops (up to a full
+// token rotation) before its update is ordered — the behaviour the paper
 // identifies as the major wide-area broadcast problem.
+//
+// The protocol is LP-pinned (DESIGN.md §5d): when idle the token parks at
+// its home, cluster 0's sequencer node. A remote sequencer node with a
+// non-empty queue sends one WAKE control message to the home node; the home
+// node launches the token on a full rotation 0 → 1 → … → K-1 → 0, each stop
+// draining that cluster's queue. Back home the token drains the home queue,
+// starts another rotation if WAKEs arrived while it was out, and parks
+// otherwise. Every piece of protocol state is owned by one cluster's
+// sequencer node — the queues and wake flags by their own cluster, the
+// parked flag and wake count by home — and the global sequence counter
+// travels with the token, so every transition rides a real WAN message and
+// the protocol runs unchanged (and byte-identically) on the sharded engine.
 type RotatingSequencer struct {
-	next     uint64
-	holder   int  // cluster where the token currently sits
-	moving   bool // token is in flight
-	turnUsed bool // the holder has already broadcast during this visit
+	// next is the global sequence counter. It logically travels inside the
+	// token: only the cluster currently holding (or hosting the parked)
+	// token touches it, and possession transfers via the token message.
+	next uint64
+
+	// Per-cluster state, each slot touched only at its own sequencer node.
 	queues   [][]*pendingBcast
-	tok      *rotatingToken // the single token record (one token in flight)
+	wakeSent []bool // a WAKE is in flight / the token will visit us
+
+	// Home-cluster state, touched only at cluster 0's sequencer node.
+	parked  bool // the token is parked at home
+	wakeReq int  // WAKEs received while the token was rotating
+
+	tok   *rotatingToken // the single token record (one token in flight)
+	wakes []rotatingWake // per-cluster WAKE records (≤1 in flight each)
 }
 
 // NewRotatingSequencer creates the distributed per-cluster sequencer.
@@ -149,7 +174,13 @@ func (s *RotatingSequencer) Name() string { return "rotating" }
 
 func (s *RotatingSequencer) attach(r *RTS) {
 	s.queues = make([][]*pendingBcast, r.topo.Clusters)
+	s.wakeSent = make([]bool, r.topo.Clusters)
+	s.parked = true
 	s.tok = &rotatingToken{s: s}
+	s.wakes = make([]rotatingWake, r.topo.Clusters)
+	for c := range s.wakes {
+		s.wakes[c] = rotatingWake{s: s}
+	}
 }
 
 // Submit sends the update to the sender's cluster sequencer, which queues it
@@ -166,54 +197,62 @@ func (s *RotatingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast)
 
 func (s *RotatingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
 	s.queues[c] = append(s.queues[c], b)
-	if s.moving {
-		return // the token will reach this cluster on its rotation
-	}
-	if s.holder == c && !s.turnUsed {
-		// The token is parked here and this visit's turn is still unused.
-		s.turnUsed = true
-		s.drain(r, c)
+	if c == 0 {
+		// Home cluster: the token ends every rotation here, so a rotating
+		// token drains this queue on return; a parked token drains it now.
+		if s.parked {
+			s.drain(r, 0)
+		}
 		return
 	}
-	// Wake the parked token and let it rotate towards us — a full rotation
-	// when we are the holder but already used our turn.
-	s.advance(r)
+	if !s.wakeSent[c] {
+		// First update since the token last visited: one WAKE to home. Any
+		// token visit strictly after this instant drains us, so one WAKE
+		// covers every update queued until that visit clears the flag.
+		s.wakeSent[c] = true
+		r.send(netsim.Msg{
+			From: seqNode(r.topo, c), To: seqNode(r.topo, 0),
+			Kind: netsim.KindControl, Size: tokenHopBytes,
+			Payload: &s.wakes[c],
+		})
+	}
 }
 
 // drain orders and distributes every queued update of cluster c.
 func (s *RotatingSequencer) drain(r *RTS, c int) { drainQueue(r, s.queues, c, &s.next) }
 
-func (s *RotatingSequencer) anyPending() bool {
-	for _, q := range s.queues {
-		if len(q) > 0 {
-			return true
-		}
-	}
-	return false
+// launch sends the token from home on a full rotation (first hop 0 → 1).
+func (s *RotatingSequencer) launch(r *RTS) {
+	s.parked = false
+	s.wakeReq = 0 // one full rotation visits (and drains) every cluster
+	s.hop(r, 0)
 }
 
-// advance moves the token one hop to the next cluster, or parks it when the
-// whole system is idle.
-func (s *RotatingSequencer) advance(r *RTS) {
-	if !s.anyPending() {
-		s.moving = false
-		return
-	}
-	s.moving = true
-	nextC := (s.holder + 1) % r.topo.Clusters
-	if r.topo.Clusters == 1 {
-		// Degenerate single-cluster case: no WAN hop to pay.
-		s.moving = false
-		s.turnUsed = true
-		s.drain(r, nextC)
-		return
-	}
+// hop forwards the token from cluster c to the next cluster on the ring.
+func (s *RotatingSequencer) hop(r *RTS, c int) {
+	nextC := (c + 1) % r.topo.Clusters
 	s.tok.c = nextC
 	r.send(netsim.Msg{
-		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, nextC),
+		From: seqNode(r.topo, c), To: seqNode(r.topo, nextC),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
 		Payload: s.tok,
 	})
+}
+
+// rotatingWake asks the home cluster to launch the parked token.
+type rotatingWake struct{ s *RotatingSequencer }
+
+func (m *rotatingWake) deliver(r *RTS) {
+	s := m.s
+	if s.parked {
+		s.launch(r)
+		return
+	}
+	// Token already rotating: remember the wake — the requesting cluster may
+	// have been visited (and its flag cleared) before its updates arrived, so
+	// one more full rotation is needed after the current one returns. A wake
+	// whose cluster was in fact served costs one empty rotation, nothing more.
+	s.wakeReq++
 }
 
 type rotatingToken struct {
@@ -223,11 +262,20 @@ type rotatingToken struct {
 
 func (m *rotatingToken) deliver(r *RTS) {
 	s := m.s
-	s.holder = m.c
-	s.moving = false
-	s.turnUsed = len(s.queues[m.c]) > 0
-	s.drain(r, m.c)
-	s.advance(r)
+	c := m.c
+	if c != 0 {
+		s.wakeSent[c] = false
+		s.drain(r, c)
+		s.hop(r, c)
+		return
+	}
+	// Back home: drain the home queue, then re-launch or park.
+	s.drain(r, 0)
+	if s.wakeReq > 0 {
+		s.launch(r)
+		return
+	}
+	s.parked = true
 }
 
 // MigratingSequencer
@@ -237,15 +285,29 @@ func (m *rotatingToken) deliver(r *RTS) {
 // the WAN migration once (a request hop plus a hand-over hop) and is then
 // ordered at LAN speed, pipelining computation and communication — the
 // paper's ASP optimization.
+//
+// The protocol is LP-pinned (DESIGN.md §5d) through forwarding pointers:
+// each cluster's sequencer node remembers the last cluster it handed the
+// token to (lastKnown) and forwards migration requests along that chain. The
+// WAN pipes are FIFO per directed cluster pair, and each forwarding hop
+// x → y reuses the very edge the token itself travelled when x handed over
+// to y, so a chasing request always arrives behind the token and catches it
+// once it rests. Every piece of state is owned by one cluster's sequencer
+// node and the sequence counter travels with the token.
 type MigratingSequencer struct {
-	next      uint64
-	holder    int // cluster currently hosting the sequencer
-	inFlight  bool
-	requests  []int  // FIFO of clusters waiting for the sequencer
-	requested []bool // per-cluster: migration already requested
+	// next is the global sequence counter; only the cluster currently
+	// holding the token touches it, and possession transfers via the token
+	// message.
+	next uint64
+
+	// Per-cluster state, each slot touched only at its own sequencer node.
+	holds     []bool // the token rests here
+	lastKnown []int  // last cluster we handed the token to (forwarding pointer)
+	requested []bool // our migration request is outstanding
 	queues    [][]*pendingBcast
-	reqMsgs   []migratingRequest // per-cluster request records (≤1 in flight each)
-	tok       *migratingToken    // the single hand-over record
+
+	reqMsgs []migratingRequest // per-cluster request records (≤1 in flight each)
+	tok     *migratingToken    // the single hand-over record
 }
 
 // NewMigratingSequencer creates a migrating sequencer, initially hosted by
@@ -255,9 +317,13 @@ func NewMigratingSequencer() *MigratingSequencer { return &MigratingSequencer{} 
 func (s *MigratingSequencer) Name() string { return "migrating" }
 
 func (s *MigratingSequencer) attach(r *RTS) {
-	s.queues = make([][]*pendingBcast, r.topo.Clusters)
-	s.requested = make([]bool, r.topo.Clusters)
-	s.reqMsgs = make([]migratingRequest, r.topo.Clusters)
+	k := r.topo.Clusters
+	s.holds = make([]bool, k)
+	s.holds[0] = true
+	s.lastKnown = make([]int, k) // everyone's first guess: cluster 0
+	s.requested = make([]bool, k)
+	s.queues = make([][]*pendingBcast, k)
+	s.reqMsgs = make([]migratingRequest, k)
 	for c := range s.reqMsgs {
 		s.reqMsgs[c] = migratingRequest{s: s, c: c}
 	}
@@ -279,7 +345,7 @@ func (s *MigratingSequencer) Submit(r *RTS, from cluster.NodeID, b *pendingBcast
 
 // arrive handles an update that has reached its cluster sequencer node.
 func (s *MigratingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
-	if s.holder == c && !s.inFlight {
+	if s.holds[c] {
 		seq := s.next
 		s.next++
 		r.distribute(seqNode(r.topo, c), seq, b)
@@ -287,46 +353,54 @@ func (s *MigratingSequencer) arrive(r *RTS, c int, b *pendingBcast) {
 	}
 	s.queues[c] = append(s.queues[c], b)
 	if !s.requested[c] {
-		// Send a migration request from our sequencer node to the
-		// current holder's sequencer node (one WAN hop).
+		// One migration request towards where we last knew the token to be;
+		// holders along the chain forward it. While it is in flight the
+		// token can only be heading here because of it, so one request
+		// covers every update queued until the token arrives.
 		s.requested[c] = true
-		r.send(netsim.Msg{
-			From: seqNode(r.topo, c), To: seqNode(r.topo, s.holder),
-			Kind: netsim.KindControl, Size: tokenHopBytes,
-			Payload: &s.reqMsgs[c],
-		})
+		s.sendRequest(r, c, c, s.lastKnown[c])
 	}
 }
 
-// migratingRequest asks the holder to hand the sequencer over to cluster c.
+// sendRequest ships cluster c's migration request from cluster at to
+// cluster to (the requester's first hop, or a forwarding hop).
+func (s *MigratingSequencer) sendRequest(r *RTS, c, at, to int) {
+	m := &s.reqMsgs[c]
+	m.at = to
+	r.send(netsim.Msg{
+		From: seqNode(r.topo, at), To: seqNode(r.topo, to),
+		Kind: netsim.KindControl, Size: tokenHopBytes,
+		Payload: m,
+	})
+}
+
+// migratingRequest asks whoever holds the sequencer to hand it over to
+// cluster c. at is the cluster the request is currently addressed to,
+// rewritten at every forwarding hop (the record is owned by the in-flight
+// message, so each hop's handler may rewrite it for the next).
 type migratingRequest struct {
 	s *MigratingSequencer
-	c int
+	c  int
+	at int
 }
 
-func (m *migratingRequest) deliver(r *RTS) { m.s.handleRequest(r, m.c) }
-
-func (s *MigratingSequencer) handleRequest(r *RTS, c int) {
-	if s.inFlight {
-		s.requests = append(s.requests, c)
+func (m *migratingRequest) deliver(r *RTS) {
+	s, c, x := m.s, m.c, m.at
+	if !s.holds[x] {
+		// The token moved on; chase it. FIFO pipes order this hop behind the
+		// hand-over that set lastKnown[x], so the chase stays behind the
+		// token and terminates when the token rests.
+		s.sendRequest(r, c, x, s.lastKnown[x])
 		return
 	}
-	if s.holder == c {
-		// The sequencer migrated back here while the request was in
-		// flight; order the queued updates directly.
-		s.requested[c] = false
-		s.drain(r, c)
-		return
-	}
-	s.sendToken(r, c)
-}
-
-// sendToken hands the sequencer from the current holder to cluster c.
-func (s *MigratingSequencer) sendToken(r *RTS, c int) {
-	s.inFlight = true
+	// Hand over: we stop holding, remember the new host, ship the token.
+	// The token never travels towards a cluster whose own request is still
+	// in flight, so x != c here and the hop below is a real WAN message.
+	s.holds[x] = false
+	s.lastKnown[x] = c
 	s.tok.c = c
 	r.send(netsim.Msg{
-		From: seqNode(r.topo, s.holder), To: seqNode(r.topo, c),
+		From: seqNode(r.topo, x), To: seqNode(r.topo, c),
 		Kind: netsim.KindControl, Size: tokenHopBytes,
 		Payload: s.tok,
 	})
@@ -339,24 +413,9 @@ type migratingToken struct {
 
 func (m *migratingToken) deliver(r *RTS) {
 	s := m.s
-	s.holder = m.c
-	s.inFlight = false
+	s.holds[m.c] = true
 	s.requested[m.c] = false
 	s.drain(r, m.c)
-	// Serve waiting clusters: drain any whose request is already satisfied
-	// by the token being here, then hand the token to the first remote one.
-	for len(s.requests) > 0 {
-		next := s.requests[0]
-		k := copy(s.requests, s.requests[1:])
-		s.requests = s.requests[:k]
-		if next == s.holder {
-			s.requested[next] = false
-			s.drain(r, next)
-			continue
-		}
-		s.sendToken(r, next)
-		return
-	}
 }
 
 func (s *MigratingSequencer) drain(r *RTS, c int) { drainQueue(r, s.queues, c, &s.next) }

@@ -54,11 +54,19 @@ type Engine struct {
 	// See shard.go for the conservative parallel execution they support.
 	root      *Engine       // on an LP: the sharded root that owns it
 	shards    []*Engine     // on the root: the LP engines
+	lpIdx     int           // on an LP: its index among the root's shards
 	win       *winState     // on an LP: scheduling log, non-nil only during a sharded Run
 	winBuf    winState      // backing store for win, reused across windows
 	lookahead time.Duration // on the root: minimum cross-LP scheduling distance
 	crew      *shardCrew    // on the root: runner threads, live during Run
 	winStop   atomic.Bool   // on the root: Stop() flag readable from LP threads
+
+	// Per-LP window-synchronization counters (see LPStats). Written only by
+	// the LP's own runner thread during a sharded Run, read after the fence
+	// barrier or after Run returns.
+	winWindows uint64        // windows executed
+	winIdle    uint64        // windows that dispatched no event on this LP
+	fenceWait  time.Duration // wall-clock time spent waiting at window fences
 }
 
 // procKilled is the panic value used to unwind process goroutines during

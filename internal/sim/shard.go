@@ -96,6 +96,7 @@ func (e *Engine) Shard(n int) []*Engine {
 	for i := range e.shards {
 		s := NewEngine()
 		s.root = e
+		s.lpIdx = i
 		e.shards[i] = s
 	}
 	return e.shards
@@ -144,7 +145,9 @@ func (e *Engine) winAt(w *winState, t time.Duration, fn func()) {
 		// Another thread is scheduling on this LP mid-window: that is the
 		// zero-lookahead coupling sharded execution cannot order. (Legal
 		// cross-LP scheduling goes through AtShard.)
-		panic("sim: cross-LP At without lookahead (use AtShard)")
+		panic(fmt.Sprintf("sim: cross-LP At on LP %d without lookahead — a timer or direct At "+
+			"shared across clusters; route it through AtShard / a WAN message, or schedule it on "+
+			"the owning cluster's engine (see DESIGN.md §5c)", e.lpIdx))
 	}
 	seq := provBase | uint64(w.provCnt)
 	w.provCnt++
@@ -160,7 +163,10 @@ func (e *Engine) winAt(w *winState, t time.Duration, fn func()) {
 // resume thunk.
 func (e *Engine) winWake(w *winState, p *Proc) {
 	if !w.active {
-		panic("sim: cross-LP wake of " + p.name + " (zero-lookahead primitive shared across LPs)")
+		panic(fmt.Sprintf("sim: cross-LP wake of %q on LP %d — a Future/Mailbox/Barrier bound to "+
+			"one cluster signalled from another without lookahead (typically a sequenced broadcast, "+
+			"shared barrier, or global counter in the application; see DESIGN.md §5c/§5d)",
+			p.waitReport(), e.lpIdx))
 	}
 	seq := provBase | uint64(w.provCnt)
 	w.provCnt++
@@ -182,6 +188,7 @@ func (e *Engine) rootSeq() uint64 {
 func (e *Engine) runWindow(fence time.Duration) {
 	w := e.win
 	w.active = true
+	d0 := e.dispatched
 	for {
 		if e.ready.n > 0 {
 			if len(e.heap) > 0 && e.heap[0].at <= e.now && e.heap[0].seq < e.ready.headSeq() {
@@ -204,6 +211,10 @@ func (e *Engine) runWindow(fence time.Duration) {
 		e.execOne(w, ev.at, ev.seq, ev.fn)
 	}
 	w.active = false
+	e.winWindows++
+	if e.dispatched == d0 {
+		e.winIdle++
+	}
 }
 
 // execOne dispatches one event and appends an exec record if it scheduled
@@ -322,7 +333,14 @@ func (e *Engine) startCrew() *shardCrew {
 		go func(i int, s *Engine) {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
+			// waitStart brackets the idle gap between finishing one window
+			// (the done send below) and receiving the next fence: the
+			// wall-clock cost of the fence barrier, per LP.
+			var waitStart time.Time
 			for fence := range ch {
+				if !waitStart.IsZero() {
+					s.fenceWait += time.Since(waitStart)
+				}
 				func() {
 					defer func() {
 						crew.pans[i] = recover()
@@ -330,6 +348,7 @@ func (e *Engine) startCrew() *shardCrew {
 					}()
 					s.runWindow(fence)
 				}()
+				waitStart = time.Now()
 			}
 		}(i, s)
 	}
@@ -416,12 +435,14 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 	// Route the outboxes. Every cross-LP event must land at or beyond the
 	// fence — that is the lookahead contract that lets windows run without
 	// peeking at each other.
-	for _, E := range e.shards {
+	for s, E := range e.shards {
 		w := E.win
 		for i := range w.outbox {
 			c := &w.outbox[i]
 			if c.at < fence {
-				panic(fmt.Sprintf("sim: lookahead violation: cross-LP event at %v inside window ending %v", c.at, fence))
+				panic(fmt.Sprintf("sim: lookahead violation: LP %d scheduled a cross-LP event at %v "+
+					"inside the window ending %v — AtShard targets must lie at least the lookahead "+
+					"beyond the sender's clock (see DESIGN.md §5c)", s, c.at, fence))
 			}
 			c.dst.heapPush(event{at: c.at, seq: c.seq, fn: c.fn})
 			w.outbox[i] = crossEvent{}
@@ -434,6 +455,40 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 }
 
 // sharded-mode aggregate accessors (root engine)
+
+// LPStats reports one LP's window-synchronization counters from a sharded
+// run: how many bounded windows it executed, how many of those dispatched no
+// event on this LP (pure synchronization overhead), how many events it
+// dispatched in total, and the wall-clock time its runner thread spent
+// waiting at window fences. The counters are observability only — they never
+// influence the simulation and are excluded from the byte-identity surface.
+type LPStats struct {
+	LP          int
+	Windows     uint64        // windows executed (same for every LP of a run)
+	IdleWindows uint64        // windows with zero events on this LP
+	Events      uint64        // events dispatched by this LP
+	FenceWait   time.Duration // wall-clock fence-barrier wait
+}
+
+// ShardStats returns the per-LP window counters of a sharded root engine,
+// accumulated across its runs so far. It returns nil on an unsharded engine.
+// Call it after Run (or between runs); it must not race a live window.
+func (e *Engine) ShardStats() []LPStats {
+	if e.shards == nil {
+		return nil
+	}
+	out := make([]LPStats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = LPStats{
+			LP:          i,
+			Windows:     s.winWindows,
+			IdleWindows: s.winIdle,
+			Events:      s.dispatched,
+			FenceWait:   s.fenceWait,
+		}
+	}
+	return out
+}
 
 // shardedNow reports the furthest LP clock: the virtual instant the run has
 // reached, equal to the sequential engine's clock at the same point.
