@@ -192,6 +192,43 @@ func benchEndToEndT(b *testing.B, appName string, clusters, perCluster int) {
 	}
 }
 
+// benchEndToEndGrid runs one application per iteration on the checked-in
+// 64-cluster tiered topology (examples/topologies/tiered64.json): the
+// grid-scale smoke for sparse adjacency, multi-hop store-and-forward
+// routing, and per-link-class metering, end to end through the harness.
+func benchEndToEndGrid(b *testing.B, appName string) {
+	b.Helper()
+	b.ReportAllocs()
+	topo, err := cluster.LoadTopology("examples/topologies/tiered64.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := harness.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var simSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		m, err := harness.RunTopoOne(app, topo, false, harness.Transport{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simSecs += m.Seconds()
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simSecs/wall, "simsec/wallsec")
+	}
+}
+
+// BenchmarkEndToEndGridASP is the broadcast-heavy ASP across 64 tiered
+// clusters — sequenced traffic forwarded over backbone and regional links.
+func BenchmarkEndToEndGridASP(b *testing.B) { benchEndToEndGrid(b, "ASP") }
+
+// BenchmarkEndToEndGridRA is the RA message storm across 64 tiered clusters —
+// the stress case for per-hop forwarding records and link queueing.
+func BenchmarkEndToEndGridRA(b *testing.B) { benchEndToEndGrid(b, "RA") }
+
 // BenchmarkEndToEndRATransport is the RA message storm on the coalescing/
 // striping runtime — the best case for framing (tiny asynchronous messages).
 func BenchmarkEndToEndRATransport(b *testing.B) { benchEndToEndT(b, "RA", 2, 8) }

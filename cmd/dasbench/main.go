@@ -10,6 +10,9 @@
 //	dasbench -exp fig7 -shards 4 # run shardable apps on the parallel engine
 //	dasbench -exp fig9 -coalesce 32768 -coalesce-window 500us -streams 4
 //	                             # ... on the coalescing/striping runtime
+//	dasbench -topo examples/topologies/tiered64.json -apps SOR,RA
+//	                             # run apps on a declarative tiered topology
+//	                             # and report per-link-class WAN statistics
 //
 // -shards N partitions each run of a shardable application (all eight of the
 // paper's suite since the LP-pinned sequencer, DESIGN.md §5d) into
@@ -55,17 +58,20 @@ func main() {
 		coalesceFlag = flag.Int("coalesce", 0, "gateway transport: max coalesced WAN frame size in bytes (0 = no size bound)")
 		windowFlag   = flag.Duration("coalesce-window", 0, "gateway transport: max virtual time a WAN message waits for frame companions (0 = no window)")
 		streamsFlag  = flag.Int("streams", 0, "gateway transport: parallel WAN streams per directed cluster pair (0/1 = single pipe)")
+		topoFlag     = flag.String("topo", "", "run on a declarative topology configuration (JSON file, see examples/topologies) instead of the paper experiments")
+		appsFlag     = flag.String("apps", "ASP", "with -topo: comma-separated application names, or 'all'")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallelFlag)
 	harness.SetShards(*shardsFlag)
 	// The transport flags run every experiment on the coalescing/striping
 	// runtime (the "transport" experiment sweeps it explicitly either way).
-	harness.SetTransport(harness.Transport{
+	tr := harness.Transport{
 		MaxFrameBytes:  *coalesceFlag,
 		CoalesceWindow: *windowFlag,
 		WANStreams:     *streamsFlag,
-	})
+	}
+	harness.SetTransport(tr)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -117,6 +123,16 @@ func main() {
 		if err := runChaos(*quickFlag, *csvFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *topoFlag != "" {
+		if err := runTopo(os.Stdout, *topoFlag, *appsFlag, *csvFlag, tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *shardsFlag > 1 {
+			printShardUsage()
 		}
 		return
 	}

@@ -6,6 +6,9 @@
 //	dastraffic -app RA -coalesce 32768 -coalesce-window 500us -streams 4
 //	                                 # gateway transport on: adds the framed
 //	                                 # wire-level counts and packing column
+//	dastraffic -app RA -topo examples/topologies/tiered64.json
+//	                                 # ... on a declarative tiered topology
+//	                                 # (-links adds per-class WAN statistics)
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"log"
 	"time"
 
+	"albatross/internal/cluster"
 	"albatross/internal/core"
 	"albatross/internal/harness"
 	"albatross/internal/netsim"
@@ -23,7 +27,8 @@ func main() {
 	appFlag := flag.String("app", "all", "application name (Water, TSP, ASP, ATPG, IDA*, RA, ACP, SOR) or 'all'")
 	clustersFlag := flag.Int("clusters", 4, "number of clusters")
 	nodesFlag := flag.Int("nodes", 16, "compute nodes per cluster")
-	linksFlag := flag.Bool("links", false, "also print per-WAN-link load reports")
+	topoFlag := flag.String("topo", "", "run on a declarative topology configuration (JSON file) instead of -clusters x -nodes")
+	linksFlag := flag.Bool("links", false, "also print per-WAN-link load reports (and per-class statistics on -topo platforms)")
 	coalesceFlag := flag.Int("coalesce", 0, "gateway transport: max coalesced WAN frame size in bytes (0 = no size bound)")
 	windowFlag := flag.Duration("coalesce-window", 0, "gateway transport: max virtual time a WAN message waits for frame companions (0 = no window)")
 	streamsFlag := flag.Int("streams", 0, "gateway transport: parallel WAN streams per directed cluster pair (0/1 = single pipe)")
@@ -47,7 +52,12 @@ func main() {
 		apps = []harness.AppSpec{a}
 	}
 
-	fmt.Printf("Intercluster traffic on %dx%d (DAS parameters)\n", *clustersFlag, *nodesFlag)
+	topo, platform, err := resolveTopology(*topoFlag, *clustersFlag, *nodesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Intercluster traffic on %s\n", platform)
 	if tr.Enabled() {
 		fmt.Printf("gateway transport: frames up to %dB, window %v, %d stream(s)\n",
 			tr.MaxFrameBytes, tr.CoalesceWindow, tr.WANStreams)
@@ -60,7 +70,13 @@ func main() {
 	fmt.Printf(" %12s\n", "time (s)")
 	for _, app := range apps {
 		for _, optimized := range []bool{false, true} {
-			m, err := harness.RunOne(app, *clustersFlag, *nodesFlag, optimized)
+			var m core.Metrics
+			var err error
+			if *topoFlag != "" {
+				m, err = harness.RunTopoOne(app, topo, optimized, tr)
+			} else {
+				m, err = harness.RunOne(app, *clustersFlag, *nodesFlag, optimized)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -82,8 +98,40 @@ func main() {
 			fmt.Printf(" %12.3f\n", m.Seconds())
 			if *linksFlag {
 				printLinks(app.Name, variant, m)
+				printClasses(m)
 			}
 		}
+	}
+}
+
+// resolveTopology picks the platform: the uniform DAS mesh from -clusters and
+// -nodes, or a declarative configuration loaded from -topo.
+func resolveTopology(path string, clusters, nodes int) (cluster.Topology, string, error) {
+	if path == "" {
+		return cluster.DAS(clusters, nodes), fmt.Sprintf("%dx%d (DAS parameters)", clusters, nodes), nil
+	}
+	topo, err := cluster.LoadTopology(path)
+	if err != nil {
+		return cluster.Topology{}, "", err
+	}
+	return topo, fmt.Sprintf("%s (from %s)", topo, path), nil
+}
+
+// printClasses shows the per-link-class statistics of the last run: per-hop
+// transmissions, volume, busy time and the queueing-delay distribution on
+// links of each declared capacity class (one synthetic "wan" class on mesh
+// platforms).
+func printClasses(m core.Metrics) {
+	if len(m.Classes) == 0 {
+		return
+	}
+	fmt.Printf("    %-10s %8s %8s %12s %12s %12s %12s %12s\n",
+		"class", "xmits", "msgs", "kbyte", "busy", "mean-wait", "p99-wait", "max-wait")
+	for _, cr := range m.Classes {
+		fmt.Printf("    %-10s %8d %8d %12.0f %12v %12v %12v %12v\n",
+			cr.Class, cr.Xmits, cr.Msgs, float64(cr.Bytes)/1024,
+			cr.Busy.Round(time.Microsecond), cr.MeanWait.Round(time.Microsecond),
+			cr.P99Wait.Round(time.Microsecond), cr.MaxWait.Round(time.Microsecond))
 	}
 }
 

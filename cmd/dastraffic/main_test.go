@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestResolveTopology covers the -topo flag's paths: the DAS default, a
+// valid configuration file, a missing file, and a malformed one.
+func TestResolveTopology(t *testing.T) {
+	topo, platform, err := resolveTopology("", 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Clusters != 4 || platform != "4x16 (DAS parameters)" {
+		t.Errorf("default platform: got %d clusters, %q", topo.Clusters, platform)
+	}
+
+	good := filepath.Join("..", "..", "examples", "topologies", "tiered64.json")
+	topo, platform, err = resolveTopology(good, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Clusters != 64 || topo.WAN == nil {
+		t.Errorf("example config: got %d clusters, WAN=%v", topo.Clusters, topo.WAN)
+	}
+	if !strings.Contains(platform, "tiered64.json") {
+		t.Errorf("platform label should name the file: %q", platform)
+	}
+
+	if _, _, err := resolveTopology(filepath.Join(t.TempDir(), "absent.json"), 4, 16); err == nil {
+		t.Error("missing topology file accepted")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"roots": {"count": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := resolveTopology(bad, 4, 16); err == nil {
+		t.Error("malformed topology accepted")
+	}
+}

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -23,12 +24,23 @@ type Topology struct {
 	Clusters        int   // number of clusters
 	NodesPerCluster int   // compute nodes per cluster (ignored when Sizes is set)
 	Sizes           []int // optional per-cluster sizes; len must equal Clusters
+
+	// WAN, when set, replaces the implicit full mesh at Params' uniform
+	// WANLatency/WANBandwidth with an explicit link graph (tiers, rings,
+	// per-link capacity classes). Built by Builder or ParseTopology (dsl.go);
+	// intercluster traffic is then routed hop by hop along Graph.Next.
+	WAN *Graph
 }
 
 // Validate reports an error for nonsensical shapes.
 func (t Topology) Validate() error {
 	if t.Clusters <= 0 {
 		return fmt.Errorf("cluster: Clusters must be positive, got %d", t.Clusters)
+	}
+	if t.WAN != nil {
+		if err := t.WAN.Validate(t.Clusters); err != nil {
+			return err
+		}
 	}
 	if t.Sizes != nil {
 		if len(t.Sizes) != t.Clusters {
@@ -150,8 +162,35 @@ func (t Topology) IndexInCluster(n NodeID) int {
 }
 
 func (t Topology) String() string {
+	var b []byte
+	if t.WAN != nil {
+		b = append(b, "grid["...)
+		b = strconv.AppendInt(b, int64(t.Clusters), 10)
+		b = append(b, "c/"...)
+		b = strconv.AppendInt(b, int64(t.Compute()), 10)
+		b = append(b, 'n')
+		for _, c := range t.WAN.Classes {
+			b = append(b, ' ')
+			b = append(b, c.Name...)
+		}
+		b = append(b, ' ')
+		b = append(b, t.WAN.ic.String()...)
+		b = append(b, ']')
+		return string(b)
+	}
 	if t.Sizes != nil {
-		return fmt.Sprintf("irregular%v", t.Sizes)
+		// Per-cluster sizes: "3x[8,16,32]", not the uniform CxN form (whose
+		// NodesPerCluster is ignored and would mislead).
+		b = strconv.AppendInt(b, int64(t.Clusters), 10)
+		b = append(b, 'x', '[')
+		for i, s := range t.Sizes {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(s), 10)
+		}
+		b = append(b, ']')
+		return string(b)
 	}
 	return fmt.Sprintf("%dx%d", t.Clusters, t.NodesPerCluster)
 }

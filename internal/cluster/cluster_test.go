@@ -136,8 +136,21 @@ func TestDASReal(t *testing.T) {
 	if topo.Size(0) != 64 || topo.Size(3) != 24 {
 		t.Fatal("real DAS sizes wrong")
 	}
-	if topo.String() != "irregular[64 24 24 24]" {
+	if topo.String() != "4x[64,24,24,24]" {
 		t.Fatalf("string %q", topo.String())
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if got := DAS(4, 16).String(); got != "4x16" {
+		t.Fatalf("uniform string %q", got)
+	}
+	// A Sizes topology must show the per-cluster sizes, not the ignored
+	// NodesPerCluster field.
+	irr := Irregular(8, 16, 32)
+	irr.NodesPerCluster = 99
+	if got := irr.String(); got != "3x[8,16,32]" {
+		t.Fatalf("irregular string %q", got)
 	}
 }
 

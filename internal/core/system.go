@@ -181,6 +181,7 @@ func (s *System) Metrics() Metrics {
 		Net:     s.Net.Stats().Clone(),
 		Ops:     s.RTS.Ops(),
 		Links:   s.Net.PipeReports(),
+		Classes: s.Net.ClassReports(),
 	}
 }
 
@@ -189,7 +190,8 @@ type Metrics struct {
 	Elapsed time.Duration
 	Net     netsim.Stats
 	Ops     orca.OpStats
-	Links   []netsim.PipeReport // per-directed-WAN-link load
+	Links   []netsim.PipeReport  // per-directed-WAN-link load
+	Classes []netsim.ClassReport // per-link-class streaming aggregates
 }
 
 // Seconds reports the elapsed virtual time in seconds.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"albatross/internal/cluster"
 	"albatross/internal/core"
@@ -25,7 +26,7 @@ func readGolden(t *testing.T, id string) string {
 // given engine-shard count (0 = sequential), returning the metrics and the
 // dispatched-event count. Non-shardable applications get shards forced to 0,
 // exactly as the harness's Shardable fallback does.
-func runFreshSharded(t *testing.T, app AppSpec, clusters, perCluster int, optimized bool, shards int) (core.Metrics, uint64) {
+func runFreshSharded(t *testing.T, app AppSpec, topo cluster.Topology, optimized bool, shards int) (core.Metrics, uint64) {
 	t.Helper()
 	if !app.Shardable {
 		shards = 0
@@ -35,7 +36,7 @@ func runFreshSharded(t *testing.T, app AppSpec, clusters, perCluster int, optimi
 		seqr = app.Sequencer(optimized)
 	}
 	sys := core.NewSystem(core.Config{
-		Topology:  cluster.DAS(clusters, perCluster),
+		Topology:  topo,
 		Params:    Params,
 		Sequencer: seqr,
 		Shards:    shards,
@@ -51,31 +52,62 @@ func runFreshSharded(t *testing.T, app AppSpec, clusters, perCluster int, optimi
 	return m, sys.Engine.Dispatched()
 }
 
+// identityTieredTopo is the non-uniform multi-tier platform of the identity
+// sweep: two backbone clusters joined by a trunk link, each with one regional
+// child on a slower access link, and heterogeneous cluster sizes (2,2,2,3).
+// Leaf-to-leaf traffic crosses three physical links, so the sweep exercises
+// multi-hop store-and-forward routing, per-class metering, and route-derived
+// lookahead under sharding.
+func identityTieredTopo(t *testing.T) cluster.Topology {
+	t.Helper()
+	b := cluster.NewBuilder()
+	trunk := b.Class("trunk", 10*time.Millisecond, cluster.Mbit(6), 0)
+	access := b.Class("access", 2*time.Millisecond, cluster.Mbit(20), 0)
+	roots := b.Roots(2, cluster.Mesh, trunk, 2)
+	b.Tier(roots, 1, access, 2, 3)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
 // TestShardedIdentityAllApps is the tentpole's acceptance test: for every
 // application and variant, three repeated runs on the 4-shard engine must
 // reproduce the sequential run exactly — the same virtual elapsed time, the
 // same dispatched-event count, and byte-identical metrics (the material all
 // reports are rendered from). Shardable apps really exercise the parallel
-// engine here; the rest prove the fallback changes nothing.
+// engine here; the rest prove the fallback changes nothing. The sweep runs
+// both on the uniform DAS mesh and on a non-uniform two-tier topology where
+// cross-cluster traffic takes multi-hop routes through intermediate LPs.
 func TestShardedIdentityAllApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite identity sweep is long in -short mode")
 	}
-	for _, app := range Apps {
-		for _, opt := range []bool{false, true} {
-			seqM, seqD := runFreshSharded(t, app, 4, 2, opt, 0)
-			seqDump := fmt.Sprintf("%+v", seqM)
-			for rep := 0; rep < 3; rep++ {
-				m, d := runFreshSharded(t, app, 4, 2, opt, 4)
-				if m.Elapsed != seqM.Elapsed {
-					t.Errorf("%s opt=%v rep %d: elapsed %v, want %v", app.Name, opt, rep, m.Elapsed, seqM.Elapsed)
-				}
-				if d != seqD {
-					t.Errorf("%s opt=%v rep %d: dispatched %d, want %d", app.Name, opt, rep, d, seqD)
-				}
-				if dump := fmt.Sprintf("%+v", m); dump != seqDump {
-					t.Errorf("%s opt=%v rep %d: metrics differ from sequential\n got: %s\nwant: %s",
-						app.Name, opt, rep, dump, seqDump)
+	platforms := []struct {
+		name string
+		topo cluster.Topology
+	}{
+		{"das-4x2", cluster.DAS(4, 2)},
+		{"tiered", identityTieredTopo(t)},
+	}
+	for _, pf := range platforms {
+		for _, app := range Apps {
+			for _, opt := range []bool{false, true} {
+				seqM, seqD := runFreshSharded(t, app, pf.topo, opt, 0)
+				seqDump := fmt.Sprintf("%+v", seqM)
+				for rep := 0; rep < 3; rep++ {
+					m, d := runFreshSharded(t, app, pf.topo, opt, 4)
+					if m.Elapsed != seqM.Elapsed {
+						t.Errorf("%s %s opt=%v rep %d: elapsed %v, want %v", pf.name, app.Name, opt, rep, m.Elapsed, seqM.Elapsed)
+					}
+					if d != seqD {
+						t.Errorf("%s %s opt=%v rep %d: dispatched %d, want %d", pf.name, app.Name, opt, rep, d, seqD)
+					}
+					if dump := fmt.Sprintf("%+v", m); dump != seqDump {
+						t.Errorf("%s %s opt=%v rep %d: metrics differ from sequential\n got: %s\nwant: %s",
+							pf.name, app.Name, opt, rep, dump, seqDump)
+					}
 				}
 			}
 		}

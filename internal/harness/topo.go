@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/orca"
+)
+
+// RunTopoOne executes one application variant on an arbitrary topology —
+// heterogeneous cluster sizes, tiered WAN graphs from the topology DSL, or
+// both — with an explicit transport configuration. It honors the harness-wide
+// shard setting exactly like RunOneT, and verifies the run against the
+// application's sequential reference.
+func RunTopoOne(app AppSpec, topo cluster.Topology, optimized bool, tr Transport) (core.Metrics, error) {
+	var seqr orca.Sequencer
+	if app.Sequencer != nil {
+		seqr = app.Sequencer(optimized)
+	}
+	sys := core.NewSystem(core.Config{
+		Topology:  topo,
+		Params:    applyTransport(Params, tr),
+		Sequencer: seqr,
+		Shards:    effectiveShards(app, topo.Clusters),
+	})
+	verify := app.Build(sys, optimized)
+	m, err := sys.Run()
+	if err != nil {
+		return m, fmt.Errorf("%s on %s opt=%v: %w", app.Name, topo, optimized, err)
+	}
+	if err := verify(); err != nil {
+		return m, fmt.Errorf("%s on %s opt=%v: %w", app.Name, topo, optimized, err)
+	}
+	if st := sys.ShardStats(); st != nil {
+		recordShardUsage(app.Name, st)
+	}
+	return m, nil
+}
+
+// TopoReport runs each listed application (both variants) on the topology and
+// reports elapsed time, WAN traffic, and the per-link-class statistics the
+// sparse network keeps: transmissions, queueing-delay distribution (mean and
+// streaming P99), and link busy time per declared capacity class.
+func TopoReport(topo cluster.Topology, apps []AppSpec, tr Transport) (*Report, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	summary := &Table{
+		ID:      "topo-apps",
+		Title:   "application runs",
+		Headers: []string{"app", "variant", "elapsed", "WAN msgs", "WAN kB", "frames", "packing"},
+	}
+	classes := &Table{
+		ID:    "topo-classes",
+		Title: "per-link-class WAN statistics",
+		Headers: []string{"app", "variant", "class", "xmits", "msgs", "kB",
+			"busy", "mean-wait", "p99-wait", "max-wait"},
+	}
+	for _, app := range apps {
+		for _, optimized := range []bool{false, true} {
+			variant := "original"
+			if optimized {
+				variant = "optimized"
+			}
+			m, err := RunTopoOne(app, topo, optimized, tr)
+			if err != nil {
+				return nil, err
+			}
+			inter := m.Net.TotalInter()
+			summary.Rows = append(summary.Rows, []string{
+				app.Name, variant,
+				fmt.Sprintf("%.3fs", m.Seconds()),
+				fmt.Sprintf("%d", inter.Msgs),
+				fmt.Sprintf("%.1f", inter.KBytes()),
+				fmt.Sprintf("%d", m.Net.WANFrames().Msgs),
+				fmt.Sprintf("%.1f", m.Net.PackingRatio()),
+			})
+			for _, cr := range m.Classes {
+				classes.Rows = append(classes.Rows, []string{
+					app.Name, variant, cr.Class,
+					fmt.Sprintf("%d", cr.Xmits),
+					fmt.Sprintf("%d", cr.Msgs),
+					fmt.Sprintf("%.1f", float64(cr.Bytes)/1024),
+					roundDur(cr.Busy),
+					roundDur(cr.MeanWait),
+					roundDur(cr.P99Wait),
+					roundDur(cr.MaxWait),
+				})
+			}
+		}
+	}
+	rep := &Report{
+		ID:     "topo",
+		Title:  fmt.Sprintf("applications on %s (%d clusters, %d compute nodes)", topo, topo.Clusters, topo.Compute()),
+		Tables: []*Table{summary, classes},
+		Notes: []string{
+			"xmits are per-hop wire transmissions on links of that class; multi-hop routes count every hop",
+			"waits are per-transmission queueing delays behind earlier traffic on the same physical link",
+		},
+	}
+	return rep, nil
+}
+
+// roundDur renders a duration at microsecond precision so reports stay
+// readable (and golden-stable) regardless of sub-microsecond arithmetic.
+func roundDur(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -148,15 +148,46 @@ type netShard struct {
 	framePool []*frame      // free list of coalesced-frame records
 }
 
+// linkClass is a resolved wide-area link class: the declared parameters with
+// the stream count defaulted from Params. The implicit full mesh has a single
+// synthetic class carrying Params' uniform WAN figures, so the classic DAS
+// arithmetic is byte-for-byte what it always was.
+type linkClass struct {
+	name    string
+	lat     time.Duration
+	bw      float64
+	streams int
+}
+
+// adjLink is one directed WAN link in a cluster's sorted adjacency list. All
+// mutable state lives behind the pipes slice header, so sorted insertion
+// (which shifts entries when the mesh materializes a link lazily) never moves
+// it and pointers into the pipes stay valid.
+type adjLink struct {
+	to    int32 // destination cluster
+	class int32 // index into Network.classes
+	pipes []pipe
+}
+
 // Network is the two-level network for one simulated system.
 type Network struct {
-	e         *sim.Engine
-	topo      cluster.Topology
-	par       cluster.Params
-	nodes     []*node
-	pipes     []pipe // dense, indexed (srcCluster*nclusters+dstCluster)*streams+stream
+	e     *sim.Engine
+	topo  cluster.Topology
+	par   cluster.Params
+	nodes []*node
+
+	// Sparse wide-area state. adj[c] lists cluster c's outgoing links sorted
+	// by destination; on the implicit full mesh (graph == nil) links
+	// materialize lazily on first use, so memory is proportional to links
+	// that actually carry traffic, not to C². agg[c][k] accumulates cluster
+	// c's transmissions on class k as O(1) streaming aggregates. Both are
+	// per-source-cluster state: under a sharded engine each top-level slot
+	// is touched only by its owner LP.
+	graph     *cluster.Graph // nil = implicit full mesh at par's uniform WAN link
+	classes   []linkClass
+	adj       [][]adjLink
+	agg       [][]classAgg
 	nclusters int
-	streams   int    // parallel WAN pipes per directed pair (1 unless striping)
 	xp        *xport // gateway transport layer (nil = off = plain per-message path)
 	sharded   bool
 	sh        []*netShard // cluster → shard (all one shard when unsharded)
@@ -272,24 +303,47 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 		panic(err)
 	}
 	transport := par.TransportEnabled() && topo.Clusters > 1
-	streams := 1
+	defStreams := 1
 	if transport && par.WANStreams > 1 {
-		streams = par.WANStreams
+		defStreams = par.WANStreams
 	}
 	n := &Network{
 		e:         e,
 		topo:      topo,
 		par:       par,
 		nodes:     make([]*node, topo.Total()),
-		pipes:     make([]pipe, topo.Clusters*topo.Clusters*streams),
+		graph:     topo.WAN,
 		nclusters: topo.Clusters,
-		streams:   streams,
 
 		lanDelay:      par.LANLatency + 2*par.SoftwareOverhead,
 		lanBcastDelay: par.LANBcastLatency + 2*par.SoftwareOverhead,
 		feDelay:       par.FELatency + par.SoftwareOverhead,
 		wanDelay:      par.SoftwareOverhead,
 	}
+	if n.graph == nil {
+		n.classes = []linkClass{{name: "wan", lat: par.WANLatency, bw: par.WANBandwidth, streams: defStreams}}
+	} else {
+		n.classes = make([]linkClass, len(n.graph.Classes))
+		for i, c := range n.graph.Classes {
+			s := c.Streams
+			if s <= 0 {
+				s = defStreams
+			}
+			n.classes[i] = linkClass{name: c.Name, lat: c.Latency, bw: c.Bandwidth, streams: s}
+		}
+	}
+	n.adj = make([][]adjLink, topo.Clusters)
+	if n.graph != nil {
+		// Declared graphs materialize eagerly: memory is linear in physical
+		// links, and routing never takes the lazy-insert path.
+		for _, l := range n.graph.Links {
+			n.addLink(l.A, l.B, l.Class)
+			n.addLink(l.B, l.A, l.Class)
+		}
+	}
+	// agg rows materialize on a cluster's first WAN transmission (aggFor):
+	// clusters that never source wide-area traffic cost one nil slot.
+	n.agg = make([][]classAgg, topo.Clusters)
 	n.clusterOf = make([]int, topo.Total())
 	n.isGW = make([]bool, topo.Total())
 	for i := range n.clusterOf {
@@ -306,9 +360,21 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 		for c := range n.sh {
 			n.sh[c] = &netShard{e: lps[c%len(lps)]}
 		}
-		// The minimum cross-LP delta: every intercluster event crosses the
-		// WAN pipe (WANLatency) plus the receive-side software overhead.
-		e.SetLookahead(par.WANLatency + par.SoftwareOverhead)
+		// The minimum cross-LP delta: every intercluster event crosses at
+		// least one WAN link plus the receive-side software overhead, and
+		// multi-hop routes re-enter the schedule at every intermediate
+		// gateway, so the binding figure is the fastest single link class on
+		// any actual route — not a per-pair end-to-end latency table.
+		minLat := par.WANLatency
+		if n.graph != nil {
+			minLat = n.classes[0].lat
+			for _, c := range n.classes[1:] {
+				if c.lat < minLat {
+					minLat = c.lat
+				}
+			}
+		}
+		e.SetLookahead(minLat + par.SoftwareOverhead)
 	} else {
 		one := &netShard{e: e}
 		for c := range n.sh {
@@ -338,9 +404,71 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 	return n
 }
 
-// pipeAt returns the directed WAN pipe for stream k of the pair cs→cd.
-func (n *Network) pipeAt(cs, cd, k int) *pipe {
-	return &n.pipes[(cs*n.nclusters+cd)*n.streams+k]
+// addLink inserts the directed link a→b into a's adjacency list (construction
+// time only; duplicates are rejected by Graph.Validate upstream).
+func (n *Network) addLink(a, b, class int) {
+	links := n.adj[a]
+	lo := searchAdj(links, b)
+	links = append(links, adjLink{})
+	copy(links[lo+1:], links[lo:])
+	links[lo] = adjLink{to: int32(b), class: int32(class), pipes: make([]pipe, n.classes[class].streams)}
+	n.adj[a] = links
+}
+
+// searchAdj returns the insertion index of destination b in a sorted
+// adjacency list (the index of the entry if present).
+func searchAdj(links []adjLink, b int) int {
+	lo, hi := 0, len(links)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if int(links[mid].to) < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// linkFor returns the directed WAN link cur→next. On the implicit full mesh
+// links materialize on first use — a DAS-sized run touches a handful, a
+// 256-cluster platform only the pairs that actually talk. The adjacency slot
+// is per-source-cluster state owned by cur's LP, so lazy insertion is safe
+// under a sharded engine. The returned pointer is valid for the current
+// event only (a later insertion may shift entries); the pipes it carries are
+// stable.
+func (n *Network) linkFor(cur, next int) *adjLink {
+	links := n.adj[cur]
+	lo := searchAdj(links, next)
+	if lo < len(links) && int(links[lo].to) == next {
+		return &links[lo]
+	}
+	if n.graph != nil {
+		panic(fmt.Sprintf("netsim: route hop %d->%d has no declared link", cur, next))
+	}
+	n.addLink(cur, next, 0)
+	return &n.adj[cur][lo]
+}
+
+// aggFor returns cluster c's streaming aggregate for one link class, lazily
+// materializing the cluster's row (per-source-cluster state owned by c's LP,
+// like the adjacency list).
+func (n *Network) aggFor(c, class int) *classAgg {
+	a := n.agg[c]
+	if a == nil {
+		a = make([]classAgg, len(n.classes))
+		n.agg[c] = a
+	}
+	return &a[class]
+}
+
+// nextHop returns the next cluster on the route cur→cd: the destination
+// itself on the implicit full mesh, otherwise the link graph's next hop.
+func (n *Network) nextHop(cur, cd int) int {
+	if n.graph == nil {
+		return cd
+	}
+	return n.graph.Next(cur, cd)
 }
 
 // Engine returns the underlying simulation engine (the root when sharded).
@@ -386,6 +514,11 @@ func (n *Network) Stats() *Stats {
 func (n *Network) ResetStats() {
 	for _, sh := range n.sh {
 		sh.stats = Stats{}
+	}
+	for c := range n.agg {
+		for k := range n.agg[c] {
+			n.agg[c][k] = classAgg{}
+		}
 	}
 	n.merged = Stats{}
 }
@@ -480,17 +613,19 @@ func (n *Network) sendLAN(m Msg) {
 	n.deliverAt(end+n.lanDelay, m)
 }
 
-// wanTransit is a recyclable two-stage WAN forwarding record. Like the
-// delivery record, both stage closures are bound once when the record is
-// created and records are pooled, so steady intercluster traffic schedules
-// its gateway hops without allocating per message.
+// wanTransit is a recyclable WAN forwarding record. Like the delivery
+// record, its stage closures are bound once when the record is created and
+// records are pooled, so steady intercluster traffic schedules its gateway
+// hops without allocating per message. On a multi-hop route the same record
+// re-enters stage fn1 at every intermediate gateway, advancing cur.
 type wanTransit struct {
 	n      *Network
 	m      Msg
 	cs, cd int
+	cur    int           // cluster whose gateway forwards next (route position)
 	extra  time.Duration // fault-injected reorder delay, added to arrival
 	dup    bool          // this transit is an injected duplicate copy
-	fn1    func()        // bound to (*wanTransit).localGW once
+	fn1    func()        // bound to (*wanTransit).forward once
 	fn2    func()        // bound to (*wanTransit).remoteGW once
 	fn3    func()        // bound to (*wanTransit).enqueue once (transport layer)
 }
@@ -527,26 +662,30 @@ func (t *wanTransit) faulted(now time.Duration) bool {
 		// pipe right behind this copy and is marked dup so the policy is
 		// not consulted again (no duplicate cascades).
 		d := n.getTransit(sh)
-		d.m, d.cs, d.cd, d.dup = t.m, t.cs, t.cd, true
+		d.m, d.cs, d.cd, d.cur, d.dup = t.m, t.cs, t.cd, t.cs, true
 		sh.e.At(now, d.fn1)
 	}
 	t.extra = delay
 	return false
 }
 
-// localGW is stage 2 of a WAN send: the local gateway's forwarding stage,
-// then the WAN pipe (a FIFO resource per directed cluster pair).
-func (t *wanTransit) localGW() {
+// forward is stage 2 of a WAN send: a gateway's forwarding stage, then the
+// next WAN link on the route (a FIFO resource per directed link). On the
+// implicit full mesh this runs exactly once, at the source cluster's gateway
+// (the classic localGW stage); on a declared link graph the record hops
+// store-and-forward through every intermediate gateway, re-entering this
+// stage on each owning cluster's LP.
+func (t *wanTransit) forward() {
 	n := t.n
-	sh := n.sh[t.cs]
+	sh := n.sh[t.cur]
 	now := sh.e.Now()
 	if n.fault != nil {
-		if t.dup {
-			// A duplicate copy is exempt from further drop/duplicate
-			// verdicts (no cascades), but a crashed local gateway transmits
-			// nothing — the FaultDuplicate contract keeps duplicates
-			// subject to gateway crashes.
-			if n.fault.GatewayDown(now, t.cs, t.m) {
+		if t.cur != t.cs || t.dup {
+			// Intermediate gateways (and duplicate copies at the source)
+			// consult only gateway liveness: drop/duplicate verdicts apply
+			// once, where the message enters the WAN, so faults cannot
+			// cascade along a route.
+			if n.fault.GatewayDown(now, t.cur, t.m) {
 				t.releaseTo(sh)
 				return
 			}
@@ -556,42 +695,54 @@ func (t *wanTransit) localGW() {
 	}
 	if n.par.GatewayCost > 0 {
 		// The gateway's protocol stack forwards one message at a time.
-		gwLocal := n.nodes[n.gateways[t.cs]]
-		if gwLocal.gwFree < now {
-			gwLocal.gwFree = now
+		gw := n.nodes[n.gateways[t.cur]]
+		if gw.gwFree < now {
+			gw.gwFree = now
 		}
-		gwLocal.gwFree += n.par.GatewayCost
-		now = gwLocal.gwFree
+		gw.gwFree += n.par.GatewayCost
+		now = gw.gwFree
 	}
-	p := n.pipeAt(t.cs, t.cd, 0) // transport off ⇒ single stream per pair
-	if wait := p.free - now; wait > p.maxWait {
+	next := n.nextHop(t.cur, t.cd)
+	// Plain (unframed) messages always use stream 0: orca's ordering and ARQ
+	// layers rely on FIFO per directed channel, which striping would break.
+	l := n.linkFor(t.cur, next)
+	p := &l.pipes[0]
+	wait := p.free - now
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > p.maxWait {
 		p.maxWait = wait
 	}
-	start := now
-	if p.free > start {
-		start = p.free
-	}
+	start := now + wait
 	// Sample WAN quality at the instant transmission actually begins:
 	// a message queued behind earlier traffic departs at p.free, and a
 	// time-varying profile (congestion wave) must apply there, not at
 	// the instant the message joined the queue.
-	lat, bw := n.wanQuality(start)
+	lat, bw := n.wanQuality(start, &n.classes[l.class])
 	xmit := bwTime(t.m.Size, bw)
 	depart := start + xmit
 	p.free = depart
 	p.busy += xmit
 	p.bytes += int64(t.m.Size)
 	p.msgs++
-	// The one cross-LP hop: arrival is depart+lat+wanDelay with depart >= now
-	// and lat >= WANLatency (profiles and faults are rejected when sharded),
-	// so the delta is always >= the lookahead and the schedule is legal in
-	// any window. On a plain engine AtShard is exactly At.
+	n.aggFor(t.cur, int(l.class)).observe(wait, xmit, int64(t.m.Size), 1, false)
+	// The cross-LP hop: arrival is depart+lat+wanDelay with depart >= now and
+	// lat the link's class latency (profiles and faults are rejected when
+	// sharded), so the delta is always >= the lookahead — the min class
+	// latency plus software overhead — and the schedule is legal in any
+	// window. On a plain engine AtShard is exactly At.
 	at := depart + lat + n.wanDelay
 	if at < p.arrive {
 		at = p.arrive
 	}
 	p.arrive = at
-	sh.e.AtShard(n.sh[t.cd].e, at+t.extra, t.fn2)
+	if next == t.cd {
+		sh.e.AtShard(n.sh[t.cd].e, at+t.extra, t.fn2)
+		return
+	}
+	t.cur = next
+	sh.e.AtShard(n.sh[next].e, at, t.fn1)
 }
 
 // remoteGW is stage 3: remote gateway forwarding, then Fast Ethernet to the
@@ -644,6 +795,7 @@ func (n *Network) sendWAN(m Msg) {
 	t := n.getTransit(sh)
 	t.m = m
 	t.cs, t.cd = n.clusterOf[m.From], n.clusterOf[m.To]
+	t.cur = t.cs
 	if n.xp != nil {
 		// Transport layer on: the message joins its directed pair's egress
 		// queue at the local gateway instead of transmitting on its own.
@@ -663,19 +815,20 @@ func (n *Network) getTransit(sh *netShard) *wanTransit {
 		return t
 	}
 	t := &wanTransit{n: n}
-	t.fn1 = t.localGW
+	t.fn1 = t.forward
 	t.fn2 = t.remoteGW
 	t.fn3 = t.enqueue
 	return t
 }
 
-// wanQuality evaluates the WAN latency and bandwidth in effect at time at,
-// composing the static parameters with the installed WANProfile and fault
-// policy. Samples are validated: a negative latency scale or non-positive
-// bandwidth scale would silently corrupt serialize's arithmetic (negative or
-// infinite transmission times), so bad samples panic with the source named.
-func (n *Network) wanQuality(at time.Duration) (time.Duration, float64) {
-	lat, bw := n.par.WANLatency, n.par.WANBandwidth
+// wanQuality evaluates the latency and bandwidth of one link class in effect
+// at time at, composing the class parameters with the installed WANProfile
+// and fault policy. Samples are validated: a negative latency scale or
+// non-positive bandwidth scale would silently corrupt serialize's arithmetic
+// (negative or infinite transmission times), so bad samples panic with the
+// source named.
+func (n *Network) wanQuality(at time.Duration, cl *linkClass) (time.Duration, float64) {
+	lat, bw := cl.lat, cl.bw
 	if n.wanProfile != nil {
 		ls, bs := n.wanProfile(at)
 		checkWANScales("WANProfile", at, ls, bs)
@@ -728,18 +881,21 @@ func (r PipeReport) Packing() float64 {
 }
 
 // PipeReports returns per-directed-WAN-link load reports, ordered by
-// (from, to, stream). Links that carried no traffic are omitted.
+// (from, to, stream). Links that carried no traffic are omitted. On a
+// multi-hop platform each physical link reports the traffic it forwarded,
+// so one end-to-end message appears on every link of its route.
 func (n *Network) PipeReports() []PipeReport {
 	var out []PipeReport
-	for cs := 0; cs < n.nclusters; cs++ {
-		for cd := 0; cd < n.nclusters; cd++ {
-			for k := 0; k < n.streams; k++ {
-				p := n.pipeAt(cs, cd, k)
+	for cs := range n.adj {
+		for i := range n.adj[cs] {
+			l := &n.adj[cs][i]
+			for k := range l.pipes {
+				p := &l.pipes[k]
 				if p.msgs == 0 {
 					continue
 				}
 				out = append(out, PipeReport{
-					From: cs, To: cd, Stream: k,
+					From: cs, To: int(l.to), Stream: k,
 					Msgs: p.msgs, Frames: p.frames, Bytes: p.bytes,
 					Busy: p.busy, MaxQueueing: p.maxWait,
 				})

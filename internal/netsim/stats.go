@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Counter accumulates message count and byte volume.
@@ -145,4 +146,225 @@ func (s *Stats) String() string {
 			s.frames.Msgs, s.frames.KBytes(), s.PackingRatio())
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// p2Quantile is the P² streaming quantile estimator (Jain & Chlamtac, CACM
+// 1985): five markers track the running min, p/2, p, (1+p)/2 quantiles and
+// max, adjusted by piecewise-parabolic interpolation on every observation.
+// Memory is O(1) and an observation costs a handful of comparisons — the
+// per-link-class queueing-delay tails stay cheap however many transmissions
+// a grid-scale run makes. Below five samples the raw values are kept and the
+// estimate is exact.
+type p2Quantile struct {
+	p   float64 // target quantile, set by the first observation
+	n   int64
+	q   [5]float64 // marker heights
+	pos [5]float64 // actual marker positions (1-based)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // desired-position increments per observation
+}
+
+func (s *p2Quantile) observe(p, x float64) {
+	if s.n < 5 {
+		s.p = p
+		s.q[s.n] = x
+		s.n++
+		if s.n == 5 {
+			// Switch to marker mode: sort the first five samples and lay
+			// the desired positions out for quantile p.
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && s.q[j] < s.q[j-1]; j-- {
+					s.q[j], s.q[j-1] = s.q[j-1], s.q[j]
+				}
+			}
+			s.pos = [5]float64{1, 2, 3, 4, 5}
+			s.des = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			s.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for x >= s.q[k+1] {
+			k++
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.des {
+		s.des[i] += s.inc[i]
+	}
+	s.n++
+	for i := 1; i <= 3; i++ {
+		d := s.des[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			// Parabolic prediction, falling back to linear when it would
+			// break marker monotonicity.
+			q := s.parabolic(i, sign)
+			if !(s.q[i-1] < q && q < s.q[i+1]) {
+				q = s.linear(i, sign)
+			}
+			s.q[i] = q
+			s.pos[i] += sign
+		}
+	}
+}
+
+func (s *p2Quantile) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+func (s *p2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// estimate returns the current quantile estimate: the middle marker in
+// marker mode, the exact nearest-rank quantile below five samples.
+func (s *p2Quantile) estimate() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n < 5 {
+		var sorted [5]float64
+		copy(sorted[:], s.q[:s.n])
+		for i := 1; i < int(s.n); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		rank := int(s.p*float64(s.n)+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= int(s.n) {
+			rank = int(s.n) - 1
+		}
+		return sorted[rank]
+	}
+	return s.q[2]
+}
+
+// classAgg accumulates one cluster's transmissions on one link class as
+// streaming O(1) aggregates — nothing is kept per pair or per sample, so
+// grid-scale platforms pay constant stats memory per (cluster, class). Each
+// instance is per-source-cluster state: under a sharded engine it is touched
+// only by the owning cluster's LP, and because every LP executes its
+// cluster's transmissions in the same relative order as the sequential
+// engine, even the order-sensitive P² estimator converges to bit-identical
+// state in both modes.
+type classAgg struct {
+	xmits   int64 // wire transmissions (a coalesced frame counts once)
+	msgs    int64 // application messages carried
+	frames  int64 // coalesced frames among the transmissions
+	bytes   int64
+	busy    time.Duration // cumulative transmission (serialization) time
+	sumWait time.Duration // queueing delay behind earlier traffic
+	minWait time.Duration
+	maxWait time.Duration
+	p99     p2Quantile // streaming tail estimate of the queueing delay
+}
+
+func (a *classAgg) observe(wait, xmit time.Duration, bytes, msgs int64, isFrame bool) {
+	if a.xmits == 0 || wait < a.minWait {
+		a.minWait = wait
+	}
+	if wait > a.maxWait {
+		a.maxWait = wait
+	}
+	a.xmits++
+	a.msgs += msgs
+	if isFrame {
+		a.frames++
+	}
+	a.bytes += bytes
+	a.busy += xmit
+	a.sumWait += wait
+	a.p99.observe(0.99, float64(wait))
+}
+
+// ClassReport aggregates a run's wide-area traffic over one link class:
+// wire-level (per-hop) transmission counts, volumes, link occupancy and the
+// distribution of the queueing delay transmissions spent waiting behind
+// earlier traffic on their pipe.
+type ClassReport struct {
+	Class    string
+	Xmits    int64 // wire transmissions (a coalesced frame counts once per hop)
+	Msgs     int64 // application messages carried (counted again on every hop)
+	Frames   int64
+	Bytes    int64
+	Busy     time.Duration // cumulative serialization time across the class's pipes
+	MinWait  time.Duration
+	MeanWait time.Duration
+	MaxWait  time.Duration
+	P99Wait  time.Duration // P² streaming estimate
+}
+
+// Packing reports the class's average messages per frame (0 when no frames).
+func (r ClassReport) Packing() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.Msgs) / float64(r.Frames)
+}
+
+// ClassReports merges the per-cluster streaming aggregates into one report
+// per link class, ordered by class, omitting classes that carried nothing.
+// Counts, volumes and min/max merge exactly; the p99 is the count-weighted
+// mean of the per-cluster P² estimates. The merge is a pure function of the
+// per-cluster states folded in fixed cluster order, so sequential and
+// sharded runs of the same workload render identical reports.
+func (n *Network) ClassReports() []ClassReport {
+	var out []ClassReport
+	for ci := range n.classes {
+		r := ClassReport{Class: n.classes[ci].name}
+		var sumWait time.Duration
+		var wp99 float64
+		first := true
+		for c := range n.agg {
+			row := n.agg[c]
+			if row == nil {
+				continue
+			}
+			a := &row[ci]
+			if a.xmits == 0 {
+				continue
+			}
+			if first || a.minWait < r.MinWait {
+				r.MinWait = a.minWait
+			}
+			if a.maxWait > r.MaxWait {
+				r.MaxWait = a.maxWait
+			}
+			first = false
+			r.Xmits += a.xmits
+			r.Msgs += a.msgs
+			r.Frames += a.frames
+			r.Bytes += a.bytes
+			r.Busy += a.busy
+			sumWait += a.sumWait
+			wp99 += float64(a.xmits) * a.p99.estimate()
+		}
+		if r.Xmits == 0 {
+			continue
+		}
+		r.MeanWait = sumWait / time.Duration(r.Xmits)
+		r.P99Wait = time.Duration(wp99 / float64(r.Xmits))
+		out = append(out, r)
+	}
+	return out
 }

@@ -22,28 +22,58 @@ package netsim
 
 import "time"
 
-// xport holds the transport layer's per-directed-cluster-pair state. egress
-// entry cs*nclusters+cd is touched only from cluster cs's LP, ingress entry
-// cs*nclusters+cd only from cluster cd's LP, so the layer needs no locks
-// under a sharded engine.
+// xport holds the transport layer's per-directed-cluster-pair state,
+// sparsely: queues materialize on first use, keyed by the far cluster, so a
+// grid-scale platform pays for the pairs that talk, never C². egress[cs] is
+// touched only from cluster cs's LP and ingress[cd] only from cluster cd's
+// LP, so the layer needs no locks under a sharded engine.
 type xport struct {
-	egress  []egressQ
-	ingress []ingressQ
+	egress  []map[int32]*egressQ // source cluster → destination → queue
+	ingress []map[int32]*ingressQ
 }
 
 func newXport(n *Network) *xport {
-	x := &xport{
-		egress:  make([]egressQ, n.nclusters*n.nclusters),
-		ingress: make([]ingressQ, n.nclusters*n.nclusters),
+	return &xport{
+		egress:  make([]map[int32]*egressQ, n.nclusters),
+		ingress: make([]map[int32]*ingressQ, n.nclusters),
 	}
-	for cs := 0; cs < n.nclusters; cs++ {
-		for cd := 0; cd < n.nclusters; cd++ {
-			eg := &x.egress[cs*n.nclusters+cd]
-			eg.n, eg.cs, eg.cd = n, cs, cd
-			eg.flushFn = eg.timerFlush // bound once; the timer never allocates
-		}
+}
+
+// egressFor returns cluster cs's coalescing queue toward cd, creating it on
+// first use (on cs's LP).
+func (n *Network) egressFor(cs, cd int) *egressQ {
+	m := n.xp.egress[cs]
+	if m == nil {
+		m = make(map[int32]*egressQ, 4)
+		n.xp.egress[cs] = m
 	}
-	return x
+	eg := m[int32(cd)]
+	if eg == nil {
+		eg = &egressQ{n: n, cs: cs, cd: cd}
+		eg.flushFn = eg.timerFlush // bound once; the timer never allocates
+		// Frames stripe over the first link of the route: its stream count
+		// is the round-robin modulus for the whole directed pair.
+		eg.mod = len(n.linkFor(cs, n.nextHop(cs, cd)).pipes)
+		m[int32(cd)] = eg
+	}
+	return eg
+}
+
+// ingressFor returns cluster cd's reassembly queue for frames from cs,
+// creating it on first use (on cd's LP — except for mid-route loss
+// tombstones, which only occur under fault injection, i.e. unsharded).
+func (n *Network) ingressFor(cs, cd int) *ingressQ {
+	m := n.xp.ingress[cd]
+	if m == nil {
+		m = make(map[int32]*ingressQ, 4)
+		n.xp.ingress[cd] = m
+	}
+	iq := m[int32(cs)]
+	if iq == nil {
+		iq = &ingressQ{}
+		m[int32(cs)] = iq
+	}
+	return iq
 }
 
 // egressQ is the coalescing queue of one directed cluster pair, living at the
@@ -56,6 +86,7 @@ type egressQ struct {
 	deadline time.Duration // flush instant of the frame being built
 	seq      int64         // next frame sequence number
 	stream   int           // next round-robin stream index
+	mod      int           // stream count of the pair's first route link
 	flushFn  func()
 }
 
@@ -97,6 +128,7 @@ func (eg *egressQ) flush(now time.Duration) {
 	sh := n.sh[eg.cs]
 	f := n.getFrame(sh)
 	f.cs, f.cd = eg.cs, eg.cd
+	f.cur = eg.cs
 	f.msgs, eg.msgs = eg.msgs, f.msgs
 	f.bytes, eg.bytes = eg.bytes, 0
 
@@ -119,6 +151,7 @@ func (eg *egressQ) flush(now time.Duration) {
 			// discards whichever copy arrives second.
 			dup = n.getFrame(sh)
 			dup.cs, dup.cd = f.cs, f.cd
+			dup.cur = f.cs
 			dup.msgs = append(dup.msgs, f.msgs...)
 			dup.bytes = f.bytes
 		}
@@ -128,7 +161,7 @@ func (eg *egressQ) flush(now time.Duration) {
 	eg.seq++
 	f.stream = eg.stream
 	eg.stream++
-	if eg.stream >= n.streams {
+	if eg.stream >= eg.mod {
 		eg.stream = 0
 	}
 	n.transmit(f, now)
@@ -138,33 +171,39 @@ func (eg *egressQ) flush(now time.Duration) {
 	}
 }
 
-// transmit sends one frame over its assigned pipe: gateway forwarding cost,
-// FIFO pipe serialization, then the cross-LP hop to the destination cluster.
-// The schedule delta is depart+lat+wanDelay >= WANLatency+SoftwareOverhead
-// (profiles and faults are rejected when sharded), i.e. exactly the lookahead
-// New configures — coalescing delays when a frame departs, never how far
-// ahead its arrival is scheduled.
+// transmit sends one frame over the next link of its route: gateway
+// forwarding cost, FIFO pipe serialization, then the cross-LP hop — to the
+// destination cluster on a mesh, to the next intermediate gateway on a
+// multi-hop platform. The schedule delta is depart+lat+wanDelay >= the min
+// class latency + SoftwareOverhead (profiles and faults are rejected when
+// sharded), i.e. exactly the lookahead New configures — coalescing delays
+// when a frame departs, never how far ahead its arrival is scheduled.
+// Frame/message counters in Stats are charged once, at the source hop; the
+// per-pipe and per-class aggregates meter every hop (wire-level accounting).
 func (n *Network) transmit(f *frame, now time.Duration) {
-	sh := n.sh[f.cs]
+	sh := n.sh[f.cur]
 	if n.par.GatewayCost > 0 {
 		// One forwarding slot per frame, not per packed message: packing
 		// relieves the gateway's protocol stack along with the WAN link.
-		gw := n.nodes[n.gateways[f.cs]]
+		gw := n.nodes[n.gateways[f.cur]]
 		if gw.gwFree < now {
 			gw.gwFree = now
 		}
 		gw.gwFree += n.par.GatewayCost
 		now = gw.gwFree
 	}
-	p := n.pipeAt(f.cs, f.cd, f.stream)
-	if wait := p.free - now; wait > p.maxWait {
+	next := n.nextHop(f.cur, f.cd)
+	l := n.linkFor(f.cur, next)
+	p := &l.pipes[f.stream%len(l.pipes)]
+	wait := p.free - now
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > p.maxWait {
 		p.maxWait = wait
 	}
-	start := now
-	if p.free > start {
-		start = p.free
-	}
-	lat, bw := n.wanQuality(start)
+	start := now + wait
+	lat, bw := n.wanQuality(start, &n.classes[l.class])
 	xmit := bwTime(f.bytes, bw)
 	depart := start + xmit
 	p.free = depart
@@ -172,9 +211,12 @@ func (n *Network) transmit(f *frame, now time.Duration) {
 	p.bytes += int64(f.bytes)
 	p.msgs += int64(len(f.msgs))
 	p.frames++
-	sh.stats.frames.Msgs++
-	sh.stats.frames.Bytes += int64(f.bytes)
-	sh.stats.framedMsgs += int64(len(f.msgs))
+	if f.cur == f.cs {
+		sh.stats.frames.Msgs++
+		sh.stats.frames.Bytes += int64(f.bytes)
+		sh.stats.framedMsgs += int64(len(f.msgs))
+	}
+	n.aggFor(f.cur, int(l.class)).observe(wait, xmit, int64(f.bytes), int64(len(f.msgs)), true)
 	// FIFO clamp: a latency drop mid-profile must not let this frame overtake
 	// earlier traffic on the same stream (fault reorder delay stays outside).
 	at := depart + lat + n.wanDelay
@@ -182,7 +224,12 @@ func (n *Network) transmit(f *frame, now time.Duration) {
 		at = p.arrive
 	}
 	p.arrive = at
-	sh.e.AtShard(n.sh[f.cd].e, at+f.extra, f.fnArrive)
+	if next == f.cd {
+		sh.e.AtShard(n.sh[f.cd].e, at+f.extra, f.fnArrive)
+		return
+	}
+	f.cur = next
+	sh.e.AtShard(n.sh[next].e, at, f.fnHop)
 }
 
 // frame is a recyclable coalesced WAN transmission unit. Like the delivery
@@ -193,12 +240,14 @@ func (n *Network) transmit(f *frame, now time.Duration) {
 type frame struct {
 	n        *Network
 	cs, cd   int
+	cur      int // cluster whose gateway transmits next (route position)
 	seq      int64
 	stream   int
 	bytes    int
 	extra    time.Duration // fault-injected reorder delay, added to arrival
 	msgs     []Msg
 	fnArrive func() // bound to (*frame).arrive once
+	fnHop    func() // bound to (*frame).hop once
 }
 
 // wireMsg synthesizes the gateway-to-gateway message handed to fault
@@ -236,7 +285,26 @@ func (n *Network) getFrame(sh *netShard) *frame {
 	}
 	f := &frame{n: n}
 	f.fnArrive = f.arrive
+	f.fnHop = f.hop
 	return f
+}
+
+// hop retransmits a multi-hop frame from an intermediate gateway (on that
+// cluster's LP). Only gateway liveness is consulted mid-route — drop and
+// duplicate verdicts applied once at the source — and a frame lost here
+// consumes its sequence number at the destination immediately so reassembly
+// never wedges behind the loss (faults only run unsharded, so the direct
+// cross-cluster touch is safe).
+func (f *frame) hop() {
+	n := f.n
+	sh := n.sh[f.cur]
+	now := sh.e.Now()
+	if n.fault != nil && n.fault.GatewayDown(now, f.cur, f.wireMsg()) {
+		n.ingressFor(f.cs, f.cd).consumeLost(f.seq)
+		f.release(sh)
+		return
+	}
+	n.transmit(f, now)
 }
 
 // arrive runs on the destination cluster's LP when a frame crosses the WAN.
@@ -249,7 +317,7 @@ func (f *frame) arrive() {
 	n := f.n
 	sh := n.sh[f.cd]
 	now := sh.e.Now()
-	iq := &n.xp.ingress[f.cs*n.nclusters+f.cd]
+	iq := n.ingressFor(f.cs, f.cd)
 	if n.fault != nil && n.fault.GatewayDown(now, f.cd, f.wireMsg()) {
 		iq.consumeLost(f.seq)
 		f.release(sh)
@@ -354,7 +422,7 @@ func (t *wanTransit) enqueue() {
 	sh := n.sh[t.cs]
 	m, cs, cd := t.m, t.cs, t.cd
 	t.releaseTo(sh)
-	n.xp.egress[cs*n.nclusters+cd].add(sh.e.Now(), m)
+	n.egressFor(cs, cd).add(sh.e.Now(), m)
 }
 
 // TransportActive reports whether the gateway transport optimization layer

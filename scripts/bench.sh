@@ -18,7 +18,13 @@
 # the paper's suite (2x8 wide-area, original variant). The RATransport and
 # ASPTransport entries rerun RA and ASP with the gateway transport layer on
 # (DefaultTransport: frame coalescing + multipath striping); each forms a
-# coalescing-on/off pair with its plain entry.
+# coalescing-on/off pair with its plain entry. The GridASP and GridRA entries
+# run on the 64-cluster tiered example topology (multi-hop sparse routing).
+#
+# The BenchmarkNetworkConstruct/c=N entries track building the sparse network
+# for tiered platforms; BenchmarkNetworkConstructDense/c=N rebuilds the dense
+# per-pair representation the package used before PR 8 on the same cluster
+# counts — the dense-baseline column for the >=10x bytes/op gate at c=256.
 #
 # Usage:
 #   scripts/bench.sh              # full run (benchtime 1s)
@@ -35,6 +41,13 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' \
 	-bench 'BenchmarkEngine|BenchmarkRPCRoundTrip|BenchmarkNetSendLAN|BenchmarkEndToEnd' \
 	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Network-construction scaling: sparse tiered platforms against the dense
+# per-pair representation at the same cluster counts. The c=256 pair is the
+# memory acceptance gate for the sparse refactor (>=10x fewer bytes/op).
+go test -run '^$' \
+	-bench 'BenchmarkNetworkConstruct' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/netsim/ | tee -a "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 /^Benchmark/ {
@@ -60,7 +73,11 @@ END {
 	printf "    \"BenchmarkRPCRoundTrip\":            {\"ns_per_op\": 1522, \"bytes_per_op\": 544, \"allocs_per_op\": 17},\n"
 	printf "    \"BenchmarkNetSendLAN\":              {\"ns_per_op\": 1363, \"bytes_per_op\": 232, \"allocs_per_op\": 3},\n"
 	printf "    \"BenchmarkEndToEndASP\":             {\"simsec_per_wallsec\": 55.41},\n"
-	printf "    \"BenchmarkEndToEndSOR\":             {\"simsec_per_wallsec\": 17.72}\n"
+	printf "    \"BenchmarkEndToEndSOR\":             {\"simsec_per_wallsec\": 17.72},\n"
+	printf "    \"dense_construct_note\": \"per-pair pipe matrix before the sparse refactor (PR 8), benchtime 1s; the live dense column is BenchmarkNetworkConstructDense in current\",\n"
+	printf "    \"BenchmarkNetworkConstruct/c=4\":    {\"ns_per_op\": 3657, \"bytes_per_op\": 3920, \"allocs_per_op\": 49},\n"
+	printf "    \"BenchmarkNetworkConstruct/c=64\":   {\"ns_per_op\": 62044, \"bytes_per_op\": 269836, \"allocs_per_op\": 649},\n"
+	printf "    \"BenchmarkNetworkConstruct/c=256\":  {\"ns_per_op\": 506894, \"bytes_per_op\": 3835336, \"allocs_per_op\": 3083}\n"
 	printf "  },\n"
 	printf "  \"current\": {\n"
 	for (i = 1; i <= n; i++) {
