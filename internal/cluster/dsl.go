@@ -132,6 +132,87 @@ func (g *Graph) Next(u, d int) int {
 	return int(g.roots[g.rootPos[d]])
 }
 
+// NextAvoiding returns the next cluster on a route from u toward d (u != d)
+// that avoids links the down predicate reports as failed, preferring the
+// primary route (Next) when it is viable. down is consulted with directed
+// (from, to) cluster pairs and must be a pure function of its arguments for
+// the call's duration.
+//
+// Alternates exist only where the topology has redundancy: a ring backbone
+// can go the other way round, a mesh backbone can detour through a third
+// root. The choice is made by scanning the whole candidate backbone path —
+// not just the first hop — so a cut deep in the preferred direction turns
+// the route around immediately instead of bouncing traffic between the two
+// neighbors of the cut (the hop-greedy ping-pong failure mode). Tree edges
+// (a cluster's uplink or a descent into a subtree) have no alternate: when
+// such a link is down there is no route and ok is false, which tells the
+// caller to hold the traffic until the link heals.
+func (g *Graph) NextAvoiding(u, d int, down func(from, to int) bool) (next int, ok bool) {
+	su := g.sub[u]
+	if int32(d) >= su[0] && int32(d) < su[1] {
+		// Descent into u's subtree: the tree edge is the only way down.
+		next = g.Next(u, d)
+		if down(u, next) {
+			return 0, false
+		}
+		return next, true
+	}
+	if p := g.parent[u]; p >= 0 {
+		// Ascent toward the backbone: the uplink is the only way up.
+		if down(u, int(p)) {
+			return 0, false
+		}
+		return int(p), true
+	}
+	// u is a root: cross the interconnect toward d's root.
+	r := len(g.roots)
+	i, j := int(g.rootPos[u]), int(g.rootPos[d])
+	if g.ic == Ring && r > 2 {
+		fwd := (j - i + r) % r
+		bwd := r - fwd
+		fwdUp := g.ringUp(i, fwd, +1, down)
+		bwdUp := g.ringUp(i, bwd, -1, down)
+		switch {
+		case fwdUp && (fwd <= bwd || !bwdUp):
+			return int(g.roots[(i+1)%r]), true
+		case bwdUp:
+			return int(g.roots[(i-1+r)%r]), true
+		}
+		return 0, false
+	}
+	rd := int(g.roots[j])
+	if !down(u, rd) {
+		return rd, true
+	}
+	// Mesh detour: one intermediate root with both legs up, scanned in
+	// interconnect order so the choice is deterministic.
+	for w := 0; w < r; w++ {
+		cand := int(g.roots[w])
+		if cand == u || cand == rd {
+			continue
+		}
+		if !down(u, cand) && !down(cand, rd) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// ringUp reports whether every directed ring link on the nsteps-hop path
+// from root index i in direction dir (+1 forward, -1 backward) is up.
+func (g *Graph) ringUp(i, nsteps, dir int, down func(from, to int) bool) bool {
+	r := len(g.roots)
+	cur := i
+	for s := 0; s < nsteps; s++ {
+		nxt := (cur + dir + r) % r
+		if down(int(g.roots[cur]), int(g.roots[nxt])) {
+			return false
+		}
+		cur = nxt
+	}
+	return true
+}
+
 // Roots returns the root-tier clusters in interconnect order.
 func (g *Graph) Roots() []int32 { return g.roots }
 

@@ -212,3 +212,86 @@ func TestRoutesUseDeclaredLinks(t *testing.T) {
 		}
 	}
 }
+
+// TestNextAvoidingRing exercises the adaptive second-direction route: with
+// one directed ring link cut, NextAvoiding walks the other way round, and the
+// full-path scan prevents ping-ponging back toward the cut mid-route.
+func TestNextAvoidingRing(t *testing.T) {
+	b := NewBuilder()
+	cl := b.Class("ring", time.Millisecond, Mbit(100), 0)
+	b.Roots(5, Ring, cl, 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.WAN
+	down := func(from, to int) bool { return from == 0 && to == 1 }
+	// 0→1 direct is cut: go backward via 4.
+	if next, ok := g.NextAvoiding(0, 1, down); !ok || next != 4 {
+		t.Fatalf("NextAvoiding(0,1) = %d,%v, want 4,true", next, ok)
+	}
+	// Walk the whole detour 0→1; every hop must avoid the cut and converge.
+	cur, hops := 0, 0
+	for cur != 1 {
+		next, ok := g.NextAvoiding(cur, 1, down)
+		if !ok {
+			t.Fatalf("route stuck at %d", cur)
+		}
+		if down(cur, next) {
+			t.Fatalf("route crossed the cut link %d→%d", cur, next)
+		}
+		cur = next
+		if hops++; hops > topo.Clusters {
+			t.Fatal("detour does not converge (ping-pong)")
+		}
+	}
+	// The reverse direction 1→0 is untouched and keeps the static route.
+	if next, ok := g.NextAvoiding(1, 0, down); !ok || next != 0 {
+		t.Fatalf("NextAvoiding(1,0) = %d,%v, want 0,true", next, ok)
+	}
+	// Both directions of both ring links around cluster 0 cut: unreachable.
+	sealed := func(from, to int) bool {
+		return from == 0 || to == 0
+	}
+	if _, ok := g.NextAvoiding(1, 0, sealed); ok {
+		t.Fatal("fully sealed destination still reported reachable")
+	}
+}
+
+// TestNextAvoidingTree pins tree-edge semantics: leaf uplinks have no
+// alternate, so a cut uplink reports unreachable, while a healthy graph
+// returns the static next hop.
+func TestNextAvoidingTree(t *testing.T) {
+	g := twoTier(t).WAN
+	up := func(int, int) bool { return false }
+	cases := []struct{ u, d, want int }{
+		{1, 2, 0},
+		{1, 4, 0},
+		{0, 2, 2},
+		{0, 4, 3},
+	}
+	for _, c := range cases {
+		if next, ok := g.NextAvoiding(c.u, c.d, up); !ok || next != c.want {
+			t.Fatalf("NextAvoiding(%d,%d) = %d,%v, want %d,true", c.u, c.d, next, ok, c.want)
+		}
+	}
+	// Cut leaf 1's uplink: nothing reroutes a tree edge.
+	cut := func(from, to int) bool { return from == 1 && to == 0 }
+	if _, ok := g.NextAvoiding(1, 4, cut); ok {
+		t.Fatal("cut uplink should be unreachable, no alternate exists")
+	}
+	// Root mesh detour: with trunk 0→3 cut on a 3-root mesh, traffic relays
+	// through the third root.
+	b := NewBuilder()
+	trunk := b.Class("trunk", 20*time.Millisecond, Mbit(155), 0)
+	b.Roots(3, Mesh, trunk, 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3 := topo.WAN
+	cut03 := func(from, to int) bool { return from == 0 && to == 1 }
+	if next, ok := g3.NextAvoiding(0, 1, cut03); !ok || next != 2 {
+		t.Fatalf("mesh detour NextAvoiding(0,1) = %d,%v, want 2,true", next, ok)
+	}
+}

@@ -32,9 +32,12 @@ type Config struct {
 	// the events of one or more whole clusters, synchronized by conservative
 	// time windows whose width is the minimum cross-cluster one-way latency
 	// (see internal/sim and DESIGN.md §5c). 0 or 1 selects the sequential
-	// engine. Only applications audited as shardable may enable this — the
-	// runtime panics on unshardable primitives (sequenced broadcasts, the
-	// reliability layer, fault injection) rather than silently racing.
+	// engine. All eight applications, the sequenced broadcast protocols,
+	// the reliability layer and fault injection run shard-safe — each
+	// produces byte-identical results in both modes. The only remaining
+	// sharded restriction is per-sample: WAN latency scales below 1
+	// (profile or fault policy) are rejected because they would undercut
+	// the engine's lookahead.
 	Shards int
 }
 

@@ -5,17 +5,22 @@
 // the plan as a netsim.FaultPolicy.
 //
 // Determinism is the point: the injector draws every probabilistic verdict
-// from one splitmix64 stream seeded by Plan.Seed, and the engine consults it
-// in its deterministic event order, so the same (seed, plan, workload) loses
-// the exact same messages at the exact same virtual instants on every run.
-// Scheduled faults (outages, degradations, crashes) are pure functions of
-// virtual time and consume no randomness at all.
+// from a splitmix64 stream derived from (Plan.Seed, source cluster,
+// destination cluster), so a directed pair's verdict sequence depends only
+// on how many messages that pair has sent — never on how traffic from
+// different pairs interleaves. The sharded engine inspects each pair's
+// messages on the source cluster's LP in that LP's deterministic order, so
+// the same (seed, plan, workload) loses the exact same messages at the
+// exact same virtual instants whether the engine runs sequentially or
+// sharded. Scheduled faults (link-downs, outages, degradations, crashes)
+// are pure functions of virtual time and consume no randomness at all.
 package faults
 
 import (
 	"fmt"
 	"time"
 
+	"albatross/internal/cluster"
 	"albatross/internal/netsim"
 	"albatross/internal/rng"
 )
@@ -54,6 +59,20 @@ type Degradation struct {
 	BWScale  float64 // must be > 0
 }
 
+// LinkDown is a scheduled hard failure of one directed WAN link: for
+// [Start, Start+Duration) the link From→To carries nothing. Unlike an
+// Outage — which silently eats the messages already committed to the pipe —
+// a down link is visible to routing: the network reroutes around it where
+// the topology has an alternate path (ring second direction, mesh detour)
+// and holds traffic at the gateway until the link heals where it does not.
+// Cut both directions to fail a physical link entirely; cut every link
+// around a cluster (see CutRingSegment/CutUplink) to partition it.
+type LinkDown struct {
+	From, To int
+	Start    time.Duration
+	Duration time.Duration
+}
+
 // GatewayCrash takes one cluster's gateway down for [Start, Start+Duration):
 // every intercluster message that would traverse it — outbound or inbound —
 // is lost. The gateway restarts (fault-free) at Start+Duration.
@@ -84,6 +103,11 @@ type Plan struct {
 	Outages      []Outage
 	Degradations []Degradation
 	Crashes      []GatewayCrash
+
+	// LinkDowns are hard link-failure windows the network routes around
+	// (or holds traffic through). See CutRingSegment, CutUplink and
+	// CutClass for deriving partition scenarios from a topology graph.
+	LinkDowns []LinkDown
 }
 
 // Validate rejects plans whose execution would be meaningless or corrupting:
@@ -142,7 +166,70 @@ func (pl Plan) Validate() error {
 			return fmt.Errorf("faults: gateway crash has negative cluster index %d", c.Cluster)
 		}
 	}
+	for _, l := range pl.LinkDowns {
+		if l.Duration < 0 || l.Start < 0 {
+			return fmt.Errorf("faults: link-down %d->%d has negative window [%v, +%v]", l.From, l.To, l.Start, l.Duration)
+		}
+		if l.From < 0 || l.To < 0 || l.From == l.To {
+			return fmt.Errorf("faults: link-down %d->%d is not a directed cluster pair", l.From, l.To)
+		}
+	}
 	return nil
+}
+
+// CutRingSegment derives the LinkDown windows that sever ring segment seg —
+// the physical link between the seg'th root and its successor on the
+// backbone ring — in both directions for [start, start+dur). On a
+// single-ring backbone this partitions nothing by itself (traffic goes the
+// long way round); cut two segments to isolate the roots between them.
+func CutRingSegment(g *cluster.Graph, seg int, start, dur time.Duration) []LinkDown {
+	roots := g.Roots()
+	r := len(roots)
+	a, b := int(roots[seg%r]), int(roots[(seg+1)%r])
+	return []LinkDown{
+		{From: a, To: b, Start: start, Duration: dur},
+		{From: b, To: a, Start: start, Duration: dur},
+	}
+}
+
+// CutUplink derives the LinkDown windows that sever cluster c's uplink to
+// its parent in both directions for [start, start+dur), partitioning c's
+// whole subtree from the rest of the grid. c must not be a root cluster.
+func CutUplink(g *cluster.Graph, c int, start, dur time.Duration) []LinkDown {
+	p := g.Parent(c)
+	if p < 0 {
+		panic(fmt.Sprintf("faults: CutUplink(%d): cluster is root-tier, it has no uplink", c))
+	}
+	return []LinkDown{
+		{From: c, To: p, Start: start, Duration: dur},
+		{From: p, To: c, Start: start, Duration: dur},
+	}
+}
+
+// CutClass derives the LinkDown windows that sever every physical link of
+// the named link class, in both directions, for [start, start+dur). It
+// panics if the topology declares no class with that name.
+func CutClass(g *cluster.Graph, class string, start, dur time.Duration) []LinkDown {
+	ci := -1
+	for i, lc := range g.Classes {
+		if lc.Name == class {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("faults: CutClass(%q): topology has no such link class", class))
+	}
+	var downs []LinkDown
+	for _, l := range g.Links {
+		if l.Class != ci {
+			continue
+		}
+		downs = append(downs,
+			LinkDown{From: l.A, To: l.B, Start: start, Duration: dur},
+			LinkDown{From: l.B, To: l.A, Start: start, Duration: dur})
+	}
+	return downs
 }
 
 // EventKind classifies an injected fault occurrence.
@@ -189,15 +276,34 @@ type Counters struct {
 	CrashDrops  uint64 // losses to crashed gateways (either side)
 }
 
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Inspected += o.Inspected
+	c.Drops += o.Drops
+	c.Duplicates += o.Duplicates
+	c.Reorders += o.Reorders
+	c.OutageDrops += o.OutageDrops
+	c.CrashDrops += o.CrashDrops
+}
+
 // Injector executes a Plan as a netsim.FaultPolicy.
+//
+// Shard safety: all mutable state is partitioned by cluster. The decision
+// stream for directed pair (cs, cd) lives in streams[cs][cd] and is only
+// touched by WANTransit, which the network always runs on cs's LP; the
+// counters for cluster c live in ctr[c] and are only touched by calls the
+// network runs on c's LP. Bind pre-sizes both outer slices so concurrent
+// LPs never reallocate them.
 type Injector struct {
-	plan     Plan
-	state    uint64 // splitmix64 decision stream
-	counters Counters
+	plan    Plan
+	streams [][]uint64 // [source][dest] splitmix64 decision streams
+	ctr     []Counters // per-cluster tallies
 
 	// onEvent, if set, observes every injected fault as it happens. It runs
-	// on the simulation's send path and must be cheap and side-effect-pure
-	// with respect to the simulation (tracing only).
+	// on the simulation's send path — under the sharded engine that means
+	// the LP inspecting the message, concurrently with other LPs — and must
+	// be cheap and side-effect-pure with respect to the simulation
+	// (tracing only; synchronize externally if it aggregates).
 	onEvent func(Event)
 }
 
@@ -206,7 +312,7 @@ func NewInjector(plan Plan) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{plan: plan, state: plan.Seed}, nil
+	return &Injector{plan: plan}, nil
 }
 
 // MustInjector is NewInjector for statically-known-good plans.
@@ -221,12 +327,75 @@ func MustInjector(plan Plan) *Injector {
 // OnEvent installs a fault observer (nil removes it).
 func (in *Injector) OnEvent(fn func(Event)) { in.onEvent = fn }
 
-// Counters returns the tallies so far.
-func (in *Injector) Counters() Counters { return in.counters }
+// Counters returns the tallies so far, summed over clusters. Under the
+// sharded engine call it only while the simulation is stopped.
+func (in *Injector) Counters() Counters {
+	var tot Counters
+	for i := range in.ctr {
+		tot.Add(in.ctr[i])
+	}
+	return tot
+}
 
-// roll draws the next uniform variate in [0, 1) from the decision stream.
-func (in *Injector) roll() float64 {
-	return float64(rng.SplitMix64(&in.state)>>11) / (1 << 53)
+// Bind pre-sizes the injector's per-cluster state for a topology of
+// nclusters clusters. netsim.SetFaultPolicy calls it; the pre-sizing is
+// what lets concurrent LPs index their own rows without reallocation.
+func (in *Injector) Bind(nclusters int) {
+	if nclusters > len(in.streams) {
+		s := make([][]uint64, nclusters)
+		copy(s, in.streams)
+		in.streams = s
+	}
+	if nclusters > len(in.ctr) {
+		c := make([]Counters, nclusters)
+		copy(c, in.ctr)
+		in.ctr = c
+	}
+}
+
+// pairSeed derives the decision-stream seed for directed pair (cs, cd): the
+// plan seed is perturbed by both endpoints and scrambled once so adjacent
+// pairs land in unrelated parts of the splitmix64 sequence.
+func pairSeed(seed uint64, cs, cd int) uint64 {
+	s := seed ^ uint64(cs+1)*0x9E3779B97F4A7C15 ^ uint64(cd+1)*0xBF58476D1CE4E5B9
+	return rng.SplitMix64(&s)
+}
+
+// stream returns the decision stream for directed pair (cs, cd), growing
+// state lazily for unbound (sequential, direct-use) injectors. Rows are
+// materialized by the source cluster's LP only, with every entry seeded
+// eagerly, so a row's contents never change after creation.
+func (in *Injector) stream(cs, cd int) *uint64 {
+	if cs >= len(in.streams) {
+		in.Bind(cs + 1)
+	}
+	row := in.streams[cs]
+	if cd >= len(row) {
+		n := len(in.streams)
+		if cd >= n {
+			n = cd + 1
+		}
+		grown := make([]uint64, n)
+		copy(grown, row)
+		for j := len(row); j < n; j++ {
+			grown[j] = pairSeed(in.plan.Seed, cs, j)
+		}
+		in.streams[cs] = grown
+		row = grown
+	}
+	return &row[cd]
+}
+
+func (in *Injector) counters(c int) *Counters {
+	if c >= len(in.ctr) {
+		in.Bind(c + 1)
+	}
+	return &in.ctr[c]
+}
+
+// roll draws the next uniform variate in [0, 1) from one pair's stream.
+func roll(state *uint64) float64 {
+	return float64(rng.SplitMix64(state)>>11) / (1 << 53)
 }
 
 func (in *Injector) emit(at time.Duration, k EventKind, from, to int) {
@@ -243,10 +412,11 @@ func inWindow(at, start, dur time.Duration) bool {
 // precedence and consume no randomness; otherwise one variate partitions
 // into drop / duplicate / reorder / deliver.
 func (in *Injector) WANTransit(at time.Duration, cs, cd int, m netsim.Msg) (netsim.FaultAction, time.Duration) {
-	in.counters.Inspected++
+	ctr := in.counters(cs)
+	ctr.Inspected++
 	for _, o := range in.plan.Outages {
 		if (o.From == Any || o.From == cs) && (o.To == Any || o.To == cd) && inWindow(at, o.Start, o.Duration) {
-			in.counters.OutageDrops++
+			ctr.OutageDrops++
 			in.emit(at, EventOutage, cs, cd)
 			return netsim.FaultDrop, 0
 		}
@@ -258,18 +428,18 @@ func (in *Injector) WANTransit(at time.Duration, cs, cd int, m netsim.Msg) (nets
 	if p.sum() == 0 {
 		return netsim.FaultDeliver, 0
 	}
-	u := in.roll()
+	u := roll(in.stream(cs, cd))
 	switch {
 	case u < p.Drop:
-		in.counters.Drops++
+		ctr.Drops++
 		in.emit(at, EventDrop, cs, cd)
 		return netsim.FaultDrop, 0
 	case u < p.Drop+p.Duplicate:
-		in.counters.Duplicates++
+		ctr.Duplicates++
 		in.emit(at, EventDuplicate, cs, cd)
 		return netsim.FaultDuplicate, 0
 	case u < p.Drop+p.Duplicate+p.Reorder:
-		in.counters.Reorders++
+		ctr.Reorders++
 		in.emit(at, EventReorder, cs, cd)
 		return netsim.FaultDeliver, in.plan.ReorderDelay
 	}
@@ -294,12 +464,29 @@ func (in *Injector) WANQuality(at time.Duration) (float64, float64) {
 func (in *Injector) GatewayDown(at time.Duration, c int, m netsim.Msg) bool {
 	for _, cr := range in.plan.Crashes {
 		if cr.Cluster == c && inWindow(at, cr.Start, cr.Duration) {
-			in.counters.CrashDrops++
+			in.counters(c).CrashDrops++
 			in.emit(at, EventCrash, c, -1)
 			return true
 		}
 	}
 	return false
 }
+
+// LinkDown implements netsim.LinkFaultPolicy: it reports whether the
+// directed link from→to is inside any scheduled failure window at virtual
+// time at. Pure function of its arguments — routing consults it from
+// multiple LPs concurrently.
+func (in *Injector) LinkDown(at time.Duration, from, to int) bool {
+	for _, l := range in.plan.LinkDowns {
+		if l.From == from && l.To == to && inWindow(at, l.Start, l.Duration) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLinkDowns reports whether the plan schedules any link failures; when
+// false the network keeps its zero-overhead static routing path.
+func (in *Injector) HasLinkDowns() bool { return len(in.plan.LinkDowns) > 0 }
 
 var _ netsim.FaultPolicy = (*Injector)(nil)

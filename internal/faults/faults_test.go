@@ -30,6 +30,10 @@ func TestPlanValidate(t *testing.T) {
 		{"zero bw degradation", Plan{Degradations: []Degradation{{Duration: time.Second, LatScale: 1, BWScale: 0}}}, "degradation scales"},
 		{"negative crash", Plan{Crashes: []GatewayCrash{{Cluster: 1, Duration: -time.Second}}}, "negative window"},
 		{"negative crash cluster", Plan{Crashes: []GatewayCrash{{Cluster: -1, Duration: time.Second}}}, "negative cluster index"},
+		{"good link-down", Plan{LinkDowns: []LinkDown{{From: 0, To: 1, Start: time.Second, Duration: time.Second}}}, ""},
+		{"negative link-down window", Plan{LinkDowns: []LinkDown{{From: 0, To: 1, Duration: -time.Second}}}, "negative window"},
+		{"self link-down", Plan{LinkDowns: []LinkDown{{From: 2, To: 2, Duration: time.Second}}}, "not a directed cluster pair"},
+		{"negative link-down index", Plan{LinkDowns: []LinkDown{{From: -1, To: 1, Duration: time.Second}}}, "not a directed cluster pair"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -246,5 +250,151 @@ func TestNetworkRunDeterminism(t *testing.T) {
 	}
 	if c1.Drops == 0 || c1.Duplicates == 0 || c1.CrashDrops == 0 {
 		t.Fatalf("plan injected nothing interesting: %+v", c1)
+	}
+}
+
+// ringGraph builds a bare r-root ring backbone graph for the partition
+// helpers.
+func ringGraph(t *testing.T, r int) *cluster.Graph {
+	t.Helper()
+	b := cluster.NewBuilder()
+	cl := b.Class("backbone", time.Millisecond, cluster.Mbit(100), 0)
+	b.Roots(r, cluster.Ring, cl, 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo.WAN
+}
+
+func TestLinkDownWindowPredicate(t *testing.T) {
+	in := MustInjector(Plan{LinkDowns: []LinkDown{
+		{From: 0, To: 1, Start: time.Second, Duration: time.Second},
+	}})
+	if !in.HasLinkDowns() {
+		t.Fatal("HasLinkDowns() = false with a scheduled cut")
+	}
+	cases := []struct {
+		at       time.Duration
+		from, to int
+		want     bool
+	}{
+		{500 * time.Millisecond, 0, 1, false}, // before the window
+		{time.Second, 0, 1, true},             // inclusive start
+		{1500 * time.Millisecond, 0, 1, true},
+		{2 * time.Second, 0, 1, false},         // exclusive end
+		{1500 * time.Millisecond, 1, 0, false}, // reverse direction untouched
+		{1500 * time.Millisecond, 0, 2, false}, // other pair untouched
+	}
+	for _, c := range cases {
+		if got := in.LinkDown(c.at, c.from, c.to); got != c.want {
+			t.Fatalf("LinkDown(%v, %d, %d) = %v, want %v", c.at, c.from, c.to, got, c.want)
+		}
+	}
+	if MustInjector(Plan{}).HasLinkDowns() {
+		t.Fatal("empty plan claims link downs")
+	}
+}
+
+func TestCutRingSegment(t *testing.T) {
+	g := ringGraph(t, 4)
+	downs := CutRingSegment(g, 0, time.Second, time.Second)
+	want := map[[2]int]bool{{0, 1}: true, {1, 0}: true}
+	if len(downs) != 2 {
+		t.Fatalf("segment cut produced %d windows, want 2 (both directions)", len(downs))
+	}
+	for _, d := range downs {
+		if !want[[2]int{d.From, d.To}] {
+			t.Fatalf("unexpected cut %d->%d", d.From, d.To)
+		}
+		if d.Start != time.Second || d.Duration != time.Second {
+			t.Fatalf("cut window [%v, +%v], want [1s, +1s]", d.Start, d.Duration)
+		}
+	}
+	// The last segment wraps around to root 0.
+	downs = CutRingSegment(g, 3, 0, time.Second)
+	if downs[0].From != 3 || downs[0].To != 0 {
+		t.Fatalf("wrap segment cut %d->%d, want 3->0", downs[0].From, downs[0].To)
+	}
+}
+
+func TestCutUplink(t *testing.T) {
+	b := cluster.NewBuilder()
+	trunk := b.Class("trunk", 20*time.Millisecond, cluster.Mbit(155), 0)
+	leafc := b.Class("leaf", 5*time.Millisecond, cluster.Mbit(45), 0)
+	roots := b.Roots(2, cluster.Mesh, trunk, 2)
+	b.Tier(roots, 2, leafc, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.WAN
+	// Cluster 1 is root 0's first leaf.
+	downs := CutUplink(g, 1, 0, time.Second)
+	if len(downs) != 2 || downs[0].From != 1 || downs[0].To != 0 || downs[1].From != 0 || downs[1].To != 1 {
+		t.Fatalf("uplink cut = %+v, want both directions of 1-0", downs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CutUplink on a root cluster did not panic")
+		}
+	}()
+	CutUplink(g, 0, 0, time.Second)
+}
+
+func TestCutClass(t *testing.T) {
+	b := cluster.NewBuilder()
+	trunk := b.Class("trunk", 20*time.Millisecond, cluster.Mbit(155), 0)
+	leafc := b.Class("leaf", 5*time.Millisecond, cluster.Mbit(45), 0)
+	roots := b.Roots(3, cluster.Ring, trunk, 2)
+	b.Tier(roots, 1, leafc, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.WAN
+	downs := CutClass(g, "trunk", 0, time.Second)
+	// 3 ring links, both directions each.
+	if len(downs) != 6 {
+		t.Fatalf("trunk cut produced %d windows, want 6", len(downs))
+	}
+	for _, d := range downs {
+		// Every cut endpoint must be a root (trunk links only).
+		if g.Parent(d.From) >= 0 || g.Parent(d.To) >= 0 {
+			t.Fatalf("trunk class cut touched non-root link %d->%d", d.From, d.To)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CutClass with unknown name did not panic")
+		}
+	}()
+	CutClass(g, "no-such-class", 0, time.Second)
+}
+
+// TestLinkDownRoutesAroundInNetwork is the faults-package end-to-end check:
+// a plan-scheduled ring cut reroutes traffic the other way round without
+// losing anything, and the Stats counters record the reroute.
+func TestLinkDownRoutesAroundInNetwork(t *testing.T) {
+	b := cluster.NewBuilder()
+	cl := b.Class("backbone", time.Millisecond, cluster.Mbit(100), 0)
+	b.Roots(4, cluster.Ring, cl, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{LinkDowns: CutRingSegment(topo.WAN, 0, 0, time.Hour)}
+	e := sim.NewEngine()
+	n := netsim.New(e, topo, cluster.DASParams())
+	n.SetFaultPolicy(MustInjector(plan))
+	n.Send(netsim.Msg{From: 0, To: 2, Kind: netsim.KindData, Size: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Inbox(2).Len(); got != 1 {
+		t.Fatalf("delivered %d, want 1 (rerouted)", got)
+	}
+	if n.Stats().Reroutes() == 0 {
+		t.Fatal("ring cut produced no reroutes")
 	}
 }

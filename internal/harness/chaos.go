@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"albatross/internal/cluster"
@@ -31,6 +32,13 @@ type ChaosSpec struct {
 	// starting at chaosOutageStart; traffic into and out of the cluster
 	// is black-holed until it restarts.
 	Outage time.Duration
+	// PartitionStart/PartitionDur, when PartitionDur is positive, cut
+	// backbone segment 0 in both directions for the window — a hard link
+	// failure the network routes around or holds traffic through (see
+	// chaosPlanTopo; only ChaosRunTopo honors these fields, since the
+	// partition is derived from the topology's WAN graph).
+	PartitionStart time.Duration
+	PartitionDur   time.Duration
 }
 
 // chaosSeed is the default fault seed of the chaos experiments.
@@ -70,6 +78,9 @@ type ChaosResult struct {
 	Metrics core.Metrics
 	Rel     orca.RelStats
 	Faults  faults.Counters
+	// Stalled lists the reliable channels whose senders gave up, for
+	// post-mortem diagnosis of unavailable runs (empty on success).
+	Stalled []string
 }
 
 // ChaosRun executes one application under the fault scenario and verifies
@@ -99,9 +110,14 @@ func ChaosRun(app AppSpec, clusters, perCluster int, optimized bool, spec ChaosS
 	verify := app.Build(sys, optimized)
 	m, err := sys.Run()
 	res.Metrics, res.Rel, res.Faults = m, sys.RTS.RelStats(), in.Counters()
+	res.Stalled = sys.RTS.StalledChannels()
 	tag := fmt.Sprintf("%s %dx%d opt=%v loss=%g outage=%v",
 		app.Name, clusters, perCluster, optimized, spec.Loss, spec.Outage)
 	if err != nil {
+		if len(res.Stalled) > 0 {
+			return res, fmt.Errorf("chaos %s: %w; stalled channels: %s",
+				tag, err, strings.Join(res.Stalled, ", "))
+		}
 		return res, fmt.Errorf("chaos %s: %w", tag, err)
 	}
 	if err := verify(); err != nil {
@@ -246,8 +262,11 @@ func ChaosReport(quick bool) (*Report, error) {
 	// The totals rendered in the notes come from one representative rerun
 	// of the harshest scenario (cheap: a single 4x4 run).
 	worst := scenarios[len(scenarios)-1]
+	var rel orca.RelStats
+	var stalled []string
 	if app, err := AppByName("SOR"); err == nil {
 		if res, err := ChaosRun(app, 4, 4, false, worst.spec); err == nil {
+			rel, stalled = res.Rel, res.Stalled
 			retransmits, drops = res.Rel.Retransmits, res.Faults.Drops+res.Faults.CrashDrops
 		}
 	}
@@ -272,6 +291,16 @@ func ChaosReport(quick bool) (*Report, error) {
 				uint64(chaosSeed), chaosOutageStart),
 			fmt.Sprintf("harshest scenario (SOR orig, %s): %d WAN messages lost, %d envelope retransmissions",
 				worst.name, drops, retransmits),
+			fmt.Sprintf("reliability layer there: %d wrapped, %d acks, %d dup-dropped, %d reordered, %d give-ups; stalled channels: %s",
+				rel.Wrapped, rel.Acks, rel.DupDropped, rel.OutOfOrder, rel.GiveUps, stalledOrNone(stalled)),
 		},
 	}, nil
+}
+
+// stalledOrNone renders a stalled-channel list for report notes.
+func stalledOrNone(stalled []string) string {
+	if len(stalled) == 0 {
+		return "none"
+	}
+	return strings.Join(stalled, ", ")
 }

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/orca"
+	"albatross/internal/sim"
+)
+
+// ring9 loads the partition-demo topology: a single 9-root backbone ring
+// with no redundant links, so any segment cut forces either a reroute the
+// long way round or a hold at the gateway.
+func ring9(t *testing.T) cluster.Topology {
+	t.Helper()
+	topo, err := cluster.LoadTopology("../../examples/topologies/ring9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestGridPartitionHealAllApps is the tentpole's acceptance scenario:
+// backbone partition at t=1s, heal at t=3s, and all eight applications
+// complete byte-deterministically — the sequential and 3-shard runs produce
+// identical metrics, and the routing layer visibly worked around the cut.
+func TestGridPartitionHealAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid partition sweep is long in -short mode")
+	}
+	topo := ring9(t)
+	spec := ChaosSpec{PartitionStart: time.Second, PartitionDur: 2 * time.Second}
+	var rerouted, held int64
+	for _, app := range Apps {
+		seq, err := ChaosRunTopo(app, topo, false, spec, 0)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", app.Name, err)
+		}
+		if seq.Metrics.Elapsed <= time.Second {
+			t.Errorf("%s finished at %v, before the partition even started", app.Name, seq.Metrics.Elapsed)
+		}
+		rerouted += seq.Metrics.Net.Reroutes()
+		held += seq.Metrics.Net.HeldMsgs()
+		sh, err := ChaosRunTopo(app, topo, false, spec, 3)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", app.Name, err)
+		}
+		if got, want := fmt.Sprintf("%+v", sh.Metrics), fmt.Sprintf("%+v", seq.Metrics); got != want {
+			t.Errorf("%s: sharded partition run differs from sequential\n got: %s\nwant: %s", app.Name, got, want)
+		}
+		if sh.Rel != seq.Rel {
+			t.Errorf("%s: sharded rel stats %+v, sequential %+v", app.Name, sh.Rel, seq.Rel)
+		}
+	}
+	if rerouted+held == 0 {
+		t.Error("no traffic was rerouted or held across the 2s backbone cut; the partition never bit")
+	}
+}
+
+// TestGridPartitionNeverHeals pins the failure mode of a permanent
+// partition: with both ring segments around cluster 0 cut forever, its
+// traffic is held, aged out with counted drops, retransmitted without end —
+// and the run terminates with a structured DeadlineError instead of
+// hanging.
+func TestGridPartitionNeverHeals(t *testing.T) {
+	topo := ring9(t)
+	plan := faults.Plan{LinkDowns: append(
+		faults.CutRingSegment(topo.WAN, 0, 0, time.Hour),
+		faults.CutRingSegment(topo.WAN, len(topo.WAN.Roots())-1, 0, time.Hour)...,
+	)}
+	app, err := AppByName("SOR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(core.Config{Topology: topo, Params: Params})
+	sys.Net.SetFaultPolicy(faults.MustInjector(plan))
+	sys.RTS.EnableReliability(chaosRelConfig(topo))
+	sys.Engine.SetDeadline(20 * time.Second)
+	app.Build(sys, false)
+	_, err = sys.Run()
+	var dl *sim.DeadlineError
+	if !errors.As(err, &dl) {
+		t.Fatalf("run returned %v, want DeadlineError (isolated cluster must not hang)", err)
+	}
+	net := sys.Net.Stats()
+	if net.HeldMsgs() == 0 || net.HoldDrops() == 0 {
+		t.Fatalf("held=%d drops=%d; unroutable traffic should be held then dropped with a verdict",
+			net.HeldMsgs(), net.HoldDrops())
+	}
+	if sys.RTS.RelStats().Retransmits == 0 {
+		t.Fatal("ARQ never retransmitted across the permanent partition")
+	}
+}
+
+// TestGridChaosReportQuick renders the grid sweep end-to-end on ring9.
+func TestGridChaosReportQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid chaos sweep is long in -short mode")
+	}
+	rep, err := GridChaosReport("ring9", ring9(t), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"baseline", "loss 1%", "partition 1s..3s",
+		"8/8", "reroutes", "hold-drops", "backbone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if csv := rep.CSV(); !strings.Contains(csv, "scenario,Water") {
+		t.Fatalf("CSV header malformed:\n%s", csv)
+	}
+}
+
+// TestChaosRelConfigSizesRTO pins the timeout derivation: the worst routed
+// path on ring9 is four 20ms hops each way, so the RTO floor must be twice
+// that round trip; the implicit mesh keeps the default.
+func TestChaosRelConfigSizesRTO(t *testing.T) {
+	if got := chaosRelConfig(ring9(t)); got.RTO != 320*time.Millisecond {
+		t.Fatalf("ring9 RTO = %v, want 320ms (2x the 4-hop round trip)", got.RTO)
+	}
+	if got := chaosRelConfig(cluster.DAS(4, 2)); got != (orca.RelConfig{}) {
+		t.Fatalf("mesh config = %+v, want defaults", got)
+	}
+}

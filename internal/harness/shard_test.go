@@ -9,6 +9,7 @@ import (
 
 	"albatross/internal/cluster"
 	"albatross/internal/core"
+	"albatross/internal/faults"
 	"albatross/internal/orca"
 )
 
@@ -25,8 +26,10 @@ func readGolden(t *testing.T, id string) string {
 // runFreshSharded executes one configuration on a brand-new system with the
 // given engine-shard count (0 = sequential), returning the metrics and the
 // dispatched-event count. Non-shardable applications get shards forced to 0,
-// exactly as the harness's Shardable fallback does.
-func runFreshSharded(t *testing.T, app AppSpec, topo cluster.Topology, optimized bool, shards int) (core.Metrics, uint64) {
+// exactly as the harness's Shardable fallback does. A non-nil fault plan
+// installs a seeded injector plus the reliability layer, so the identity
+// sweep also covers runs under chaos.
+func runFreshSharded(t *testing.T, app AppSpec, topo cluster.Topology, optimized bool, shards int, plan *faults.Plan) (core.Metrics, uint64) {
 	t.Helper()
 	if !app.Shardable {
 		shards = 0
@@ -41,6 +44,11 @@ func runFreshSharded(t *testing.T, app AppSpec, topo cluster.Topology, optimized
 		Sequencer: seqr,
 		Shards:    shards,
 	})
+	if plan != nil {
+		sys.Net.SetFaultPolicy(faults.MustInjector(*plan))
+		sys.RTS.EnableReliability(orca.RelConfig{RTO: 100 * time.Millisecond})
+		sys.Engine.SetDeadline(chaosDeadline)
+	}
 	verify := app.Build(sys, optimized)
 	m, err := sys.Run()
 	if err != nil {
@@ -84,20 +92,48 @@ func TestShardedIdentityAllApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite identity sweep is long in -short mode")
 	}
+	// chaosIdentityPlan builds the fault schedule of the chaos platforms:
+	// 1% probabilistic loss, a gateway crash, and a hard trunk cut at
+	// [50ms, 150ms) — so the sweep exercises the per-pair verdict streams,
+	// the crash windows, and the reroute/hold machinery under sharding.
+	chaosIdentityPlan := func(topo cluster.Topology) *faults.Plan {
+		pl := faults.Plan{
+			Seed:    chaosSeed,
+			Default: faults.PairProbs{Drop: 0.01},
+			Crashes: []faults.GatewayCrash{{Cluster: 1, Start: 100 * time.Millisecond, Duration: 200 * time.Millisecond}},
+		}
+		if topo.WAN != nil {
+			pl.LinkDowns = faults.CutRingSegment(topo.WAN, 0, 50*time.Millisecond, 100*time.Millisecond)
+		} else {
+			pl.LinkDowns = []faults.LinkDown{
+				{From: 0, To: 1, Start: 50 * time.Millisecond, Duration: 100 * time.Millisecond},
+				{From: 1, To: 0, Start: 50 * time.Millisecond, Duration: 100 * time.Millisecond},
+			}
+		}
+		return &pl
+	}
+	das, tiered := cluster.DAS(4, 2), identityTieredTopo(t)
 	platforms := []struct {
 		name string
 		topo cluster.Topology
+		plan *faults.Plan
+		reps int
 	}{
-		{"das-4x2", cluster.DAS(4, 2)},
-		{"tiered", identityTieredTopo(t)},
+		{"das-4x2", das, nil, 3},
+		{"tiered", tiered, nil, 3},
+		// On the DAS mesh the cut pair detours through a third cluster;
+		// on the two-root tiered trunk no alternate exists, so gateways
+		// hold traffic until the heal at 150ms.
+		{"das-4x2-chaos", das, chaosIdentityPlan(das), 2},
+		{"tiered-chaos", tiered, chaosIdentityPlan(tiered), 2},
 	}
 	for _, pf := range platforms {
 		for _, app := range Apps {
 			for _, opt := range []bool{false, true} {
-				seqM, seqD := runFreshSharded(t, app, pf.topo, opt, 0)
+				seqM, seqD := runFreshSharded(t, app, pf.topo, opt, 0, pf.plan)
 				seqDump := fmt.Sprintf("%+v", seqM)
-				for rep := 0; rep < 3; rep++ {
-					m, d := runFreshSharded(t, app, pf.topo, opt, 4)
+				for rep := 0; rep < pf.reps; rep++ {
+					m, d := runFreshSharded(t, app, pf.topo, opt, 4, pf.plan)
 					if m.Elapsed != seqM.Elapsed {
 						t.Errorf("%s %s opt=%v rep %d: elapsed %v, want %v", pf.name, app.Name, opt, rep, m.Elapsed, seqM.Elapsed)
 					}

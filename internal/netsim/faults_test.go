@@ -9,11 +9,13 @@ import (
 )
 
 // testPolicy is a FaultPolicy built from optional closures; nil fields
-// behave like the perfect network.
+// behave like the perfect network. A non-nil linkDown makes it a
+// LinkFaultPolicy with scheduled link failures.
 type testPolicy struct {
-	transit func(at time.Duration, cs, cd int, m Msg) (FaultAction, time.Duration)
-	quality func(at time.Duration) (float64, float64)
-	gwDown  func(at time.Duration, c int, m Msg) bool
+	transit  func(at time.Duration, cs, cd int, m Msg) (FaultAction, time.Duration)
+	quality  func(at time.Duration) (float64, float64)
+	gwDown   func(at time.Duration, c int, m Msg) bool
+	linkDown func(at time.Duration, from, to int) bool
 }
 
 func (p *testPolicy) WANTransit(at time.Duration, cs, cd int, m Msg) (FaultAction, time.Duration) {
@@ -36,6 +38,17 @@ func (p *testPolicy) GatewayDown(at time.Duration, c int, m Msg) bool {
 	}
 	return p.gwDown(at, c, m)
 }
+
+func (p *testPolicy) LinkDown(at time.Duration, from, to int) bool {
+	if p.linkDown == nil {
+		return false
+	}
+	return p.linkDown(at, from, to)
+}
+
+func (p *testPolicy) HasLinkDowns() bool { return p.linkDown != nil }
+
+var _ LinkFaultPolicy = (*testPolicy)(nil)
 
 func TestFaultDropLosesMessage(t *testing.T) {
 	e, n := build(2, 2)

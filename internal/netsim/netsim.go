@@ -17,6 +17,7 @@ package netsim
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"albatross/internal/cluster"
@@ -193,6 +194,14 @@ type Network struct {
 	sh        []*netShard // cluster → shard (all one shard when unsharded)
 	merged    Stats       // scratch for Stats() snapshots when sharded
 	tap       Tap
+	tapMu     sync.Mutex // serializes tap calls across LP threads when sharded
+
+	// Link fault domains (routefault.go). linkFault is non-nil only when the
+	// installed policy schedules hard link failures; hold[c] maps a final
+	// destination cluster to the bounded queue of wire units parked at c's
+	// gateway while no route exists. Both nil on the fault-free fast path.
+	linkFault LinkFaultPolicy
+	hold      []map[int32]*holdQ
 
 	// Flattened topology tables: the send path answers "which cluster",
 	// "is it a gateway" and "who are the local members" with one array
@@ -258,16 +267,54 @@ type FaultPolicy interface {
 	GatewayDown(at time.Duration, c int, m Msg) bool
 }
 
+// LinkFaultPolicy extends FaultPolicy with per-link fault domains: scheduled
+// hard failures of individual directed WAN links, visible to routing. Like
+// every policy hook, LinkDown must be a pure function of its arguments —
+// the router consults it from several LP threads concurrently.
+type LinkFaultPolicy interface {
+	FaultPolicy
+	// LinkDown reports whether the directed link from→to carries nothing
+	// at virtual time at.
+	LinkDown(at time.Duration, from, to int) bool
+	// HasLinkDowns reports whether any link failure is scheduled at all;
+	// when false the network keeps its static zero-overhead routing path.
+	HasLinkDowns() bool
+}
+
+// ClusterBinder is implemented by fault policies that partition their
+// mutable state by cluster (faults.Injector does). SetFaultPolicy calls
+// Bind with the cluster count so the policy can pre-size its per-cluster
+// slots before concurrent LPs start indexing them.
+type ClusterBinder interface {
+	Bind(nclusters int)
+}
+
 // SetFaultPolicy installs the fault injector (nil removes it, restoring the
 // perfect network). Install it before the run starts: switching policies
-// mid-run leaves in-flight messages ruled by the old policy. Fault policies
-// are rejected on a sharded engine: a policy may shrink the effective WAN
-// latency below the lookahead the window fences are built on.
+// mid-run leaves in-flight messages ruled by the old policy.
+//
+// Shard safety is the policy's contract, not the network's gate: the
+// network consults WANTransit on the source cluster's LP, GatewayDown on
+// the named cluster's LP, and WANQuality/LinkDown wherever traffic is in
+// flight, so a policy whose verdicts depend only on (virtual time, directed
+// pair, that pair's own history) — as faults.Injector's per-pair streams do
+// — produces byte-identical fault sequences sequentially and sharded.
+// Policies implementing ClusterBinder are bound to the cluster count here.
+// On a sharded engine WANQuality must not return a latency scale below 1
+// (checked per sample): shrinking WAN latency would undercut the lookahead
+// the window fences are built on.
 func (n *Network) SetFaultPolicy(p FaultPolicy) {
-	if n.sharded && p != nil {
-		panic("netsim: fault injection is not supported on a sharded engine")
-	}
 	n.fault = p
+	n.linkFault = nil
+	if b, ok := p.(ClusterBinder); ok {
+		b.Bind(n.nclusters)
+	}
+	if lp, ok := p.(LinkFaultPolicy); ok && lp.HasLinkDowns() {
+		n.linkFault = lp
+		if n.hold == nil {
+			n.hold = make([]map[int32]*holdQ, n.nclusters)
+		}
+	}
 }
 
 // WANProfile maps a virtual instant to multiplicative (latency, bandwidth)
@@ -275,26 +322,34 @@ func (n *Network) SetFaultPolicy(p FaultPolicy) {
 type WANProfile func(at time.Duration) (latScale, bwScale float64)
 
 // SetWANProfile installs a time-varying WAN quality model (nil removes it).
-// Profiles are rejected on a sharded engine: a latency scale below 1 would
-// undercut the lookahead the window fences are built on.
+// On a sharded engine the profile must not return a latency scale below 1
+// (checked per sample): shrinking WAN latency would undercut the lookahead
+// the window fences are built on.
 func (n *Network) SetWANProfile(p WANProfile) {
-	if n.sharded && p != nil {
-		panic("netsim: WAN profiles are not supported on a sharded engine")
-	}
 	n.wanProfile = p
 }
 
 // Tap observes every message at send time (for tracing/timelines). It runs
-// synchronously on the send path and must be cheap.
+// synchronously on the send path and must be cheap. On a sharded engine
+// taps are serialized by an internal mutex — observation order across LPs
+// is nondeterministic (wall-clock interleaving), so use sharded taps for
+// aggregate tracing, not ordered timelines.
 type Tap func(at time.Duration, m Msg, intercluster bool)
 
-// SetTap installs the message observer (nil removes it). Taps are rejected
-// on a sharded engine: they would run concurrently from several LP threads.
+// SetTap installs the message observer (nil removes it).
 func (n *Network) SetTap(tap Tap) {
-	if n.sharded && tap != nil {
-		panic("netsim: taps are not supported on a sharded engine")
-	}
 	n.tap = tap
+}
+
+// callTap invokes the installed tap, serializing when LP threads run
+// concurrently. Callers must have checked n.tap != nil (one branch on the
+// hot path, as before).
+func (n *Network) callTap(at time.Duration, m Msg, inter bool) {
+	if n.sharded {
+		n.tapMu.Lock()
+		defer n.tapMu.Unlock()
+	}
+	n.tap(at, m, inter)
 }
 
 // New creates a network for the given topology and parameters.
@@ -504,6 +559,9 @@ func (n *Network) Stats() *Stats {
 		}
 		n.merged.frames.Add(sh.stats.frames)
 		n.merged.framedMsgs += sh.stats.framedMsgs
+		n.merged.reroutes += sh.stats.reroutes
+		n.merged.heldMsgs += sh.stats.heldMsgs
+		n.merged.holdDrops += sh.stats.holdDrops
 	}
 	return &n.merged
 }
@@ -585,7 +643,7 @@ func (n *Network) Send(m Msg) {
 	src := n.sh[n.clusterOf[m.From]]
 	if m.From == m.To {
 		if n.tap != nil {
-			n.tap(src.e.Now(), m, false)
+			n.callTap(src.e.Now(), m, false)
 		}
 		// Loopback: modelled as pure software overhead.
 		src.stats.count(scopeIntra, m.Kind, m.Size)
@@ -594,7 +652,7 @@ func (n *Network) Send(m Msg) {
 	}
 	inter := n.clusterOf[m.From] != n.clusterOf[m.To]
 	if n.tap != nil {
-		n.tap(src.e.Now(), m, inter)
+		n.callTap(src.e.Now(), m, inter)
 	}
 	if !inter {
 		n.sendLAN(m)
@@ -693,6 +751,22 @@ func (t *wanTransit) forward() {
 			return
 		}
 	}
+	if n.linkFault != nil {
+		next, ok := n.routeOrHold(sh, now, t.cur, t.cd, holdItem{t: t, at: now})
+		if !ok {
+			return // parked in a hold queue (or dropped on overflow)
+		}
+		t.transmitOn(sh, now, next)
+		return
+	}
+	t.transmitOn(sh, now, n.nextHop(t.cur, t.cd))
+}
+
+// transmitOn runs the gateway forwarding stage and puts the message on the
+// pipe toward next (the caller's routing choice), then schedules the
+// cross-LP hop.
+func (t *wanTransit) transmitOn(sh *netShard, now time.Duration, next int) {
+	n := t.n
 	if n.par.GatewayCost > 0 {
 		// The gateway's protocol stack forwards one message at a time.
 		gw := n.nodes[n.gateways[t.cur]]
@@ -702,7 +776,6 @@ func (t *wanTransit) forward() {
 		gw.gwFree += n.par.GatewayCost
 		now = gw.gwFree
 	}
-	next := n.nextHop(t.cur, t.cd)
 	// Plain (unframed) messages always use stream 0: orca's ordering and ARQ
 	// layers rely on FIFO per directed channel, which striping would break.
 	l := n.linkFor(t.cur, next)
@@ -728,10 +801,11 @@ func (t *wanTransit) forward() {
 	p.msgs++
 	n.aggFor(t.cur, int(l.class)).observe(wait, xmit, int64(t.m.Size), 1, false)
 	// The cross-LP hop: arrival is depart+lat+wanDelay with depart >= now and
-	// lat the link's class latency (profiles and faults are rejected when
-	// sharded), so the delta is always >= the lookahead — the min class
-	// latency plus software overhead — and the schedule is legal in any
-	// window. On a plain engine AtShard is exactly At.
+	// lat at least the link's class latency (sharded profiles and policies
+	// may only stretch it — latency scales below 1 are rejected per sample),
+	// so the delta is always >= the lookahead — the min class latency plus
+	// software overhead — and the schedule is legal in any window. On a
+	// plain engine AtShard is exactly At.
 	at := depart + lat + n.wanDelay
 	if at < p.arrive {
 		at = p.arrive
@@ -831,12 +905,12 @@ func (n *Network) wanQuality(at time.Duration, cl *linkClass) (time.Duration, fl
 	lat, bw := cl.lat, cl.bw
 	if n.wanProfile != nil {
 		ls, bs := n.wanProfile(at)
-		checkWANScales("WANProfile", at, ls, bs)
+		checkWANScales("WANProfile", n.sharded, at, ls, bs)
 		lat, bw = time.Duration(float64(lat)*ls), bw*bs
 	}
 	if n.fault != nil {
 		ls, bs := n.fault.WANQuality(at)
-		checkWANScales("FaultPolicy", at, ls, bs)
+		checkWANScales("FaultPolicy", n.sharded, at, ls, bs)
 		lat, bw = time.Duration(float64(lat)*ls), bw*bs
 	}
 	return lat, bw
@@ -844,9 +918,16 @@ func (n *Network) wanQuality(at time.Duration, cl *linkClass) (time.Duration, fl
 
 // checkWANScales rejects WAN quality samples that would corrupt transmission
 // arithmetic. NaN fails both comparisons' complements, so it is caught too.
-func checkWANScales(src string, at time.Duration, ls, bs float64) {
+// On a sharded engine a latency scale below 1 is also rejected: it would
+// shrink effective WAN latency under the lookahead the window fences are
+// built on (bandwidth scales only move the departure instant, so any
+// positive value is safe).
+func checkWANScales(src string, sharded bool, at time.Duration, ls, bs float64) {
 	if !(ls >= 0) || !(bs > 0) {
 		panic(fmt.Sprintf("netsim: %s returned invalid WAN scales (latency %g, bandwidth %g) at %v; latency scale must be >= 0 and bandwidth scale > 0", src, ls, bs, at))
+	}
+	if sharded && !(ls >= 1) {
+		panic(fmt.Sprintf("netsim: %s returned latency scale %g at %v; scales below 1 would undercut the sharded engine's WAN lookahead", src, ls, at))
 	}
 }
 
@@ -912,7 +993,7 @@ func (n *Network) PipeReports() []PipeReport {
 func (n *Network) BcastLocal(from cluster.NodeID, kind Kind, size int, payload any) {
 	sh := n.sh[n.clusterOf[from]]
 	if n.tap != nil {
-		n.tap(sh.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
+		n.callTap(sh.e.Now(), Msg{From: from, To: from, Kind: kind, Size: size}, false)
 	}
 	sh.stats.count(scopeIntra, kind, size)
 	now := sh.e.Now()

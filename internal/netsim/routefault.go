@@ -1,0 +1,227 @@
+// Route health and adaptive failover for link fault domains.
+//
+// When the installed fault policy schedules hard link failures
+// (LinkFaultPolicy with HasLinkDowns), every WAN transmission first asks
+// routeOrHold for a live next hop. The preferred (static) hop is used when
+// its link is up; otherwise the topology's redundancy is exploited — the
+// second direction of a ring backbone, a one-intermediate detour on a mesh
+// (cluster.Graph.NextAvoiding) — and the detour is counted as a reroute.
+// When no route exists at all, the wire unit (plain message or coalesced
+// frame) parks in a bounded per-destination hold queue at the gateway,
+// retried on a virtual-time timer with exponential backoff and drained in
+// FIFO order once a route heals. Units held past holdTimeout, or arriving
+// at a full queue, are dropped and counted (HoldDrops): end-to-end recovery
+// is ARQ's job, the network only bridges transient outages.
+//
+// Everything here is per-source-cluster state touched only on the owning
+// cluster's LP, and every verdict is a pure function of virtual time, so
+// sharded runs stay byte-identical to sequential ones. Without a link
+// failure plan (n.linkFault == nil) none of this code runs and the static
+// routing path is untouched.
+package netsim
+
+import "time"
+
+const (
+	holdRetryBase = 10 * time.Millisecond  // first retry delay after parking
+	holdRetryMax  = 160 * time.Millisecond // backoff cap while the route is down
+	holdTimeout   = 2 * time.Second        // parked longer than this → dropped
+	holdQueueCap  = 512                    // wire units per (gateway, destination)
+)
+
+// routeOrHold picks the next hop for a wire unit leaving cluster cur toward
+// cd, or parks it. A non-empty hold queue for the destination means earlier
+// traffic is still parked, so the unit queues behind it even if the route
+// just healed (FIFO per channel is the ordering contract the upper layers
+// rely on); the healed queue drains wholesale at the next retry tick.
+func (n *Network) routeOrHold(sh *netShard, now time.Duration, cur, cd int, it holdItem) (next int, ok bool) {
+	if q := n.hold[cur][int32(cd)]; q != nil && len(q.items) > 0 {
+		q.push(now, it)
+		return 0, false
+	}
+	next, ok = n.routeNext(sh, now, cur, cd)
+	if !ok {
+		n.holdFor(cur, cd).push(now, it)
+		return 0, false
+	}
+	return next, true
+}
+
+// routeNext computes a live next hop from cur toward cd, counting a reroute
+// when the hop differs from the static route. ok is false when every
+// candidate path's first link is down.
+func (n *Network) routeNext(sh *netShard, now time.Duration, cur, cd int) (int, bool) {
+	lf := n.linkFault
+	if n.graph == nil {
+		// Implicit full mesh: direct link, else a one-intermediate detour
+		// (lowest cluster index with both legs up, so the choice is
+		// deterministic).
+		if !lf.LinkDown(now, cur, cd) {
+			return cd, true
+		}
+		for w := 0; w < n.nclusters; w++ {
+			if w == cur || w == cd {
+				continue
+			}
+			if !lf.LinkDown(now, cur, w) && !lf.LinkDown(now, w, cd) {
+				sh.stats.reroutes++
+				return w, true
+			}
+		}
+		return 0, false
+	}
+	next, ok := n.graph.NextAvoiding(cur, cd, func(a, b int) bool { return lf.LinkDown(now, a, b) })
+	if !ok {
+		return 0, false
+	}
+	if next != n.graph.Next(cur, cd) {
+		sh.stats.reroutes++
+	}
+	return next, true
+}
+
+// holdItem is one parked wire unit: exactly one of t (plain message transit)
+// or f (coalesced frame) is set. at is the parking instant, for the timeout.
+type holdItem struct {
+	t  *wanTransit
+	f  *frame
+	at time.Duration
+}
+
+// holdQ is the bounded queue of wire units parked at cluster cur's gateway
+// because no route toward cd exists. It lives in cur's per-cluster hold map
+// and is touched only on cur's LP. Invariant: the retry timer is pending
+// iff items is non-empty, so at most one timer per queue is ever in flight.
+type holdQ struct {
+	n       *Network
+	cur, cd int
+	items   []holdItem
+	backoff time.Duration
+	pending bool
+	retryFn func() // bound to (*holdQ).retry once
+}
+
+// holdFor returns the hold queue for (cur → cd), creating it on first use
+// (on cur's LP).
+func (n *Network) holdFor(cur, cd int) *holdQ {
+	m := n.hold[cur]
+	if m == nil {
+		m = make(map[int32]*holdQ, 2)
+		n.hold[cur] = m
+	}
+	q := m[int32(cd)]
+	if q == nil {
+		q = &holdQ{n: n, cur: cur, cd: cd}
+		q.retryFn = q.retry
+		m[int32(cd)] = q
+	}
+	return q
+}
+
+// push parks one wire unit, arming the retry timer when the queue was idle.
+// A full queue drops the newcomer immediately — bounding gateway memory
+// beats preserving traffic the sender will retransmit anyway.
+func (q *holdQ) push(now time.Duration, it holdItem) {
+	sh := q.n.sh[q.cur]
+	if len(q.items) >= holdQueueCap {
+		q.n.dropHeld(sh, now, it)
+		return
+	}
+	sh.stats.heldMsgs++
+	q.items = append(q.items, it)
+	if !q.pending {
+		q.pending = true
+		q.backoff = holdRetryBase
+		sh.e.At(now+q.backoff, q.retryFn)
+	}
+}
+
+// retry fires on the backoff timer: age out units held past the timeout,
+// then either drain the queue over a healed route or double the backoff and
+// rearm. Draining transmits in arrival order at the retry instant — the
+// pipe's FIFO serialization then spaces the burst out like any other queue.
+func (q *holdQ) retry() {
+	sh := q.n.sh[q.cur]
+	now := sh.e.Now()
+	aged := 0
+	for aged < len(q.items) && now-q.items[aged].at >= holdTimeout {
+		q.n.dropHeld(sh, now, q.items[aged])
+		aged++
+	}
+	if aged > 0 {
+		kept := copy(q.items, q.items[aged:])
+		for i := kept; i < len(q.items); i++ {
+			q.items[i] = holdItem{} // drop stale references past the new tail
+		}
+		q.items = q.items[:kept]
+	}
+	if len(q.items) == 0 {
+		q.pending = false
+		return
+	}
+	if q.drain(sh, now) {
+		q.pending = false
+		return
+	}
+	q.backoff *= 2
+	if q.backoff > holdRetryMax {
+		q.backoff = holdRetryMax
+	}
+	sh.e.At(now+q.backoff, q.retryFn)
+}
+
+// drain transmits parked units in FIFO order while a route exists,
+// reporting whether the queue emptied. Each unit routes individually so
+// reroute accounting stays per transmission.
+func (q *holdQ) drain(sh *netShard, now time.Duration) bool {
+	for i := range q.items {
+		next, ok := q.n.routeNext(sh, now, q.cur, q.cd)
+		if !ok {
+			kept := copy(q.items, q.items[i:])
+			for j := kept; j < len(q.items); j++ {
+				q.items[j] = holdItem{}
+			}
+			q.items = q.items[:kept]
+			return false
+		}
+		it := q.items[i]
+		q.items[i] = holdItem{}
+		if it.t != nil {
+			it.t.transmitOn(sh, now, next)
+		} else {
+			q.n.transmitFrame(it.f, now, next)
+		}
+	}
+	q.items = q.items[:0]
+	return true
+}
+
+// dropHeld gives up on one wire unit: plain transits are released silently
+// (the loss is ARQ's to detect), frames additionally deliver a sequence
+// tombstone so the remote reassembler never wedges behind the gap.
+func (n *Network) dropHeld(sh *netShard, now time.Duration, it holdItem) {
+	sh.stats.holdDrops++
+	if it.f != nil {
+		n.loseFrameSeq(sh, now, it.f)
+		return
+	}
+	it.t.releaseTo(sh)
+}
+
+// loseFrameSeq releases a frame whose payload is lost mid-route and
+// schedules its sequence tombstone at the destination's reassembler, one
+// preferred-link latency away — the earliest a loss could become known
+// remotely, and in any case ≥ the lookahead, so the cross-LP schedule is
+// legal in any window. Without the tombstone, frames arriving over an
+// alternate path (or after heal) would wait forever on the lost sequence
+// number.
+func (n *Network) loseFrameSeq(sh *netShard, now time.Duration, f *frame) {
+	cs, cd, seq := f.cs, f.cd, f.seq
+	l := n.linkFor(f.cur, n.nextHop(f.cur, f.cd))
+	at := now + n.classes[l.class].lat + n.wanDelay
+	dst := n.sh[cd]
+	sh.e.AtShard(dst.e, at, func() {
+		n.ingressFor(cs, cd).consumeLost(dst.e.Now(), seq)
+	})
+	f.release(sh)
+}

@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"albatross/internal/cluster"
+	"albatross/internal/sim"
+)
+
+// ringTestNet builds a 4-root ring backbone (one class, 1000us / 1 MB/s),
+// two compute nodes per cluster. Nodes 2c and 2c+1 belong to cluster c;
+// gateways are 8+c.
+func ringTestNet(t testing.TB) (*sim.Engine, *Network) {
+	t.Helper()
+	b := cluster.NewBuilder()
+	bb := b.Class("backbone", 1000*time.Microsecond, 1e6, 0)
+	b.Roots(4, cluster.Ring, bb, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	return e, New(e, topo, testParams())
+}
+
+// downPair returns a LinkDown closure failing one directed pair for
+// [start, start+dur).
+func downPair(from, to int, start, dur time.Duration) func(time.Duration, int, int) bool {
+	return func(at time.Duration, f, tt int) bool {
+		return f == from && tt == to && at >= start && at < start+dur
+	}
+}
+
+// TestRingRerouteSecondDirection: with the forward ring link 0→1 cut, a
+// message from cluster 0 to cluster 1 goes the other way round (0→3→2→1)
+// instead of blackholing — and the path scan turns the route around at the
+// source, so no hop ever bounces back toward the cut.
+func TestRingRerouteSecondDirection(t *testing.T) {
+	e, n := ringTestNet(t)
+	n.SetFaultPolicy(&testPolicy{linkDown: downPair(0, 1, 0, time.Hour)})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	at := recvTime(t, e, n, 2)
+	// FE 151us + three backbone hops (0→3, 3→2, 2→1) at 2001us each + FE
+	// 151us: the long way round, each hop 1000us serialization + 1000us
+	// latency + 1us overhead.
+	want := (151 + 3*2001 + 151) * time.Microsecond
+	if at != want {
+		t.Fatalf("rerouted delivery at %v, want %v", at, want)
+	}
+	// 0 detours (Next says 1, route takes 3) and 3 detours (Next's
+	// tie-forward says 0, the scan sees the cut and goes 2); the final hop
+	// 2→1 is the static choice.
+	if got := n.Stats().Reroutes(); got != 2 {
+		t.Fatalf("reroutes = %d, want 2", got)
+	}
+	if got := n.Stats().HeldMsgs(); got != 0 {
+		t.Fatalf("held = %d, want 0 (an alternate existed)", got)
+	}
+}
+
+// TestMeshDetourOneIntermediate: on the implicit full mesh a cut direct
+// link detours through the lowest-index third cluster, turning the
+// single-hop mesh route into a store-and-forward two-hop route.
+func TestMeshDetourOneIntermediate(t *testing.T) {
+	e, n := build(3, 2)
+	n.SetFaultPolicy(&testPolicy{linkDown: downPair(0, 1, 0, time.Hour)})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Inbox(2).Len(); got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+	if got := n.Stats().Reroutes(); got != 1 {
+		t.Fatalf("reroutes = %d, want 1", got)
+	}
+	// The traffic crossed 0→2 and 2→1, never 0→1.
+	for _, r := range n.PipeReports() {
+		if r.From == 0 && r.To == 1 {
+			t.Fatalf("detoured message still crossed the cut link: %+v", r)
+		}
+	}
+}
+
+// TestHoldQueueDrainsFIFOOnHeal: a two-root backbone has no alternate
+// path, so traffic parks at the gateway during the cut and drains in send
+// order once the link heals.
+func TestHoldQueueDrainsFIFOOnHeal(t *testing.T) {
+	b := cluster.NewBuilder()
+	bb := b.Class("backbone", 1000*time.Microsecond, 1e6, 0)
+	b.Roots(2, cluster.Mesh, bb, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	n := New(e, topo, testParams())
+	n.SetFaultPolicy(&testPolicy{linkDown: downPair(0, 1, 0, 5*time.Millisecond)})
+	var order []int
+	var last time.Duration
+	n.SetHandler(2, func(m Msg) {
+		order = append(order, m.Payload.(int))
+		last = e.Now()
+	})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000, Payload: 1})
+	n.Send(Msg{From: 1, To: 2, Kind: KindData, Size: 1000, Payload: 2})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("deliveries %v, want [1 2] (FIFO drain)", order)
+	}
+	if last < 5*time.Millisecond {
+		t.Fatalf("delivery at %v, before the link healed", last)
+	}
+	s := n.Stats()
+	if s.HeldMsgs() != 2 || s.HoldDrops() != 0 {
+		t.Fatalf("held=%d drops=%d, want 2 held, 0 dropped", s.HeldMsgs(), s.HoldDrops())
+	}
+}
+
+// TestHoldTimeoutDropsUnderPermanentPartition: when the cut never heals,
+// held traffic is dropped after the hold timeout with a counted verdict —
+// the network gives up so ARQ owns recovery, and the run terminates instead
+// of retrying forever.
+func TestHoldTimeoutDropsUnderPermanentPartition(t *testing.T) {
+	b := cluster.NewBuilder()
+	bb := b.Class("backbone", 1000*time.Microsecond, 1e6, 0)
+	b.Roots(2, cluster.Mesh, bb, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	n := New(e, topo, testParams())
+	n.SetFaultPolicy(&testPolicy{linkDown: func(at time.Duration, f, tt int) bool {
+		return f == 0 && tt == 1
+	}})
+	n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Inbox(2).Len(); got != 0 {
+		t.Fatalf("delivered %d across a permanent partition", got)
+	}
+	s := n.Stats()
+	if s.HeldMsgs() != 1 || s.HoldDrops() != 1 {
+		t.Fatalf("held=%d drops=%d, want 1 held then 1 dropped", s.HeldMsgs(), s.HoldDrops())
+	}
+	if now := e.Now(); now < holdTimeout || now > holdTimeout+time.Second {
+		t.Fatalf("run ended at %v, want shortly after the %v hold timeout", now, holdTimeout)
+	}
+}
+
+// TestUplinkCutHoldsSubtreeTraffic: a tree uplink has no alternate, so
+// cutting it parks the subtree's outbound traffic until heal.
+func TestUplinkCutHoldsSubtreeTraffic(t *testing.T) {
+	e, n := tieredTestNet(t, testParams(), 0)
+	// Cluster 1 hangs under root 0; cut its uplink both ways for 5ms.
+	cut := func(at time.Duration, f, tt int) bool {
+		up := (f == 1 && tt == 0) || (f == 0 && tt == 1)
+		return up && at < 5*time.Millisecond
+	}
+	n.SetFaultPolicy(&testPolicy{linkDown: cut})
+	n.Send(Msg{From: 2, To: 6, Kind: KindData, Size: 1000}) // leaf 1 → leaf 3
+	at := recvTime(t, e, n, 6)
+	if at < 5*time.Millisecond {
+		t.Fatalf("delivery at %v, before the uplink healed", at)
+	}
+	s := n.Stats()
+	if s.HeldMsgs() != 1 {
+		t.Fatalf("held=%d, want 1", s.HeldMsgs())
+	}
+	if s.Reroutes() != 0 {
+		t.Fatalf("reroutes=%d, want 0 (tree edges have no alternates)", s.Reroutes())
+	}
+}
+
+// TestFramesHeldAndReassembledAfterHeal: coalesced frames park in the hold
+// queue like plain messages and reassemble in sequence order after heal.
+func TestFramesHeldAndReassembledAfterHeal(t *testing.T) {
+	par := testParams()
+	par.CoalesceWindow = 100 * time.Microsecond
+	par.MaxFrameBytes = 1000
+	e, n := buildWith(2, 2, par)
+	n.SetFaultPolicy(&testPolicy{linkDown: downPair(0, 1, 0, 5*time.Millisecond)})
+	var got []int
+	n.SetHandler(2, func(m Msg) { got = append(got, m.Payload.(int)) })
+	for i := 0; i < 4; i++ {
+		n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 600, Payload: i})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d messages, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("deliveries %v, want in-order 0..3", got)
+		}
+	}
+	s := n.Stats()
+	if s.HeldMsgs() == 0 {
+		t.Fatalf("no frames were held across the cut (held=%d)", s.HeldMsgs())
+	}
+}
+
+// TestDuplicateNotReinspectedOnMultiHopRoute is the regression test for the
+// duplicate contract on store-and-forward routes: the duplicated copy must
+// be exempt from further WANTransit verdicts at every intermediate gateway,
+// not just at the source (the single-hop mesh test cannot see the
+// difference). An always-duplicate policy on a 4-hop tiered route must
+// yield exactly two delivered copies and exactly one WANTransit
+// consultation — any re-inspection would cascade duplicates 2^hops.
+func TestDuplicateNotReinspectedOnMultiHopRoute(t *testing.T) {
+	e, n := tieredTestNet(t, testParams(), 0)
+	inspections := 0
+	n.SetFaultPolicy(&testPolicy{
+		transit: func(time.Duration, int, int, Msg) (FaultAction, time.Duration) {
+			inspections++
+			return FaultDuplicate, 0
+		},
+	})
+	n.Send(Msg{From: 2, To: 6, Kind: KindData, Size: 1000}) // route 1→0→2→3
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inspections != 1 {
+		t.Fatalf("WANTransit consulted %d times on a multi-hop route, want 1 (source only)", inspections)
+	}
+	if got := n.Inbox(6).Len(); got != 2 {
+		t.Fatalf("delivered %d copies, want exactly 2", got)
+	}
+}

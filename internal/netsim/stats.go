@@ -40,6 +40,17 @@ type Stats struct {
 	// messages, framed or not.
 	frames     Counter
 	framedMsgs int64
+
+	// Route-health accounting (link fault domains): reroutes counts
+	// transmissions that took an alternate next hop because the preferred
+	// link was down, heldMsgs the wire units (messages or frames) parked in
+	// a gateway hold queue because no route existed, and holdDrops the held
+	// units eventually dropped (hold timeout or queue overflow) — the
+	// network's end of the contract that ARQ owns recovery. All stay zero
+	// without a link-failure plan.
+	reroutes  int64
+	heldMsgs  int64
+	holdDrops int64
 }
 
 func (s *Stats) count(scope int, k Kind, size int) {
@@ -73,8 +84,22 @@ func (s *Stats) Diff(earlier Stats) Stats {
 	}
 	d.frames = Counter{s.frames.Msgs - earlier.frames.Msgs, s.frames.Bytes - earlier.frames.Bytes}
 	d.framedMsgs = s.framedMsgs - earlier.framedMsgs
+	d.reroutes = s.reroutes - earlier.reroutes
+	d.heldMsgs = s.heldMsgs - earlier.heldMsgs
+	d.holdDrops = s.holdDrops - earlier.holdDrops
 	return d
 }
+
+// Reroutes reports transmissions that detoured around a down link.
+func (s *Stats) Reroutes() int64 { return s.reroutes }
+
+// HeldMsgs reports wire units parked in gateway hold queues while no route
+// to their destination existed.
+func (s *Stats) HeldMsgs() int64 { return s.heldMsgs }
+
+// HoldDrops reports held wire units the network eventually gave up on
+// (hold timeout or hold-queue overflow).
+func (s *Stats) HoldDrops() int64 { return s.holdDrops }
 
 // WANFrames reports the coalesced transport frames that crossed WAN links:
 // Msgs is the wire-level transmission count, Bytes the framed payload volume.
@@ -144,6 +169,10 @@ func (s *Stats) String() string {
 	if s.frames.Msgs > 0 {
 		fmt.Fprintf(&b, "| frames: %d/%.0fkB packing=%.1f ",
 			s.frames.Msgs, s.frames.KBytes(), s.PackingRatio())
+	}
+	if s.reroutes > 0 || s.heldMsgs > 0 || s.holdDrops > 0 {
+		fmt.Fprintf(&b, "| routes: reroutes=%d held=%d holddrops=%d ",
+			s.reroutes, s.heldMsgs, s.holdDrops)
 	}
 	return strings.TrimSpace(b.String())
 }

@@ -60,8 +60,8 @@ func (n *Network) egressFor(cs, cd int) *egressQ {
 }
 
 // ingressFor returns cluster cd's reassembly queue for frames from cs,
-// creating it on first use (on cd's LP — except for mid-route loss
-// tombstones, which only occur under fault injection, i.e. unsharded).
+// creating it on first use (always on cd's LP: frame arrivals run there,
+// and mid-route loss tombstones are scheduled onto it via loseFrameSeq).
 func (n *Network) ingressFor(cs, cd int) *ingressQ {
 	m := n.xp.ingress[cd]
 	if m == nil {
@@ -182,6 +182,22 @@ func (eg *egressQ) flush(now time.Duration) {
 // per-pipe and per-class aggregates meter every hop (wire-level accounting).
 func (n *Network) transmit(f *frame, now time.Duration) {
 	sh := n.sh[f.cur]
+	if n.linkFault != nil {
+		next, ok := n.routeOrHold(sh, now, f.cur, f.cd, holdItem{f: f, at: now})
+		if !ok {
+			return // parked in a hold queue (or dropped on overflow)
+		}
+		n.transmitFrame(f, now, next)
+		return
+	}
+	n.transmitFrame(f, now, n.nextHop(f.cur, f.cd))
+}
+
+// transmitFrame runs the gateway forwarding stage and puts the frame on the
+// pipe toward next (the caller's routing choice), then schedules the
+// cross-LP hop.
+func (n *Network) transmitFrame(f *frame, now time.Duration, next int) {
+	sh := n.sh[f.cur]
 	if n.par.GatewayCost > 0 {
 		// One forwarding slot per frame, not per packed message: packing
 		// relieves the gateway's protocol stack along with the WAN link.
@@ -192,7 +208,6 @@ func (n *Network) transmit(f *frame, now time.Duration) {
 		gw.gwFree += n.par.GatewayCost
 		now = gw.gwFree
 	}
-	next := n.nextHop(f.cur, f.cd)
 	l := n.linkFor(f.cur, next)
 	p := &l.pipes[f.stream%len(l.pipes)]
 	wait := p.free - now
@@ -292,16 +307,15 @@ func (n *Network) getFrame(sh *netShard) *frame {
 // hop retransmits a multi-hop frame from an intermediate gateway (on that
 // cluster's LP). Only gateway liveness is consulted mid-route — drop and
 // duplicate verdicts applied once at the source — and a frame lost here
-// consumes its sequence number at the destination immediately so reassembly
-// never wedges behind the loss (faults only run unsharded, so the direct
-// cross-cluster touch is safe).
+// schedules its sequence tombstone at the destination's reassembler
+// (loseFrameSeq: one link latency later, on cd's own LP, so the resync is
+// shard-safe) so reassembly never wedges behind the loss.
 func (f *frame) hop() {
 	n := f.n
 	sh := n.sh[f.cur]
 	now := sh.e.Now()
 	if n.fault != nil && n.fault.GatewayDown(now, f.cur, f.wireMsg()) {
-		n.ingressFor(f.cs, f.cd).consumeLost(f.seq)
-		f.release(sh)
+		n.loseFrameSeq(sh, now, f)
 		return
 	}
 	n.transmit(f, now)
@@ -319,7 +333,7 @@ func (f *frame) arrive() {
 	now := sh.e.Now()
 	iq := n.ingressFor(f.cs, f.cd)
 	if n.fault != nil && n.fault.GatewayDown(now, f.cd, f.wireMsg()) {
-		iq.consumeLost(f.seq)
+		iq.consumeLost(now, f.seq)
 		f.release(sh)
 		return
 	}
@@ -376,15 +390,17 @@ type ingressQ struct {
 	held map[int64]*frame
 }
 
-// consumeLost advances the sequence past a frame whose payload was lost at
-// the remote gateway, so later frames are not held forever behind the loss.
-func (iq *ingressQ) consumeLost(seq int64) {
+// consumeLost advances the sequence past a frame whose payload was lost
+// (remote gateway crash, mid-route loss, hold-queue drop), so later frames
+// are not held forever behind the loss. now is the resync instant: frames
+// held behind the gap unpack then.
+func (iq *ingressQ) consumeLost(now time.Duration, seq int64) {
 	switch {
 	case seq < iq.next:
 		// Duplicate of a consumed frame; nothing to resync.
 	case seq == iq.next:
 		iq.next++
-		iq.drain(0)
+		iq.drain(now)
 	default:
 		if _, dup := iq.held[seq]; dup {
 			return

@@ -7,6 +7,7 @@ import (
 
 	"albatross/internal/cluster"
 	"albatross/internal/netsim"
+	"albatross/internal/sim"
 )
 
 // Reliability layer: sequenced, retransmitting channels over the lossy WAN.
@@ -122,14 +123,34 @@ type relAck struct {
 	upTo     uint64
 }
 
-// relLayer is the runtime's reliability state: one sender per outgoing and
-// one receiver per incoming directed channel, created on first use.
-type relLayer struct {
-	r     *RTS
-	cfg   RelConfig
+// relShard is the per-cluster slice of the reliability layer's mutable
+// state: the engine that executes the cluster's events plus the channel
+// maps and tallies its LP touches. Channel state is partitioned by the
+// endpoint that owns it — a sender (keyed from→to) lives in from's
+// cluster's shard because sendReliable, onAck and the retransmit timer all
+// execute on from's LP; a receiver lives in to's cluster's shard because
+// envelopes are delivered on to's LP. On a plain engine every cluster
+// references one shared relShard, so the sequential layer is exactly what
+// it was.
+type relShard struct {
+	e     *sim.Engine
 	stats RelStats
 	send  map[pairKey]*relSender
 	recv  map[pairKey]*relReceiver
+}
+
+// relLayer is the runtime's reliability state: one sender per outgoing and
+// one receiver per incoming directed channel, created on first use in the
+// owning endpoint's shard.
+type relLayer struct {
+	r   *RTS
+	cfg RelConfig
+	sh  []*relShard // cluster → shard (all one shard when unsharded)
+}
+
+// shardOf returns the shard owning node id's channel state.
+func (l *relLayer) shardOf(id cluster.NodeID) *relShard {
+	return l.sh[l.r.topo.ClusterOf(id)]
 }
 
 // EnableReliability interposes reliable channels on all intercluster
@@ -137,32 +158,56 @@ type relLayer struct {
 // messages from the first send, so enabling mid-run would present unknown
 // sequence numbers to the receivers.
 func (r *RTS) EnableReliability(cfg RelConfig) {
-	if r.sharded {
-		// The ARQ layer keeps per-directed-pair channel state touched from
-		// both endpoints' LPs; it has no sharded implementation yet.
-		panic("orca: the reliability layer is not supported on a sharded engine")
-	}
 	if r.rel != nil {
 		panic("orca: EnableReliability called twice")
 	}
 	if r.e.Now() != 0 {
 		panic("orca: EnableReliability after the run started")
 	}
-	r.rel = &relLayer{
-		r:    r,
-		cfg:  cfg.withDefaults(),
-		send: make(map[pairKey]*relSender),
-		recv: make(map[pairKey]*relReceiver),
+	l := &relLayer{r: r, cfg: cfg.withDefaults()}
+	l.sh = make([]*relShard, r.topo.Clusters)
+	if r.sharded {
+		for c := range l.sh {
+			l.sh[c] = &relShard{
+				e:    r.net.EngineFor(c),
+				send: make(map[pairKey]*relSender),
+				recv: make(map[pairKey]*relReceiver),
+			}
+		}
+	} else {
+		one := &relShard{
+			e:    r.e,
+			send: make(map[pairKey]*relSender),
+			recv: make(map[pairKey]*relReceiver),
+		}
+		for c := range l.sh {
+			l.sh[c] = one
+		}
 	}
+	r.rel = l
 }
 
 // RelStats returns the reliability tallies so far (zero value when
-// reliability is disabled).
+// reliability is disabled). On a sharded engine it sums the per-cluster
+// tallies — integer sums are order-independent, so the merge is
+// deterministic; call it only while the simulation is stopped.
 func (r *RTS) RelStats() RelStats {
 	if r.rel == nil {
 		return RelStats{}
 	}
-	return r.rel.stats
+	if !r.sharded {
+		return r.rel.sh[0].stats
+	}
+	var tot RelStats
+	for _, sh := range r.rel.sh {
+		tot.Wrapped += sh.stats.Wrapped
+		tot.Retransmits += sh.stats.Retransmits
+		tot.DupDropped += sh.stats.DupDropped
+		tot.OutOfOrder += sh.stats.OutOfOrder
+		tot.Acks += sh.stats.Acks
+		tot.GiveUps += sh.stats.GiveUps
+	}
+	return tot
 }
 
 // send routes one protocol message: intercluster sends go through the
@@ -176,9 +221,12 @@ func (r *RTS) send(m netsim.Msg) {
 	r.net.Send(m)
 }
 
-// relSender is the sending end of one directed channel.
+// relSender is the sending end of one directed channel. It lives in the
+// sending cluster's shard: creation, ack handling and the retransmit timer
+// all execute on that cluster's LP.
 type relSender struct {
 	l       *relLayer
+	sh      *relShard // owning (sending cluster's) shard
 	key     pairKey
 	nextSeq uint64
 	queue   []*relEnvelope // sent but unacknowledged, in sequence order
@@ -191,18 +239,19 @@ type relSender struct {
 	timerFn  func() // bound once to onTimer
 }
 
-func (l *relLayer) sender(key pairKey) *relSender {
-	s := l.send[key]
+func (l *relLayer) sender(sh *relShard, key pairKey) *relSender {
+	s := sh.send[key]
 	if s == nil {
-		s = &relSender{l: l, key: key, rto: l.cfg.RTO}
+		s = &relSender{l: l, sh: sh, key: key, rto: l.cfg.RTO}
 		s.timerFn = s.onTimer
-		l.send[key] = s
+		sh.send[key] = s
 	}
 	return s
 }
 
 func (l *relLayer) sendReliable(m netsim.Msg) {
-	s := l.sender(pairKey{m.From, m.To})
+	sh := l.shardOf(m.From)
+	s := l.sender(sh, pairKey{m.From, m.To})
 	env := &relEnvelope{
 		from: m.From, to: m.To,
 		seq:  s.nextSeq,
@@ -210,7 +259,7 @@ func (l *relLayer) sendReliable(m netsim.Msg) {
 		inner: m.Payload,
 	}
 	s.nextSeq++
-	l.stats.Wrapped++
+	sh.stats.Wrapped++
 	if s.gaveUp {
 		// The channel is dead; queue for the post-mortem but send nothing.
 		s.queue = append(s.queue, env)
@@ -238,11 +287,11 @@ func (l *relLayer) transmit(env *relEnvelope) {
 // outstanding per sender; a timer firing before the current deadline
 // reschedules itself lazily.
 func (s *relSender) arm() {
-	now := s.l.r.e.Now()
+	now := s.sh.e.Now()
 	s.deadline = now + s.rto
 	if !s.pending {
 		s.pending = true
-		s.l.r.e.At(s.deadline, s.timerFn)
+		s.sh.e.At(s.deadline, s.timerFn)
 	}
 }
 
@@ -254,12 +303,12 @@ func (s *relSender) onTimer() {
 		// backoff interval past the last traffic.
 		return
 	}
-	now := s.l.r.e.Now()
+	now := s.sh.e.Now()
 	if now < s.deadline {
 		// Ack progress pushed the deadline out while this event was in
 		// flight; sleep again until the real deadline.
 		s.pending = true
-		s.l.r.e.At(s.deadline, s.timerFn)
+		s.sh.e.At(s.deadline, s.timerFn)
 		return
 	}
 	// Timeout. The first one after progress usually means one lost
@@ -271,7 +320,7 @@ func (s *relSender) onTimer() {
 	s.attempts++
 	if cfg.MaxAttempts > 0 && s.attempts >= cfg.MaxAttempts {
 		s.gaveUp = true
-		s.l.stats.GiveUps++
+		s.sh.stats.GiveUps++
 		return
 	}
 	n := 1
@@ -282,7 +331,7 @@ func (s *relSender) onTimer() {
 		}
 	}
 	for _, env := range s.queue[:n] {
-		s.l.stats.Retransmits++
+		s.sh.stats.Retransmits++
 		s.l.transmit(env)
 	}
 	if s.rto *= 2; s.rto > cfg.MaxRTO {
@@ -291,10 +340,12 @@ func (s *relSender) onTimer() {
 	s.arm()
 }
 
-// onAck handles a cumulative acknowledgement at the sending node.
+// onAck handles a cumulative acknowledgement at the sending node (the
+// sending cluster's LP, where the channel's shard lives).
 func (l *relLayer) onAck(a *relAck) {
-	l.stats.Acks++
-	s := l.send[pairKey{a.from, a.to}]
+	sh := l.shardOf(a.from)
+	sh.stats.Acks++
+	s := sh.send[pairKey{a.from, a.to}]
 	if s == nil {
 		return // ack for a channel we never opened (cannot happen in practice)
 	}
@@ -340,32 +391,34 @@ func (l *relLayer) onAck(a *relAck) {
 	}
 }
 
-// relReceiver is the receiving end of one directed channel.
+// relReceiver is the receiving end of one directed channel. It lives in the
+// receiving cluster's shard: envelopes are delivered on that cluster's LP.
 type relReceiver struct {
 	l    *relLayer
+	sh   *relShard // owning (receiving cluster's) shard
 	key  pairKey
 	next uint64         // lowest sequence number not yet delivered
 	held []*relEnvelope // out-of-order buffer, sorted by seq, no duplicates
 }
 
-func (l *relLayer) receiver(key pairKey) *relReceiver {
-	rc := l.recv[key]
+func (l *relLayer) receiver(sh *relShard, key pairKey) *relReceiver {
+	rc := sh.recv[key]
 	if rc == nil {
-		rc = &relReceiver{l: l, key: key}
-		l.recv[key] = rc
+		rc = &relReceiver{l: l, sh: sh, key: key}
+		sh.recv[key] = rc
 	}
 	return rc
 }
 
 // onEnvelope handles one arriving envelope at the receiving node.
 func (l *relLayer) onEnvelope(env *relEnvelope) {
-	rc := l.receiver(pairKey{env.from, env.to})
+	rc := l.receiver(l.shardOf(env.to), pairKey{env.from, env.to})
 	switch {
 	case env.seq < rc.next:
 		// Duplicate (retransmit or fault duplication) of a delivered
 		// envelope. Re-ack so the sender stops retransmitting even when the
 		// original ack was lost.
-		l.stats.DupDropped++
+		rc.sh.stats.DupDropped++
 		rc.sendAck()
 		return
 	case env.seq > rc.next:
@@ -373,10 +426,10 @@ func (l *relLayer) onEnvelope(env *relEnvelope) {
 		// reach here under fault reordering or a retransmit racing a held
 		// predecessor, so the buffer stays tiny.
 		if !rc.hold(env) {
-			l.stats.DupDropped++
+			rc.sh.stats.DupDropped++
 			return // duplicate of an already-held envelope
 		}
-		l.stats.OutOfOrder++
+		rc.sh.stats.OutOfOrder++
 		rc.sendAck()
 		return
 	}
@@ -436,15 +489,25 @@ func (l *relLayer) deliverInner(env *relEnvelope) {
 }
 
 // StalledChannels describes the channels whose senders have given up, for
-// post-mortem diagnosis after a DeadlockError.
+// post-mortem diagnosis after a DeadlockError or DeadlineError. Sorted, so
+// the rendering is deterministic in both engine modes.
 func (r *RTS) StalledChannels() []string {
 	if r.rel == nil {
 		return nil
 	}
 	var out []string
-	for key, s := range r.rel.send {
-		if s.gaveUp {
-			out = append(out, fmt.Sprintf("%d->%d (%d unacked)", key.from, key.to, len(s.queue)))
+	gather := func(sh *relShard) {
+		for key, s := range sh.send {
+			if s.gaveUp {
+				out = append(out, fmt.Sprintf("%d->%d (%d unacked)", key.from, key.to, len(s.queue)))
+			}
+		}
+	}
+	if !r.sharded {
+		gather(r.rel.sh[0])
+	} else {
+		for _, sh := range r.rel.sh {
+			gather(sh)
 		}
 	}
 	sort.Strings(out)

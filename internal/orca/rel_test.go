@@ -324,3 +324,91 @@ func TestObjectMisusePanics(t *testing.T) {
 		})
 	}
 }
+
+// TestBackoffPlateauUnderPermanentPartition pins the ARQ backoff contract on
+// a link that never heals: retransmit intervals double from RTO and then
+// plateau at MaxRTO — the sender keeps probing at a bounded rate instead of
+// backing off forever or spinning.
+func TestBackoffPlateauUnderPermanentPartition(t *testing.T) {
+	plan := faults.Plan{LinkDowns: []faults.LinkDown{
+		{From: 0, To: 1, Duration: time.Hour},
+		{From: 1, To: 0, Duration: time.Hour},
+	}}
+	cfg := RelConfig{} // defaults: RTO 10ms, MaxRTO 320ms, retry forever
+	e, net, rts, _ := buildFaulty(t, 2, 2, nil, plan, cfg)
+	var sends []time.Duration
+	net.SetTap(func(at time.Duration, m netsim.Msg, inter bool) {
+		if inter && m.From == 2 && m.To == 0 {
+			sends = append(sends, at)
+		}
+	})
+	obj := rts.NewObject("c", 0, &counter{})
+	e.Go("caller", func(p *sim.Proc) {
+		obj.Invoke(p, 2, incOp(1))
+	})
+	e.SetDeadline(5 * time.Second)
+	err := e.Run()
+	var dl *sim.DeadlineError
+	if !errors.As(err, &dl) {
+		t.Fatalf("run returned %v, want DeadlineError (sender must keep probing)", err)
+	}
+	if len(sends) < 10 {
+		t.Fatalf("only %d transmissions in 5s, backoff stopped probing", len(sends))
+	}
+	const rto, maxRTO = 10 * time.Millisecond, 320 * time.Millisecond
+	want := rto
+	for i := 1; i < len(sends); i++ {
+		gap := sends[i] - sends[i-1]
+		if gap != want {
+			t.Fatalf("retransmit %d after %v, want %v (doubling capped at %v)", i, gap, want, maxRTO)
+		}
+		if want *= 2; want > maxRTO {
+			want = maxRTO
+		}
+	}
+	// The tail of the run must sit on the plateau.
+	if last := sends[len(sends)-1] - sends[len(sends)-2]; last != maxRTO {
+		t.Fatalf("final interval %v, want the %v plateau", last, maxRTO)
+	}
+	if rts.RelStats().Retransmits == 0 {
+		t.Fatal("no retransmits counted")
+	}
+}
+
+// TestDeadlineNamesStalledChannelUnderPartition is the structured-diagnosis
+// half of the partition contract: when the sender exhausts MaxAttempts
+// across a permanent cut, SetDeadline aborts the run with a DeadlineError
+// (reachable via errors.As) and StalledChannels names the dead channel.
+func TestDeadlineNamesStalledChannelUnderPartition(t *testing.T) {
+	plan := faults.Plan{LinkDowns: []faults.LinkDown{
+		{From: 0, To: 1, Duration: time.Hour},
+		{From: 1, To: 0, Duration: time.Hour},
+	}}
+	e, net, rts, _ := buildFaulty(t, 2, 2, nil, plan, RelConfig{MaxAttempts: 3})
+	obj := rts.NewObject("c", 0, &counter{})
+	e.Go("caller", func(p *sim.Proc) {
+		obj.Invoke(p, 2, incOp(1))
+	})
+	e.SetDeadline(time.Second)
+	err := e.Run()
+	var dl *sim.DeadlineError
+	if !errors.As(err, &dl) {
+		t.Fatalf("run returned %v, want DeadlineError", err)
+	}
+	if len(dl.Parked) != 1 || !strings.Contains(dl.Parked[0], "caller") {
+		t.Fatalf("deadline report %q does not name the stuck caller", dl.Parked)
+	}
+	if s := rts.RelStats(); s.GiveUps == 0 {
+		t.Fatalf("no give-up recorded: %+v", s)
+	}
+	stalled := rts.StalledChannels()
+	if len(stalled) != 1 || !strings.Contains(stalled[0], "2->0") {
+		t.Fatalf("stalled channels %v, want the 2->0 request channel", stalled)
+	}
+	// Network-side evidence: the attempts parked at the cut gateway (the
+	// 2s hold timeout lies beyond this run's deadline, so they are held,
+	// not yet dropped — ageing-out is pinned by the netsim suite).
+	if net.Stats().HeldMsgs() == 0 {
+		t.Fatal("no traffic was held at the partitioned gateway")
+	}
+}
