@@ -339,6 +339,112 @@ func BenchmarkEngineShardedWindows(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedWindowSync measures the sharded engine's window
+// synchronization under live cross-LP traffic: four LPs each run a local
+// event chain and every eighth step additionally schedules a remote event
+// on the next LP exactly one lookahead away — the tightest legal cross-LP
+// schedule, so the fences stay load-bearing rather than idle. Besides the
+// usual ns/op it reports windows/op and fences/op (windows minus
+// inline-chained solo windows, i.e. barrier participations), which
+// BENCH_engine.json tracks so a regression in window batching is visible
+// even when raw wall clock hides it.
+func BenchmarkShardedWindowSync(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	lps := e.Shard(4)
+	e.SetLookahead(time.Millisecond)
+	// Each slot is touched only by its owner LP's thread: the local chain of
+	// LP i and the cross events LP i-1 aims at it both run on thread i.
+	counts := make([]int, len(lps))
+	per := b.N/len(lps) + 1
+	for i := range lps {
+		i, lp, next := i, lps[i], lps[(i+1)%len(lps)]
+		ni := (i + 1) % len(lps)
+		bump := func() { counts[ni]++ }
+		n := 0
+		var tick func()
+		tick = func() {
+			counts[i]++
+			if n++; n >= per {
+				return
+			}
+			if n%8 == 0 {
+				lp.AtShard(next, lp.Now()+time.Millisecond, bump)
+			}
+			lp.At(lp.Now()+200*time.Microsecond, tick)
+		}
+		lp.At(200*time.Microsecond, tick)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total < b.N {
+		b.Fatalf("ran %d events, want >= %d", total, b.N)
+	}
+	var windows, fences uint64
+	for _, st := range e.ShardStats() {
+		windows += st.Windows
+		fences += st.Windows - st.Chained
+	}
+	b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
+	b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+}
+
+// BenchmarkShardedGridASP runs broadcast-heavy ASP on the 64-cluster tiered
+// topology with four LPs — the configuration the per-route lookahead matrix
+// was built for — and reports the total windows and fence participations
+// per run next to throughput. These are the acceptance counters for the
+// matrix: the fixed baseline entry in BENCH_engine.json holds the scalar
+// lookahead engine's numbers (145,060 windows per run, every one a fence).
+func BenchmarkShardedGridASP(b *testing.B) {
+	b.ReportAllocs()
+	topo, err := cluster.LoadTopology("examples/topologies/tiered64.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := harness.AppByName("ASP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var windows, fences uint64
+	var simSecs float64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		var seqr orca.Sequencer
+		if app.Sequencer != nil {
+			seqr = app.Sequencer(false)
+		}
+		sys := core.NewSystem(core.Config{
+			Topology:  topo,
+			Params:    harness.Params,
+			Sequencer: seqr,
+			Shards:    4,
+		})
+		verify := app.Build(sys, false)
+		m, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := verify(); err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range sys.ShardStats() {
+			windows += st.Windows
+			fences += st.Windows - st.Chained
+		}
+		simSecs += m.Seconds()
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(simSecs/wall, "simsec/wallsec")
+	}
+	b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
+	b.ReportMetric(float64(fences)/float64(b.N), "fences/op")
+}
+
 // BenchmarkNetSendLAN measures the flattened intracluster send path in
 // isolation: one Send plus its delivery event per iteration.
 func BenchmarkNetSendLAN(b *testing.B) {

@@ -187,25 +187,30 @@ func main() {
 
 // printShardUsage renders the per-LP window counters every sharded run
 // accumulated: windows executed, the share that dispatched no event on that
-// LP (pure synchronization), events dispatched, and wall-clock fence waits.
-// High idle shares or fence waits are the sharded engine's overhead made
-// visible — the results themselves are byte-identical either way.
+// LP (pure synchronization), windows chained inline without a barrier, the
+// mean virtual width of a window, the window rate per simulated second,
+// events dispatched, and wall-clock fence waits with their share of the
+// run's wall clock. High fence shares or narrow windows are the sharded
+// engine's overhead made visible — the results themselves are
+// byte-identical either way.
 func printShardUsage() {
 	report := harness.ShardUsageReport()
 	if report == nil {
 		return
 	}
 	fmt.Println("== Sharded-engine window counters (observability only; results are engine-independent) ==")
-	fmt.Printf("%-8s %4s %3s %12s %6s %12s %12s\n",
-		"app", "runs", "lp", "windows", "idle%", "events", "fence-wait")
+	fmt.Printf("%-8s %4s %3s %10s %6s %8s %10s %10s %10s %11s %7s\n",
+		"app", "runs", "lp", "windows", "idle%", "chained", "width", "win/simsec", "events", "fence-wait", "fence%")
 	for _, u := range report {
 		for _, lp := range u.LPs {
 			idle := 0.0
 			if lp.Windows > 0 {
 				idle = 100 * float64(lp.IdleWindows) / float64(lp.Windows)
 			}
-			fmt.Printf("%-8s %4d %3d %12d %5.1f%% %12d %12s\n",
-				u.App, u.Runs, lp.LP, lp.Windows, idle, lp.Events, lp.FenceWait.Round(time.Millisecond))
+			fmt.Printf("%-8s %4d %3d %10d %5.1f%% %8d %10s %10.0f %10d %11s %6.1f%%\n",
+				u.App, u.Runs, lp.LP, lp.Windows, idle, lp.Chained,
+				u.AvgWindowWidth(lp).Round(time.Microsecond), u.WindowsPerSimSec(lp),
+				lp.Events, lp.FenceWait.Round(time.Millisecond), 100*u.FenceWaitShare(lp))
 		}
 	}
 	fmt.Println()

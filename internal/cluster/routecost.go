@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// AllPairsCost returns the all-pairs minimum route cost over the wide-area
+// link graph, where every directed traversal of a link costs perHop(class).
+// The result is a dense nclusters x nclusters matrix with zero on the
+// diagonal.
+//
+// This is a floor over *every* path through the physical links — including
+// multi-hop tree routes, ring reverse routes and mesh detours — not just the
+// primary routes Graph.Next takes. That is exactly the property a
+// conservative lookahead needs: no message can cross from cluster a to
+// cluster b in less virtual time than cost[a][b], no matter how it is
+// routed, rerouted around faults, or held at a cut link. perHop must be
+// positive for every class.
+func (g *Graph) AllPairsCost(nclusters int, perHop func(class int) time.Duration) [][]time.Duration {
+	hop := make([]time.Duration, len(g.Classes))
+	for c := range g.Classes {
+		hop[c] = perHop(c)
+		if hop[c] <= 0 {
+			panic(fmt.Sprintf("cluster: AllPairsCost needs a positive per-hop cost, class %q got %v", g.Classes[c].Name, hop[c]))
+		}
+	}
+	// Undirected adjacency in CSR form (links are simulated as a pipe per
+	// direction with the same class, so cost is symmetric per link).
+	deg := make([]int32, nclusters+1)
+	for _, l := range g.Links {
+		deg[l.A+1]++
+		deg[l.B+1]++
+	}
+	for i := 0; i < nclusters; i++ {
+		deg[i+1] += deg[i]
+	}
+	type arc struct {
+		to   int32
+		cost time.Duration
+	}
+	arcs := make([]arc, deg[nclusters])
+	fill := make([]int32, nclusters)
+	for _, l := range g.Links {
+		c := hop[l.Class]
+		arcs[deg[l.A]+fill[l.A]] = arc{to: int32(l.B), cost: c}
+		fill[l.A]++
+		arcs[deg[l.B]+fill[l.B]] = arc{to: int32(l.A), cost: c}
+		fill[l.B]++
+	}
+
+	const unreached = time.Duration(1<<63 - 1)
+	cost := make([][]time.Duration, nclusters)
+	dist := make([]time.Duration, nclusters)
+	done := make([]bool, nclusters)
+	// Dijkstra from every source with a linear extract-min: topologies are a
+	// few hundred clusters at most, and this runs once per constructed
+	// network, so O(V^2) per source beats heap bookkeeping.
+	for src := 0; src < nclusters; src++ {
+		for i := range dist {
+			dist[i] = unreached
+			done[i] = false
+		}
+		dist[src] = 0
+		for {
+			u, best := -1, unreached
+			for i := 0; i < nclusters; i++ {
+				if !done[i] && dist[i] < best {
+					u, best = i, dist[i]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for _, a := range arcs[deg[u]:deg[u+1]] {
+				if d := best + a.cost; d < dist[a.to] {
+					dist[a.to] = d
+				}
+			}
+		}
+		cost[src] = append([]time.Duration(nil), dist...)
+	}
+	return cost
+}

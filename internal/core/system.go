@@ -30,8 +30,9 @@ type Config struct {
 	// Shards selects the cluster-sharded parallel engine: the simulation is
 	// partitioned into min(Shards, Clusters) logical processes, each owning
 	// the events of one or more whole clusters, synchronized by conservative
-	// time windows whose width is the minimum cross-cluster one-way latency
-	// (see internal/sim and DESIGN.md §5c). 0 or 1 selects the sequential
+	// per-LP time fences derived from a per-route lookahead matrix — each
+	// directed LP pair's fence distance is the cheapest routed path between
+	// their clusters (see internal/sim and DESIGN.md §5c). 0 or 1 selects the sequential
 	// engine. All eight applications, the sequenced broadcast protocols,
 	// the reliability layer and fault injection run shard-safe — each
 	// produces byte-identical results in both modes. The only remaining

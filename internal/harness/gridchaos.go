@@ -105,7 +105,9 @@ func ChaosRunTopo(app AppSpec, topo cluster.Topology, optimized bool, spec Chaos
 	sys.RTS.EnableReliability(chaosRelConfig(topo))
 	sys.Engine.SetDeadline(chaosDeadline)
 	verify := app.Build(sys, optimized)
+	wall := time.Now()
 	m, err := sys.Run()
+	ran := time.Since(wall)
 	res.Metrics, res.Rel, res.Faults = m, sys.RTS.RelStats(), in.Counters()
 	res.Stalled = sys.RTS.StalledChannels()
 	tag := fmt.Sprintf("%s on %s opt=%v loss=%g outage=%v partition=[%v,+%v]",
@@ -121,7 +123,7 @@ func ChaosRunTopo(app AppSpec, topo cluster.Topology, optimized bool, spec Chaos
 		return res, fmt.Errorf("chaos %s: %w", tag, err)
 	}
 	if st := sys.ShardStats(); st != nil {
-		recordShardUsage(app.Name, st)
+		recordShardUsage(app.Name, st, m.Elapsed, ran)
 	}
 	return res, nil
 }

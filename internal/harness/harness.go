@@ -232,7 +232,9 @@ func RunOneT(app AppSpec, clusters, perCluster int, optimized bool, tr Transport
 		Shards:    effectiveShards(app, clusters),
 	})
 	verify := app.Build(sys, optimized)
+	wall := time.Now()
 	m, err := sys.Run()
+	ran := time.Since(wall)
 	if err != nil {
 		return m, fmt.Errorf("%s %dx%d opt=%v: %w", app.Name, clusters, perCluster, optimized, err)
 	}
@@ -240,7 +242,7 @@ func RunOneT(app AppSpec, clusters, perCluster int, optimized bool, tr Transport
 		return m, fmt.Errorf("%s %dx%d opt=%v: %w", app.Name, clusters, perCluster, optimized, err)
 	}
 	if st := sys.ShardStats(); st != nil {
-		recordShardUsage(app.Name, st)
+		recordShardUsage(app.Name, st, m.Elapsed, ran)
 	}
 	return m, nil
 }

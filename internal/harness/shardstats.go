@@ -3,20 +3,53 @@ package harness
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"albatross/internal/sim"
 )
 
 // ShardUsage aggregates the per-LP window counters of every sharded run one
 // application executed in this harness session: windows and events are
-// summed per LP index, fence waits accumulate wall-clock time. The counters
-// are observability only (sim.LPStats is excluded from the byte-identity
-// surface); dasbench renders them under -shards so the engine's
-// synchronization overhead is observable rather than inferred.
+// summed per LP index, fence waits accumulate wall-clock time, and the
+// run-level virtual and wall-clock durations are summed so derived rates
+// (window width, windows per simulated second, fence-wait share) can be
+// reported. The counters are observability only (sim.LPStats is excluded
+// from the byte-identity surface); dasbench renders them under -shards so
+// the engine's synchronization overhead is observable rather than inferred.
 type ShardUsage struct {
-	App  string
-	Runs int
-	LPs  []sim.LPStats
+	App     string
+	Runs    int
+	Virtual time.Duration // summed virtual elapsed time across runs
+	Wall    time.Duration // summed wall-clock run time across runs
+	LPs     []sim.LPStats
+}
+
+// AvgWindowWidth is the mean virtual-time span one window of the given LP
+// advanced: summed virtual time over the LP's window count. Wider windows
+// mean fewer fences per simulated second — the quantity the per-route
+// lookahead matrix exists to maximize.
+func (u ShardUsage) AvgWindowWidth(lp sim.LPStats) time.Duration {
+	if lp.Windows == 0 {
+		return 0
+	}
+	return time.Duration(int64(u.Virtual) / int64(lp.Windows))
+}
+
+// WindowsPerSimSec is the LP's window rate per simulated second.
+func (u ShardUsage) WindowsPerSimSec(lp sim.LPStats) float64 {
+	if u.Virtual <= 0 {
+		return 0
+	}
+	return float64(lp.Windows) / u.Virtual.Seconds()
+}
+
+// FenceWaitShare is the fraction of the run's wall clock the LP spent
+// blocked on the fence barrier (0 when wall time was not recorded).
+func (u ShardUsage) FenceWaitShare(lp sim.LPStats) float64 {
+	if u.Wall <= 0 {
+		return 0
+	}
+	return float64(lp.FenceWait) / float64(u.Wall)
 }
 
 var (
@@ -25,8 +58,9 @@ var (
 )
 
 // recordShardUsage folds one sharded run's counters into the session
-// aggregate. Runs may execute concurrently under SetParallelism.
-func recordShardUsage(app string, st []sim.LPStats) {
+// aggregate, along with the run's virtual elapsed time and wall-clock
+// duration. Runs may execute concurrently under SetParallelism.
+func recordShardUsage(app string, st []sim.LPStats, virtual, wall time.Duration) {
 	shardUsageMu.Lock()
 	defer shardUsageMu.Unlock()
 	u := shardUsage[app]
@@ -35,6 +69,8 @@ func recordShardUsage(app string, st []sim.LPStats) {
 		shardUsage[app] = u
 	}
 	u.Runs++
+	u.Virtual += virtual
+	u.Wall += wall
 	// Shapes with different cluster counts shard into different LP counts;
 	// grow the aggregate to the widest run seen.
 	for len(u.LPs) < len(st) {
@@ -43,6 +79,7 @@ func recordShardUsage(app string, st []sim.LPStats) {
 	for i, s := range st {
 		u.LPs[i].Windows += s.Windows
 		u.LPs[i].IdleWindows += s.IdleWindows
+		u.LPs[i].Chained += s.Chained
 		u.LPs[i].Events += s.Events
 		u.LPs[i].FenceWait += s.FenceWait
 	}

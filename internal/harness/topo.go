@@ -26,7 +26,9 @@ func RunTopoOne(app AppSpec, topo cluster.Topology, optimized bool, tr Transport
 		Shards:    effectiveShards(app, topo.Clusters),
 	})
 	verify := app.Build(sys, optimized)
+	wall := time.Now()
 	m, err := sys.Run()
+	ran := time.Since(wall)
 	if err != nil {
 		return m, fmt.Errorf("%s on %s opt=%v: %w", app.Name, topo, optimized, err)
 	}
@@ -34,7 +36,7 @@ func RunTopoOne(app AppSpec, topo cluster.Topology, optimized bool, tr Transport
 		return m, fmt.Errorf("%s on %s opt=%v: %w", app.Name, topo, optimized, err)
 	}
 	if st := sys.ShardStats(); st != nil {
-		recordShardUsage(app.Name, st)
+		recordShardUsage(app.Name, st, m.Elapsed, ran)
 	}
 	return m, nil
 }

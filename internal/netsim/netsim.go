@@ -196,6 +196,13 @@ type Network struct {
 	tap       Tap
 	tapMu     sync.Mutex // serializes tap calls across LP threads when sharded
 
+	// All-pairs routed latency floor between clusters (cluster a → cluster
+	// b: min over paths of Σ per-hop class latency + software overhead +
+	// gateway cost). Computed once when sharded (it derives the engine's
+	// lookahead matrix) or when a link-fault policy installs (loss
+	// tombstones travel at the floor); nil otherwise. Read-only once built.
+	routeFloor [][]time.Duration
+
 	// Link fault domains (routefault.go). linkFault is non-nil only when the
 	// installed policy schedules hard link failures; hold[c] maps a final
 	// destination cluster to the bounded queue of wire units parked at c's
@@ -314,7 +321,51 @@ func (n *Network) SetFaultPolicy(p FaultPolicy) {
 		if n.hold == nil {
 			n.hold = make([]map[int32]*holdQ, n.nclusters)
 		}
+		// Loss tombstones (loseFrameSeq) travel at the routed latency
+		// floor; build the table now, on the setup thread — the drop paths
+		// run on LP threads and must only read it.
+		n.routeFloors()
 	}
+}
+
+// routeFloors returns (building on first use) the all-pairs minimum routed
+// latency between clusters: per hop, the link class latency plus the
+// receive-side software overhead plus the gateway forwarding cost, minimized
+// over every path through the physical links. No message can cross from one
+// cluster to another in less virtual time, however it is routed, rerouted or
+// held. Call during setup only; concurrent LPs may read the result.
+func (n *Network) routeFloors() [][]time.Duration {
+	if n.routeFloor != nil {
+		return n.routeFloor
+	}
+	hopExtra := n.par.SoftwareOverhead + n.par.GatewayCost
+	if n.graph == nil {
+		// Implicit full mesh: every pair one uniform WAN hop apart (any
+		// detour costs at least two).
+		d := n.par.WANLatency + hopExtra
+		flat := make([]time.Duration, n.nclusters*n.nclusters)
+		rows := make([][]time.Duration, n.nclusters)
+		for c := range rows {
+			rows[c] = flat[c*n.nclusters : (c+1)*n.nclusters]
+			for o := range rows[c] {
+				if o != c {
+					rows[c][o] = d
+				}
+			}
+		}
+		n.routeFloor = rows
+		return rows
+	}
+	n.routeFloor = n.graph.AllPairsCost(n.nclusters, func(class int) time.Duration {
+		return n.graph.Classes[class].Latency + hopExtra
+	})
+	return n.routeFloor
+}
+
+// RouteFloor reports the minimum routed latency from cluster cs to cluster
+// cd (see routeFloors). Observability/testing.
+func (n *Network) RouteFloor(cs, cd int) time.Duration {
+	return n.routeFloors()[cs][cd]
 }
 
 // WANProfile maps a virtual instant to multiplicative (latency, bandwidth)
@@ -405,31 +456,78 @@ func New(e *sim.Engine, topo cluster.Topology, par cluster.Params) *Network {
 		n.clusterOf[i] = topo.ClusterOf(cluster.NodeID(i))
 		n.isGW[i] = topo.IsGateway(cluster.NodeID(i))
 	}
-	// One netShard per cluster under a sharded engine (clusters beyond the
-	// LP count wrap round-robin, so their shards share an LP thread but keep
-	// separate free lists and counters); one shard shared by every cluster
-	// on a plain engine, which keeps the sequential data path identical.
+	// One netShard per cluster under a sharded engine (block-contiguous
+	// cluster → LP assignment, so shards of clusters beyond the LP count
+	// share an LP thread but keep separate free lists and counters); one
+	// shard shared by every cluster on a plain engine, which keeps the
+	// sequential data path identical.
 	n.sh = make([]*netShard, topo.Clusters)
 	if lps := e.Shards(); len(lps) > 0 {
 		n.sharded = true
-		for c := range n.sh {
-			n.sh[c] = &netShard{e: lps[c%len(lps)]}
+		// Contiguous ID blocks, not round-robin: the topology DSL numbers
+		// clusters depth-first, so a block keeps whole subtrees on one LP
+		// and the routed distance BETWEEN LPs stays as large as the
+		// topology allows. Round-robin would scatter siblings across every
+		// LP and collapse each pairwise floor to the fastest access link.
+		k := len(lps)
+		lpOf := make([]int, topo.Clusters)
+		base, rem := topo.Clusters/k, topo.Clusters%k
+		for i, c := 0, 0; i < k && c < topo.Clusters; i++ {
+			sz := base
+			if i < rem {
+				sz++
+			}
+			for j := 0; j < sz; j++ {
+				lpOf[c] = i
+				c++
+			}
 		}
-		// The minimum cross-LP delta: every intercluster event crosses at
-		// least one WAN link plus the receive-side software overhead, and
-		// multi-hop routes re-enter the schedule at every intermediate
-		// gateway, so the binding figure is the fastest single link class on
-		// any actual route — not a per-pair end-to-end latency table.
-		minLat := par.WANLatency
-		if n.graph != nil {
-			minLat = n.classes[0].lat
-			for _, c := range n.classes[1:] {
-				if c.lat < minLat {
-					minLat = c.lat
+		for c := range n.sh {
+			n.sh[c] = &netShard{e: lps[lpOf[c]]}
+		}
+		// Per-directed-LP-pair lookahead: the minimum routed latency floor
+		// between any cluster on one LP and any cluster on the other. Every
+		// cross-LP event is one WAN hop of some route (multi-hop routes
+		// re-enter the schedule at each intermediate gateway), and a single
+		// hop costs at least its class latency + software overhead +
+		// gateway cost ≥ the end-to-end floor between its endpoint clusters
+		// ≥ the LP-pair minimum. Degradations, reroutes and holds may only
+		// raise a route's latency (checkWANScales rejects scales below 1),
+		// so the matrix stays a conservative floor under faults. LPs left
+		// without clusters (more LPs than clusters) never schedule; their
+		// entries just need to be positive.
+		floors := n.routeFloors()
+		var maxF time.Duration
+		for _, row := range floors {
+			for _, v := range row {
+				if v > maxF {
+					maxF = v
 				}
 			}
 		}
-		e.SetLookahead(minLat + par.SoftwareOverhead)
+		if maxF == 0 {
+			// Degenerate single-cluster shard: no cluster pairs exist, so
+			// any positive figure serves the empty LPs.
+			maxF = par.WANLatency + par.SoftwareOverhead + par.GatewayCost
+		}
+		m := make([][]time.Duration, k)
+		for i := range m {
+			m[i] = make([]time.Duration, k)
+			for j := range m[i] {
+				if i != j {
+					m[i][j] = maxF
+				}
+			}
+		}
+		for a := 0; a < topo.Clusters; a++ {
+			for b := 0; b < topo.Clusters; b++ {
+				la, lb := lpOf[a], lpOf[b]
+				if la != lb && floors[a][b] < m[la][lb] {
+					m[la][lb] = floors[a][b]
+				}
+			}
+		}
+		e.SetLookaheadMatrix(m)
 	} else {
 		one := &netShard{e: e}
 		for c := range n.sh {

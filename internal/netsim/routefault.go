@@ -209,16 +209,18 @@ func (n *Network) dropHeld(sh *netShard, now time.Duration, it holdItem) {
 }
 
 // loseFrameSeq releases a frame whose payload is lost mid-route and
-// schedules its sequence tombstone at the destination's reassembler, one
-// preferred-link latency away — the earliest a loss could become known
-// remotely, and in any case ≥ the lookahead, so the cross-LP schedule is
-// legal in any window. Without the tombstone, frames arriving over an
+// schedules its sequence tombstone at the destination's reassembler, the
+// routed latency floor from the loss site to the destination away — the
+// earliest a loss could become known remotely, and by construction ≥ the
+// LP pair's lookahead floor, so the cross-LP schedule is legal in any
+// window. (A single link's latency would undercut the end-to-end floor on
+// multi-hop routes.) Without the tombstone, frames arriving over an
 // alternate path (or after heal) would wait forever on the lost sequence
-// number.
+// number. routeFloor is non-nil whenever link faults are installed
+// (SetFaultPolicy builds it).
 func (n *Network) loseFrameSeq(sh *netShard, now time.Duration, f *frame) {
 	cs, cd, seq := f.cs, f.cd, f.seq
-	l := n.linkFor(f.cur, n.nextHop(f.cur, f.cd))
-	at := now + n.classes[l.class].lat + n.wanDelay
+	at := now + n.routeFloor[f.cur][cd]
 	dst := n.sh[cd]
 	sh.e.AtShard(dst.e, at, func() {
 		n.ingressFor(cs, cd).consumeLost(dst.e.Now(), seq)

@@ -247,27 +247,26 @@ func TestTransportShardedMatchesSequential(t *testing.T) {
 }
 
 // TestTransportShardedLookaheadGate: if an operator raises the lookahead
-// beyond what the WAN path guarantees, framed cross-LP arrivals land inside
-// the window and the fence must catch them loudly.
+// beyond what the WAN paths guarantee, SetLookahead must refuse immediately,
+// naming the LP pair whose route-derived floor would be overrun — not let
+// the run start and fail at some later fence.
 func TestTransportShardedLookaheadGate(t *testing.T) {
 	root := sim.NewEngine()
 	root.Shard(2)
 	n := New(root, cluster.Topology{Clusters: 2, NodesPerCluster: 2}, transportParams())
-	root.SetLookahead(5 * time.Millisecond) // undercut by ~1.3ms framed arrivals
-	n.EngineFor(0).At(0, func() {
-		n.Send(Msg{From: 0, To: 2, Kind: KindData, Size: 100})
-	})
 	defer func() {
 		r := recover()
 		if r == nil {
-			t.Fatal("expected lookahead-violation panic")
+			t.Fatal("expected a route-floor panic from SetLookahead")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lookahead violation") {
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "route-derived lookahead floor") || !strings.Contains(msg, "LP pair") {
 			t.Fatalf("unexpected panic %v", r)
 		}
 		root.Shutdown()
 	}()
-	_ = root.Run()
+	root.SetLookahead(5 * time.Millisecond) // undercut by ~1ms WAN route floors
+	_ = n                                   // unreachable
 }
 
 // TestFrameFaultsRuleOnWireUnits: fault policies see one KindFrame message

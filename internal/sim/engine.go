@@ -57,15 +57,30 @@ type Engine struct {
 	lpIdx     int           // on an LP: its index among the root's shards
 	win       *winState     // on an LP: scheduling log, non-nil only during a sharded Run
 	winBuf    winState      // backing store for win, reused across windows
-	lookahead time.Duration // on the root: minimum cross-LP scheduling distance
+	lookahead time.Duration // on the root: minimum entry of the lookahead matrix
 	crew      *shardCrew    // on the root: runner threads, live during Run
 	winStop   atomic.Bool   // on the root: Stop() flag readable from LP threads
 
+	// Per-directed-LP-pair lookahead (see SetLookaheadMatrix). laD is the
+	// relay-closed distance matrix, row-major k*k; bounce is each LP's
+	// minimum round-trip floor back to itself via any other LP — the
+	// earliest its own cross-LP emission can influence it again.
+	laD        []time.Duration                          // root: closed lookahead matrix
+	laRouted   bool                                     // root: laD came from SetLookaheadMatrix
+	bounce     time.Duration                            // LP: min_j laD[i][j]+laD[j][i]
+	crossAudit func(src, dst int, delta time.Duration)  // root: AtShard audit hook (tests)
+	laP        []time.Duration                          // root: per-round next-event scratch
+	laIn       []time.Duration                          // root: per-round inbound-floor scratch
+	laF        []time.Duration                          // root: per-round fence scratch
+	mergeCur   []mergeCursor                            // root: merge cursor scratch
+
 	// Per-LP window-synchronization counters (see LPStats). Written only by
-	// the LP's own runner thread during a sharded Run, read after the fence
+	// the thread running the LP's windows during a sharded Run (its runner
+	// thread, or the coordinator for inline windows), read after the fence
 	// barrier or after Run returns.
 	winWindows uint64        // windows executed
 	winIdle    uint64        // windows that dispatched no event on this LP
+	winChained uint64        // windows run inline on the coordinator, no fence round-trip
 	fenceWait  time.Duration // wall-clock time spent waiting at window fences
 }
 

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,13 +13,32 @@ import (
 // Shard splits an engine into K logical processes (LPs). Each LP is itself an
 // Engine — its own 4-ary heap, ready ring and baton-passing control channel —
 // driven by a dedicated OS thread. The root engine becomes a coordinator: Run
-// executes bounded time windows [W, F) where W is the earliest pending event
-// anywhere and F = W + lookahead. Within a window the LPs run concurrently and
-// independently; correctness rests on the scheduling contract that an LP may
-// place work on another LP only via AtShard, at least `lookahead` beyond its
-// own clock (asserted at every fence). Cross-LP events are collected in
-// per-LP outboxes during the window and merged into the destination heaps at
-// the fence, so no LP ever receives an event in its own past.
+// executes rounds of bounded time windows. Correctness rests on the
+// scheduling contract that an LP may place work on another LP only via
+// AtShard, at least the per-directed-pair lookahead L[src][dst] beyond its
+// own clock (asserted at every call). Cross-LP events are collected in
+// per-LP outboxes during a window and merged into the destination heaps
+// between rounds, so no LP ever receives an event in its own past.
+//
+// Fences are per-LP and distance-based (Chandy–Misra with link distances):
+// with P_j the earliest instant LP j could still act at — its next pending
+// event, or an in-flight cross event addressed to it — LP i may safely run
+// to
+//
+//	F_i = min over j≠i of (P_j + L[j][i])
+//
+// where L is the lookahead matrix closed under relaying (an event can reach
+// i through a chain of LPs, paying at least the closed distance; see
+// SetLookaheadMatrix). Two refinements complete the bound. In-flight cross
+// events addressed to i fence it directly at their arrival time. And an LP's
+// own emissions can come back to it: once a window makes its first cross-LP
+// call at clock t, the window's fence drops to t + bounce_i, where bounce_i
+// is the cheapest round trip back to i via any other LP — windows that never
+// emit keep their full width. LPs whose next event lies beyond their fence
+// skip the round entirely (no wakeup, no idle window); when exactly one LP
+// is runnable the coordinator runs its window inline, chaining windows
+// without any fence round-trip; otherwise runnable LPs are released through
+// an atomic epoch barrier.
 //
 // Determinism — the part that makes parallel execution byte-identical to the
 // sequential engine — is a replay of the sequential seq counter. The
@@ -26,26 +47,37 @@ import (
 // other LPs, so each LP's local execution order equals the sequential order
 // restricted to that LP; only the global counter values are unknown. LPs
 // therefore stamp events scheduled mid-window with provisional seqs (bit 63
-// set, window-local assignment order) and keep two logs: execs — the events
-// that scheduled something, in execution order — and calls, one entry per
-// At/wake. At the fence the coordinator K-way-merges the exec logs by
-// (time, canonical seq), which reconstructs exactly the interleaving the
-// sequential engine would have executed, and replays the counter: each logged
-// call receives the next canonical seq. Provisional seqs still sitting in LP
-// heaps are rewritten in place (the rewrite is order-preserving, so the heap
-// invariant survives), outbox events are routed with their canonical seqs,
-// and the next window starts from a state the sequential engine could have
+// set, local assignment order) and keep two logs: execs — the events that
+// scheduled something, in execution order — and calls, one entry per
+// At/wake. Between rounds the coordinator K-way-merges the exec logs by
+// (time, canonical seq) up to the round floor B = the minimum fence — every
+// event below B has executed on its LP, so the merged prefix is exactly the
+// sequential execution prefix — and replays the counter: each logged call
+// receives the next canonical seq. Records at or beyond B (an LP that ran
+// ahead of a lagging peer) are carried to a later merge, with the resolved
+// prefix compacted away. Provisional seqs still in LP heaps are rewritten in
+// place (the rewrite is order-preserving, so the heap invariant survives),
+// outbox events whose creator merged are routed with their canonical seqs,
+// and the next round starts from a state the sequential engine could have
 // produced. Same configuration, same schedule, same counts — on any number
 // of threads.
 const provBase = uint64(1) << 63
 
-// winState is the per-LP scheduling log of the current window.
+// infFuture is the "no pending event" sentinel: far enough beyond any real
+// virtual time, small enough that adding a lookahead distance cannot
+// overflow.
+const infFuture = time.Duration(math.MaxInt64 / 4)
+
+// winState is the per-LP scheduling log of the current window run.
 type winState struct {
-	active  bool         // this LP's window loop is executing (on its runner thread)
-	provCnt int          // provisional seqs handed out this window
+	active  bool         // this LP's window loop is executing
+	provCnt int          // provisional seqs outstanding (assigned, not yet resolved)
 	calls   []bool       // one entry per At/wake call: false = local, true = cross-LP
 	execs   []execRec    // events that made at least one call, in execution order
 	outbox  []crossEvent // cross-LP events awaiting canonical seqs and routing
+
+	crossT time.Duration // clock of the window's first cross-LP call (-1: none yet)
+	ranTo  time.Duration // effective fence the last window ran to
 
 	canonTab []uint64 // provisional index → canonical seq, filled by the merge
 }
@@ -58,7 +90,8 @@ type execRec struct {
 	n   int32
 }
 
-// crossEvent is an event bound for another LP, parked until the fence.
+// crossEvent is an event bound for another LP, parked until its creator's
+// exec record merges.
 type crossEvent struct {
 	dst *Engine
 	at  time.Duration
@@ -66,11 +99,28 @@ type crossEvent struct {
 	fn  func()
 }
 
-// shardCrew is the root's set of persistent runner threads, one per LP.
+// mergeCursor tracks one LP's consumed log prefixes during a merge.
+type mergeCursor struct{ exec, call, prov, out int }
+
+// Fence-slot sentinels for the epoch barrier.
+const (
+	fenceSkip   = int64(0)  // not this LP's round
+	fenceRetire = int64(-1) // run is over, runner exits
+)
+
+// shardCrew is the root's set of persistent runner threads, one per LP,
+// coordinated by an atomic epoch barrier: the coordinator publishes per-LP
+// fences, bumps the epoch and kicks only the parked runners it needs; the
+// last finisher of a round signals done. Runners spin briefly on the epoch
+// before parking, so back-to-back busy rounds cost no channel operations.
 type shardCrew struct {
-	start []chan time.Duration // fence per window; closed to retire the runner
-	done  chan int             // LP index, sent when its window completes
-	pans  []any                // recovered window panics, by LP index
+	epoch  atomic.Uint64
+	fences []atomic.Int64  // per LP: fence in ns, fenceSkip or fenceRetire
+	parked []atomic.Bool   // per LP: runner is (about to be) blocked on wake
+	wake   []chan struct{} // per LP: capacity-1 unpark kick
+	active atomic.Int32    // runners still executing the current round
+	done   chan struct{}   // capacity 1; the round's last finisher signals
+	pans   []any           // recovered window panics, by LP index
 }
 
 // Shard splits the engine into n logical processes for conservative parallel
@@ -78,7 +128,7 @@ type shardCrew struct {
 // anything is scheduled or spawned. After sharding, all scheduling and
 // spawning must target the shard engines (the root rejects At and Go); the
 // root's Run coordinates the LPs and its Now/Dispatched/Live aggregate them.
-// SetLookahead must be called before Run.
+// SetLookahead or SetLookaheadMatrix must be called before Run.
 func (e *Engine) Shard(n int) []*Engine {
 	if n < 2 {
 		panic("sim: Shard needs at least 2 LPs")
@@ -105,9 +155,69 @@ func (e *Engine) Shard(n int) []*Engine {
 // Shards returns the LP engines of a sharded root (nil on a plain engine).
 func (e *Engine) Shards() []*Engine { return e.shards }
 
-// SetLookahead declares the minimum cross-LP scheduling distance: every
-// AtShard to a different LP must target a time at least d beyond the calling
-// LP's clock. The window width of the sharded run is exactly d.
+// SetLookaheadMatrix declares the per-directed-LP-pair scheduling distance:
+// every AtShard from LP i to LP j must target a time at least m[i][j] beyond
+// the calling LP's clock. Entries off the diagonal must be positive; the
+// diagonal is ignored (within-LP scheduling is unrestricted). The matrix is
+// closed under relaying before use — an event can influence LP j by way of
+// any chain of intermediate LPs, local scheduling inside a relay LP being
+// free, so the effective floor for a pair is the shortest path through the
+// declared entries. Fences are computed from the closed matrix, which is
+// what makes per-LP fencing safe even when the declared entries violate the
+// triangle inequality (an LP that hosts clusters near both endpoints of a
+// long route collapses that route's floor).
+func (e *Engine) SetLookaheadMatrix(m [][]time.Duration) {
+	if e.shards == nil {
+		panic("sim: SetLookaheadMatrix on an unsharded engine")
+	}
+	k := len(e.shards)
+	if len(m) != k {
+		panic(fmt.Sprintf("sim: lookahead matrix has %d rows for %d LPs", len(m), k))
+	}
+	d := make([]time.Duration, k*k)
+	for i, row := range m {
+		if len(row) != k {
+			panic(fmt.Sprintf("sim: lookahead matrix row %d has %d entries for %d LPs", i, len(row), k))
+		}
+		for j, v := range row {
+			if i == j {
+				continue
+			}
+			if v <= 0 {
+				panic(fmt.Sprintf("sim: lookahead matrix entry [%d][%d] = %v, want positive", i, j, v))
+			}
+			d[i*k+j] = v
+		}
+	}
+	// Floyd–Warshall with a free diagonal: close the declared floors under
+	// relaying through intermediate LPs.
+	for mid := 0; mid < k; mid++ {
+		for i := 0; i < k; i++ {
+			if i == mid {
+				continue
+			}
+			dim := d[i*k+mid]
+			for j := 0; j < k; j++ {
+				if j == i || j == mid {
+					continue
+				}
+				if v := dim + d[mid*k+j]; v < d[i*k+j] {
+					d[i*k+j] = v
+				}
+			}
+		}
+	}
+	e.installMatrix(d, true)
+}
+
+// SetLookahead declares a uniform cross-LP scheduling distance: every AtShard
+// to a different LP must target a time at least d beyond the calling LP's
+// clock. When a route-derived matrix is already installed (netsim.New
+// installs one computed from the topology's routed paths), d must not exceed
+// any pair's floor: a larger scalar would claim scheduling slack some route
+// does not have, so the call panics naming the offending pair instead of
+// silently overriding the matrix. A smaller d tightens every pair — always
+// safe, only slower.
 func (e *Engine) SetLookahead(d time.Duration) {
 	if e.shards == nil {
 		panic("sim: SetLookahead on an unsharded engine")
@@ -115,16 +225,88 @@ func (e *Engine) SetLookahead(d time.Duration) {
 	if d <= 0 {
 		panic("sim: lookahead must be positive")
 	}
-	e.lookahead = d
+	k := len(e.shards)
+	if e.laD != nil && e.laRouted {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if i != j && d > e.laD[i*k+j] {
+					panic(fmt.Sprintf("sim: SetLookahead(%v) exceeds the route-derived lookahead floor %v "+
+						"for LP pair %d→%d — the routed paths between those LPs cannot guarantee that much "+
+						"scheduling slack; use SetLookaheadMatrix or a value within every pair's floor (see DESIGN.md §5c)",
+						d, e.laD[i*k+j], i, j))
+				}
+			}
+		}
+	}
+	m := make([]time.Duration, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				m[i*k+j] = d
+			}
+		}
+	}
+	e.installMatrix(m, e.laRouted)
 }
 
-// Lookahead reports the configured cross-LP scheduling distance.
+// installMatrix stores a closed matrix and derives the per-LP bounce floors
+// and the scalar minimum.
+func (e *Engine) installMatrix(d []time.Duration, routed bool) {
+	k := len(e.shards)
+	e.laD = d
+	e.laRouted = routed
+	lo := time.Duration(0)
+	for i := 0; i < k; i++ {
+		rt := infFuture
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			if v := d[i*k+j] + d[j*k+i]; v < rt {
+				rt = v
+			}
+			if lo == 0 || d[i*k+j] < lo {
+				lo = d[i*k+j]
+			}
+		}
+		e.shards[i].bounce = rt
+	}
+	e.lookahead = lo
+}
+
+// Lookahead reports the minimum cross-LP scheduling distance over all pairs.
 func (e *Engine) Lookahead() time.Duration { return e.lookahead }
+
+// LookaheadBetween reports the closed lookahead floor for the directed LP
+// pair src→dst (zero if src == dst or no matrix is installed). Callable on
+// the root or any LP.
+func (e *Engine) LookaheadBetween(src, dst int) time.Duration {
+	root := e
+	if e.root != nil {
+		root = e.root
+	}
+	if root.laD == nil || src == dst {
+		return 0
+	}
+	return root.laD[src*len(root.shards)+dst]
+}
+
+// SetCrossLPAudit installs a hook invoked on every cross-LP AtShard with the
+// source LP, destination LP and scheduling delta (target minus the sender's
+// clock). The hook runs on LP runner threads, concurrently; it must be safe
+// for concurrent use and must not touch engine state. Observability/testing
+// only; nil uninstalls.
+func (e *Engine) SetCrossLPAudit(fn func(src, dst int, delta time.Duration)) {
+	if e.shards == nil {
+		panic("sim: SetCrossLPAudit on an unsharded engine")
+	}
+	e.crossAudit = fn
+}
 
 // AtShard schedules fn at absolute virtual time t on the dst engine. On a
 // plain engine (or when dst is the caller) it is exactly dst.At. Across LPs
 // of a sharded run it is the only legal scheduling path, and t must lie at
-// least the configured lookahead beyond the calling LP's clock — the fence
+// least the pair's lookahead floor beyond the calling LP's clock — the call
 // panics on violations.
 func (e *Engine) AtShard(dst *Engine, t time.Duration, fn func()) {
 	w := e.win
@@ -134,6 +316,19 @@ func (e *Engine) AtShard(dst *Engine, t time.Duration, fn func()) {
 	}
 	if !w.active {
 		panic("sim: AtShard from outside the calling LP's window")
+	}
+	root := e.root
+	if floor := root.laD[e.lpIdx*len(root.shards)+dst.lpIdx]; t < e.now+floor {
+		panic(fmt.Sprintf("sim: lookahead violation: LP %d scheduled a cross-LP event on LP %d at %v, "+
+			"only %v beyond its clock %v — AtShard targets must lie at least the pair's lookahead "+
+			"floor (%v) beyond the sender's clock (see DESIGN.md §5c)",
+			e.lpIdx, dst.lpIdx, t, t-e.now, e.now, floor))
+	}
+	if root.crossAudit != nil {
+		root.crossAudit(e.lpIdx, dst.lpIdx, t-e.now)
+	}
+	if w.crossT < 0 {
+		w.crossT = e.now
 	}
 	w.calls = append(w.calls, true)
 	w.outbox = append(w.outbox, crossEvent{dst: dst, at: t, fn: fn})
@@ -184,12 +379,23 @@ func (e *Engine) rootSeq() uint64 {
 }
 
 // runWindow executes this LP's events with at < fence, in the LP-local
-// (time, seq) order, logging every event that schedules further work.
+// (time, seq) order, logging every event that schedules further work. The
+// first cross-LP call at clock t lowers the fence to t + bounce: beyond that
+// point the emission could already have come back to this LP through another
+// LP, so the window must not outrun its own output. Events execute in
+// non-decreasing time order, so nothing past the lowered fence has run when
+// the clamp lands.
 func (e *Engine) runWindow(fence time.Duration) {
 	w := e.win
 	w.active = true
+	w.crossT = -1
 	d0 := e.dispatched
 	for {
+		if w.crossT >= 0 {
+			if f := w.crossT + e.bounce; f < fence {
+				fence = f
+			}
+		}
 		if e.ready.n > 0 {
 			if len(e.heap) > 0 && e.heap[0].at <= e.now && e.heap[0].seq < e.ready.headSeq() {
 				ev := e.heapPop()
@@ -211,6 +417,7 @@ func (e *Engine) runWindow(fence time.Duration) {
 		e.execOne(w, ev.at, ev.seq, ev.fn)
 	}
 	w.active = false
+	w.ranTo = fence
 	e.winWindows++
 	if e.dispatched == d0 {
 		e.winIdle++
@@ -228,22 +435,38 @@ func (e *Engine) execOne(w *winState, at time.Duration, key uint64, fn func()) {
 	}
 }
 
-// runSharded is Run for a sharded root: window loop, fence barrier, replay
-// merge. See the package comment at the top of this file.
+// runSharded is Run for a sharded root: fence rounds, window execution,
+// replay merge. See the package comment at the top of this file.
 func (e *Engine) runSharded() error {
-	if e.lookahead <= 0 {
+	if e.laD == nil {
 		panic("sim: sharded Run without SetLookahead")
 	}
 	if e.ready.n != 0 || len(e.heap) != 0 {
 		panic("sim: events scheduled on the sharded root engine")
+	}
+	k := len(e.shards)
+	if e.laP == nil {
+		e.laP = make([]time.Duration, k)
+		e.laIn = make([]time.Duration, k)
+		e.laF = make([]time.Duration, k)
+		e.mergeCur = make([]mergeCursor, k)
 	}
 	for _, s := range e.shards {
 		s.win = &s.winBuf
 	}
 	crew := e.startCrew()
 	defer func() {
-		for _, ch := range crew.start {
-			close(ch)
+		for i := range crew.fences {
+			crew.fences[i].Store(fenceRetire)
+		}
+		crew.epoch.Add(1)
+		for i := range crew.parked {
+			if crew.parked[i].Load() {
+				select {
+				case crew.wake[i] <- struct{}{}:
+				default:
+				}
+			}
 		}
 		e.crew = nil
 		for _, s := range e.shards {
@@ -252,25 +475,53 @@ func (e *Engine) runSharded() error {
 	}()
 
 	for !e.winStop.Load() {
-		// W = earliest pending event across all LPs. A non-empty ready ring
-		// holds events due at that LP's current instant.
-		minNext := time.Duration(-1)
-		for _, s := range e.shards {
-			var next time.Duration
+		// P_j: the earliest instant LP j could still act at of its own
+		// accord. A non-empty ready ring holds events due at the LP's
+		// current instant.
+		anyPending := false
+		for i, s := range e.shards {
 			switch {
 			case s.ready.n > 0:
-				next = s.now
+				e.laP[i] = s.now
 			case len(s.heap) > 0:
-				next = s.heap[0].at
+				e.laP[i] = s.heap[0].at
 			default:
-				continue
+				e.laP[i] = infFuture
 			}
-			if minNext < 0 || next < minNext {
-				minNext = next
+			if e.laP[i] < infFuture {
+				anyPending = true
+			}
+			e.laIn[i] = infFuture
+		}
+		// In-flight floors: cross events whose creator's exec record has not
+		// merged yet sit unrouted in their sender's outbox. Each fences its
+		// destination directly at its arrival time (it will land in the
+		// destination heap at a future merge), and contributes to minNext
+		// exactly as the pending event it is in the sequential engine.
+		minOut := infFuture
+		for _, s := range e.shards {
+			w := &s.winBuf
+			for idx := range w.outbox {
+				c := &w.outbox[idx]
+				if d := c.dst.lpIdx; c.at < e.laIn[d] {
+					e.laIn[d] = c.at
+				}
+				if c.at < minOut {
+					minOut = c.at
+				}
 			}
 		}
-		if minNext < 0 {
-			break // every LP drained
+		if !anyPending && minOut == infFuture {
+			// Every queue drained. Flush carried exec records so each
+			// remaining scheduling call gets its canonical seq, and leave.
+			e.mergeWindow(infFuture)
+			break
+		}
+		minNext := minOut
+		for i := range e.laP {
+			if e.laP[i] < minNext {
+				minNext = e.laP[i]
+			}
 		}
 		if e.deadline > 0 && minNext > e.deadline {
 			return &DeadlineError{
@@ -281,24 +532,97 @@ func (e *Engine) runSharded() error {
 				Live:       e.Live(),
 			}
 		}
-		fence := minNext + e.lookahead
-		if e.deadline > 0 && fence > e.deadline+1 {
-			// Nothing beyond the deadline may execute; events at exactly the
-			// deadline still do, matching the sequential abort point.
-			fence = e.deadline + 1
-		}
-		for _, ch := range crew.start {
-			ch <- fence
-		}
-		for range crew.start {
-			<-crew.done
-		}
-		for i, p := range crew.pans {
-			if p != nil {
-				panic(fmt.Sprintf("sim: LP %d window panic: %v", i, p))
+		// Distance fences. An LP skips the round when its next event lies at
+		// or beyond its fence; with exactly one runnable LP the coordinator
+		// runs the window inline — no barrier, no runner thread.
+		nAct, soleAct := 0, -1
+		for i := range e.shards {
+			f := infFuture
+			for j := range e.shards {
+				if j == i {
+					continue
+				}
+				b := e.laP[j]
+				if e.laIn[j] < b {
+					b = e.laIn[j]
+				}
+				if b >= infFuture {
+					continue
+				}
+				if v := b + e.laD[j*k+i]; v < f {
+					f = v
+				}
+			}
+			if e.laIn[i] < f {
+				f = e.laIn[i]
+			}
+			if e.deadline > 0 && f > e.deadline+1 {
+				// Nothing beyond the deadline may execute; events at exactly
+				// the deadline still do, matching the sequential abort point.
+				f = e.deadline + 1
+			}
+			e.laF[i] = f
+			if e.laP[i] < f {
+				nAct++
+				soleAct = i
 			}
 		}
-		e.mergeWindow(fence)
+		switch {
+		case nAct == 0:
+			// Nothing runnable this round: the floor is held down by an
+			// in-flight cross event. Its creator's record lies below the
+			// floor, so the merge below routes it and the next round makes
+			// progress.
+		case nAct == 1:
+			s := e.shards[soleAct]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(fmt.Sprintf("sim: LP %d window panic: %v", soleAct, r))
+					}
+				}()
+				s.runWindow(e.laF[soleAct])
+			}()
+			s.winChained++
+		default:
+			crew.active.Store(int32(nAct))
+			for i := range e.shards {
+				if e.laP[i] < e.laF[i] {
+					crew.fences[i].Store(int64(e.laF[i]))
+				} else {
+					crew.fences[i].Store(fenceSkip)
+				}
+			}
+			crew.epoch.Add(1)
+			for i := range e.shards {
+				if e.laP[i] < e.laF[i] && crew.parked[i].Load() {
+					select {
+					case crew.wake[i] <- struct{}{}:
+					default:
+					}
+				}
+			}
+			<-crew.done
+			for i, p := range crew.pans {
+				if p != nil {
+					panic(fmt.Sprintf("sim: LP %d window panic: %v", i, p))
+				}
+			}
+		}
+		// Round floor: every event below B has executed on its LP (runnable
+		// LPs ran at least to their effective fence; skipped LPs had nothing
+		// below theirs), so the merged prefix is exactly the sequential one.
+		B := infFuture
+		for i, s := range e.shards {
+			f := e.laF[i]
+			if e.laP[i] < e.laF[i] {
+				f = s.winBuf.ranTo
+			}
+			if f < B {
+				B = f
+			}
+		}
+		e.mergeWindow(B)
 	}
 	if e.winStop.Load() {
 		// Mirror the sequential stop path: a stopped engine is dead, so
@@ -319,48 +643,87 @@ func (e *Engine) runSharded() error {
 	return nil
 }
 
-// startCrew launches one locked-thread runner per LP.
+// startCrew launches one locked-thread runner per LP, parked on the epoch
+// barrier.
 func (e *Engine) startCrew() *shardCrew {
 	crew := &shardCrew{
-		start: make([]chan time.Duration, len(e.shards)),
-		done:  make(chan int, len(e.shards)),
-		pans:  make([]any, len(e.shards)),
+		fences: make([]atomic.Int64, len(e.shards)),
+		parked: make([]atomic.Bool, len(e.shards)),
+		wake:   make([]chan struct{}, len(e.shards)),
+		done:   make(chan struct{}, 1),
+		pans:   make([]any, len(e.shards)),
+	}
+	for i := range crew.wake {
+		crew.wake[i] = make(chan struct{}, 1)
 	}
 	e.crew = crew
 	for i, s := range e.shards {
-		ch := make(chan time.Duration)
-		crew.start[i] = ch
-		go func(i int, s *Engine) {
-			runtime.LockOSThread()
-			defer runtime.UnlockOSThread()
-			// waitStart brackets the idle gap between finishing one window
-			// (the done send below) and receiving the next fence: the
-			// wall-clock cost of the fence barrier, per LP.
-			var waitStart time.Time
-			for fence := range ch {
-				if !waitStart.IsZero() {
-					s.fenceWait += time.Since(waitStart)
-				}
-				func() {
-					defer func() {
-						crew.pans[i] = recover()
-						crew.done <- i
-					}()
-					s.runWindow(fence)
-				}()
-				waitStart = time.Now()
-			}
-		}(i, s)
+		go crew.runner(i, s)
 	}
 	return crew
 }
 
-// mergeWindow replays the window's scheduling calls in sequential order and
-// routes the cross-LP events. Runs on the coordinator thread with every
-// runner quiescent (the fence barrier provides the happens-before edges).
-func (e *Engine) mergeWindow(fence time.Duration) {
-	type cursor struct{ exec, call, prov, out int }
-	cur := make([]cursor, len(e.shards))
+// runner executes one LP's windows: spin briefly on the epoch, park on the
+// wake channel when the coordinator has nothing for this LP, run the window
+// when a fence is published, and let the round's last finisher signal done.
+func (c *shardCrew) runner(i int, s *Engine) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	var seen uint64
+	// waitStart brackets the idle gap between finishing one window and
+	// starting the next one this LP participates in: the wall-clock cost of
+	// fence synchronization, per LP.
+	var waitStart time.Time
+	for {
+		spins := 0
+		for c.epoch.Load() == seen {
+			if spins++; spins > 128 {
+				c.parked[i].Store(true)
+				if c.epoch.Load() == seen {
+					<-c.wake[i]
+				}
+				c.parked[i].Store(false)
+				spins = 0
+			}
+		}
+		seen = c.epoch.Load()
+		f := c.fences[i].Load()
+		switch f {
+		case fenceRetire:
+			return
+		case fenceSkip:
+			continue
+		}
+		if !waitStart.IsZero() {
+			s.fenceWait += time.Since(waitStart)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.pans[i] = r
+				}
+				if c.active.Add(-1) == 0 {
+					c.done <- struct{}{}
+				}
+			}()
+			s.runWindow(time.Duration(f))
+		}()
+		waitStart = time.Now()
+	}
+}
+
+// mergeWindow replays the scheduling calls of every exec record below the
+// round floor in sequential order and routes their cross-LP events. Records
+// at or beyond the floor — an LP that ran ahead of a lagging peer — are
+// carried: their resolved provisional prefix is compacted away and their
+// remaining keys reindexed, so the logs stay small and the next merge picks
+// up where this one stopped. Runs on the coordinator thread with every
+// runner quiescent (the epoch barrier provides the happens-before edges).
+func (e *Engine) mergeWindow(limit time.Duration) {
+	cur := e.mergeCur
+	for i := range cur {
+		cur[i] = mergeCursor{}
+	}
 	for _, E := range e.shards {
 		w := E.win
 		if E.ready.n != 0 {
@@ -374,10 +737,11 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 			w.canonTab[i] = 0
 		}
 	}
-	// K-way merge of the exec logs by (time, canonical seq): the order the
-	// sequential engine would have executed these events in. A provisional
-	// head key always translates: the event's creator ran earlier on the
-	// same LP, so its calls were already replayed.
+	// K-way merge of the exec-log prefixes below the floor by (time,
+	// canonical seq): the order the sequential engine would have executed
+	// these events in. A provisional head key always translates: the event's
+	// creator ran earlier on the same LP (records are logged in execution
+	// order, times non-decreasing), so its calls were already replayed.
 	for {
 		best := -1
 		var bAt time.Duration
@@ -388,6 +752,9 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 				continue
 			}
 			r := w.execs[cur[s].exec]
+			if r.at >= limit {
+				continue
+			}
 			k := r.key
 			if k >= provBase {
 				k = w.canonTab[k&^provBase]
@@ -417,40 +784,63 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 			cur[best].call++
 		}
 	}
+	// Rewrite provisional seqs: resolved indexes (the replayed prefix) get
+	// their canonical values, carried ones shift down by the resolved count.
+	// Canonical seqs are assigned in each LP's call order and all exceed the
+	// pre-merge counter, so the rewrite preserves the relative order of
+	// every pair of events — the heap invariant survives untouched. This
+	// pass must complete before any outbox routing below: a routed event's
+	// canonical seq orders against the destination's resolved seqs by value,
+	// which only holds once those are rewritten.
 	for s, E := range e.shards {
 		w := E.win
-		if cur[s].call != len(w.calls) || cur[s].prov != w.provCnt || cur[s].out != len(w.outbox) {
-			panic("sim: window merge left unreplayed scheduling calls")
-		}
-		// Rewrite provisional seqs still in the heap. Canonical seqs are
-		// assigned in each LP's call order and all exceed the pre-window
-		// counter, so the rewrite preserves the relative order of every
-		// pair of events — the heap invariant survives untouched.
+		res := cur[s].prov
 		for i := range E.heap {
-			if E.heap[i].seq >= provBase {
-				E.heap[i].seq = w.canonTab[E.heap[i].seq&^provBase]
+			if sq := E.heap[i].seq; sq >= provBase {
+				if p := int(sq &^ provBase); p < res {
+					E.heap[i].seq = w.canonTab[p]
+				} else {
+					E.heap[i].seq = provBase | uint64(p-res)
+				}
 			}
 		}
+		for i := cur[s].exec; i < len(w.execs); i++ {
+			if sq := w.execs[i].key; sq >= provBase {
+				if p := int(sq &^ provBase); p < res {
+					w.execs[i].key = w.canonTab[p]
+				} else {
+					w.execs[i].key = provBase | uint64(p-res)
+				}
+			}
+		}
+		w.provCnt -= res
+		n := copy(w.execs, w.execs[cur[s].exec:])
+		w.execs = w.execs[:n]
+		n = copy(w.calls, w.calls[cur[s].call:])
+		w.calls = w.calls[:n]
 	}
-	// Route the outboxes. Every cross-LP event must land at or beyond the
-	// fence — that is the lookahead contract that lets windows run without
-	// peeking at each other.
+	// Route the replayed outbox prefixes. Every cross-LP event lands at or
+	// beyond its destination's executed horizon — that is what the per-pair
+	// floors and the in-flight fences guarantee; the check is a cheap
+	// backstop.
 	for s, E := range e.shards {
 		w := E.win
-		for i := range w.outbox {
+		for i := 0; i < cur[s].out; i++ {
 			c := &w.outbox[i]
-			if c.at < fence {
-				panic(fmt.Sprintf("sim: lookahead violation: LP %d scheduled a cross-LP event at %v "+
-					"inside the window ending %v — AtShard targets must lie at least the lookahead "+
-					"beyond the sender's clock (see DESIGN.md §5c)", s, c.at, fence))
+			if c.at < c.dst.now {
+				panic(fmt.Sprintf("sim: lookahead violation: a cross-LP event from LP %d arrived at %v, "+
+					"inside LP %d's executed past (clock %v) — AtShard targets must lie at least the "+
+					"pair's lookahead floor beyond the sender's clock (see DESIGN.md §5c)",
+					s, c.at, c.dst.lpIdx, c.dst.now))
 			}
 			c.dst.heapPush(event{at: c.at, seq: c.seq, fn: c.fn})
-			w.outbox[i] = crossEvent{}
 		}
-		w.outbox = w.outbox[:0]
-		w.execs = w.execs[:0]
-		w.calls = w.calls[:0]
-		w.provCnt = 0
+		n := copy(w.outbox, w.outbox[cur[s].out:])
+		tail := w.outbox[n:]
+		for i := range tail {
+			tail[i] = crossEvent{}
+		}
+		w.outbox = w.outbox[:n]
 	}
 }
 
@@ -458,14 +848,18 @@ func (e *Engine) mergeWindow(fence time.Duration) {
 
 // LPStats reports one LP's window-synchronization counters from a sharded
 // run: how many bounded windows it executed, how many of those dispatched no
-// event on this LP (pure synchronization overhead), how many events it
-// dispatched in total, and the wall-clock time its runner thread spent
-// waiting at window fences. The counters are observability only — they never
-// influence the simulation and are excluded from the byte-identity surface.
+// event on this LP (pure synchronization overhead — zero under per-LP
+// fencing, which skips such rounds outright), how many windows ran inline on
+// the coordinator with no fence round-trip, how many events it dispatched in
+// total, and the wall-clock time its runner thread spent waiting between the
+// windows it participated in. Windows minus Chained is the LP's fence
+// participations. The counters are observability only — they never influence
+// the simulation and are excluded from the byte-identity surface.
 type LPStats struct {
 	LP          int
-	Windows     uint64        // windows executed (same for every LP of a run)
+	Windows     uint64        // windows executed by this LP
 	IdleWindows uint64        // windows with zero events on this LP
+	Chained     uint64        // windows run inline on the coordinator (no barrier)
 	Events      uint64        // events dispatched by this LP
 	FenceWait   time.Duration // wall-clock fence-barrier wait
 }
@@ -483,6 +877,7 @@ func (e *Engine) ShardStats() []LPStats {
 			LP:          i,
 			Windows:     s.winWindows,
 			IdleWindows: s.winIdle,
+			Chained:     s.winChained,
 			Events:      s.dispatched,
 			FenceWait:   s.fenceWait,
 		}

@@ -1,0 +1,78 @@
+//go:build !race
+
+// Alloc-regression budget for the sharded engine's per-window path. Once
+// the crew threads, fence slots, merge buffers and outbox slices are warm,
+// a synchronization window must cost ~zero allocations: the epoch barrier
+// reuses its channels, the per-round lookahead scratch is preallocated on
+// the root, and the merge compacts carried records in place. A change that
+// reintroduces per-window allocation (channel churn in the barrier, closure
+// captures on the hot path, unpooled cross-LP records) fails here long
+// before it shows up in the benchmarks.
+//
+// Excluded under the race detector: instrumentation inflates allocation
+// counts and the budget is meaningless there.
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestAllocShardedWindow runs a four-LP workload with steady cross-LP
+// traffic (every eighth event hops to the next LP at exactly the lookahead
+// floor, keeping every fence load-bearing) and charges the whole run's
+// allocations against its window count. The fixed setup — runner goroutine
+// stacks, wake channels, scratch growth — amortizes across thousands of
+// windows, so the per-window budget stays well under one allocation only if
+// the steady-state path itself is allocation-free.
+func TestAllocShardedWindow(t *testing.T) {
+	e := NewEngine()
+	lps := e.Shard(4)
+	e.SetLookahead(time.Millisecond)
+	counts := make([]int, len(lps))
+	const per = 20000
+	for i := range lps {
+		i, lp, next := i, lps[i], lps[(i+1)%len(lps)]
+		ni := (i + 1) % len(lps)
+		bump := func() { counts[ni]++ }
+		n := 0
+		var tick func()
+		tick = func() {
+			counts[i]++
+			if n++; n >= per {
+				return
+			}
+			if n%8 == 0 {
+				lp.AtShard(next, lp.Now()+time.Millisecond, bump)
+			}
+			lp.At(lp.Now()+200*time.Microsecond, tick)
+		}
+		lp.At(200*time.Microsecond, tick)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if want := 4*per + 4*(per/8-1); total < want {
+		t.Fatalf("ran %d events, want >= %d", total, want)
+	}
+	var windows uint64
+	for _, st := range e.ShardStats() {
+		windows += st.Windows
+	}
+	if windows < 1000 {
+		t.Fatalf("only %d windows — workload too small for an amortized budget", windows)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	if per := float64(allocs) / float64(windows); per > 0.5 {
+		t.Fatalf("%d allocs over %d windows = %.2f allocs/window, budget 0.5", allocs, windows, per)
+	}
+}

@@ -39,7 +39,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkEngine|BenchmarkRPCRoundTrip|BenchmarkNetSendLAN|BenchmarkEndToEnd' \
+	-bench 'BenchmarkEngine|BenchmarkSharded|BenchmarkRPCRoundTrip|BenchmarkNetSendLAN|BenchmarkEndToEnd' \
 	-benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Network-construction scaling: sparse tiered platforms against the dense
@@ -58,6 +58,8 @@ awk -v benchtime="$BENCHTIME" '
 		if ($(i + 1) == "B/op")            bytes[name] = $i
 		if ($(i + 1) == "allocs/op")       allocs[name] = $i
 		if ($(i + 1) == "simsec/wallsec")  simsec[name] = $i
+		if ($(i + 1) == "windows/op")      windows[name] = $i
+		if ($(i + 1) == "fences/op")       fences[name] = $i
 	}
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
@@ -77,17 +79,21 @@ END {
 	printf "    \"dense_construct_note\": \"per-pair pipe matrix before the sparse refactor (PR 8), benchtime 1s; the live dense column is BenchmarkNetworkConstructDense in current\",\n"
 	printf "    \"BenchmarkNetworkConstruct/c=4\":    {\"ns_per_op\": 3657, \"bytes_per_op\": 3920, \"allocs_per_op\": 49},\n"
 	printf "    \"BenchmarkNetworkConstruct/c=64\":   {\"ns_per_op\": 62044, \"bytes_per_op\": 269836, \"allocs_per_op\": 649},\n"
-	printf "    \"BenchmarkNetworkConstruct/c=256\":  {\"ns_per_op\": 506894, \"bytes_per_op\": 3835336, \"allocs_per_op\": 3083}\n"
+	printf "    \"BenchmarkNetworkConstruct/c=256\":  {\"ns_per_op\": 506894, \"bytes_per_op\": 3835336, \"allocs_per_op\": 3083},\n"
+	printf "    \"sharded_sync_note\": \"scalar-lookahead sharded engine before the per-route matrix (PR 10); tiered64 ASP shards=4, every window a fence participation\",\n"
+	printf "    \"BenchmarkShardedGridASP\":          {\"windows_per_op\": 145060, \"fences_per_op\": 145060}\n"
 	printf "  },\n"
 	printf "  \"current\": {\n"
 	for (i = 1; i <= n; i++) {
 		name = order[i]
 		printf "    \"%s\": {", name
 		sep = ""
-		if (name in ns)     { printf "%s\"ns_per_op\": %s", sep, ns[name]; sep = ", " }
-		if (name in bytes)  { printf "%s\"bytes_per_op\": %s", sep, bytes[name]; sep = ", " }
-		if (name in allocs) { printf "%s\"allocs_per_op\": %s", sep, allocs[name]; sep = ", " }
-		if (name in simsec) { printf "%s\"simsec_per_wallsec\": %s", sep, simsec[name]; sep = ", " }
+		if (name in ns)      { printf "%s\"ns_per_op\": %s", sep, ns[name]; sep = ", " }
+		if (name in bytes)   { printf "%s\"bytes_per_op\": %s", sep, bytes[name]; sep = ", " }
+		if (name in allocs)  { printf "%s\"allocs_per_op\": %s", sep, allocs[name]; sep = ", " }
+		if (name in simsec)  { printf "%s\"simsec_per_wallsec\": %s", sep, simsec[name]; sep = ", " }
+		if (name in windows) { printf "%s\"windows_per_op\": %s", sep, windows[name]; sep = ", " }
+		if (name in fences)  { printf "%s\"fences_per_op\": %s", sep, fences[name]; sep = ", " }
 		printf "}"
 		printf (i < n) ? ",\n" : "\n"
 	}
